@@ -1,0 +1,43 @@
+// Ablation — block size. The paper fixes 8 KB blocks (the UDP lane
+// scratchpad budget); the CPU baseline uses 32 KB. This sweep shows the
+// trade: larger blocks help the LZ matcher (better ratio) but raise the
+// per-block decode latency and scratchpad footprint.
+#include "bench/bench_util.h"
+#include "core/system.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = bench::scale_from_cli(cli, 0.12);
+  cli.done();
+
+  bench::print_header("Ablation", "value-block size sweep (paper: 8 KB)");
+
+  const core::HeterogeneousSystem sys;
+  const auto suite = sparse::representative_suite(scale);
+
+  Table table({"value-block", "nnz/block", "geomean B/nnz",
+               "geomean block us", "geomean udp GB/s"});
+  for (const std::size_t kb : {4, 8, 16, 32, 64}) {
+    codec::PipelineConfig cfg = codec::PipelineConfig::udp_dsh();
+    cfg.nnz_per_block = kb * 1024 / sizeof(double);
+    StreamingStats bpn, us, rate;
+    for (const auto& m : suite) {
+      const auto p = sys.profile(m.name, m.csr, cfg);
+      bpn.add(p.bytes_per_nnz);
+      us.add(p.udp_block_micros);
+      rate.add(p.udp_throughput_bps / 1e9);
+    }
+    table.add_row({std::to_string(kb) + " KB",
+                   std::to_string(cfg.nnz_per_block),
+                   Table::num(bpn.geomean(), 2), Table::num(us.geomean(), 1),
+                   Table::num(rate.geomean(), 2)});
+  }
+  table.print();
+  bench::print_expected(
+      "ratio improves slowly with block size while per-block latency "
+      "grows ~linearly; 8 KB sits at the knee and fits the lane "
+      "scratchpad alongside stage buffers.");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation — format engineering vs programmable recoding (§VI-B).
+//
+// BSR amortizes indices over dense b x b blocks — the hardware-free way
+// to cut bytes/nnz — but pays zero fill-in on matrices that aren't
+// block-dense. This sweep compares BSR at several block sizes against
+// the recoding pipeline across structure families: the recoder adapts to
+// every family, rigid formats only win on their own.
+#include "bench/bench_util.h"
+#include "codec/pipeline.h"
+#include "sparse/bsr.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  auto opts = bench::suite_options_from_cli(cli, 27);
+  cli.done();
+
+  bench::print_header("Ablation",
+                      "BSR block formats vs Delta-Snappy-Huffman recoding");
+
+  Table table({"matrix", "family", "csr B/nnz", "bsr2 B/nnz", "bsr4 B/nnz",
+               "bsr8 B/nnz", "dsh B/nnz"});
+  StreamingStats bsr2_g, bsr4_g, bsr8_g, dsh_g;
+  sparse::for_each_suite_matrix(opts, [&](int, const sparse::NamedMatrix& m) {
+    const std::size_t nnz = m.csr.nnz();
+    const double bsr2 = sparse::csr_to_bsr(m.csr, 2).bytes_per_nnz(nnz);
+    const double bsr4 = sparse::csr_to_bsr(m.csr, 4).bytes_per_nnz(nnz);
+    const double bsr8 = sparse::csr_to_bsr(m.csr, 8).bytes_per_nnz(nnz);
+    const double dsh =
+        codec::compress(m.csr, codec::PipelineConfig::udp_dsh())
+            .bytes_per_nnz();
+    bsr2_g.add(bsr2);
+    bsr4_g.add(bsr4);
+    bsr8_g.add(bsr8);
+    dsh_g.add(dsh);
+    table.add_row({m.name, m.family, "12.00", Table::num(bsr2, 2),
+                   Table::num(bsr4, 2), Table::num(bsr8, 2),
+                   Table::num(dsh, 2)});
+  });
+  table.print();
+  std::printf("geomean B/nnz: bsr2 %.2f, bsr4 %.2f, bsr8 %.2f, dsh %.2f\n",
+              bsr2_g.geomean(), bsr4_g.geomean(), bsr8_g.geomean(),
+              dsh_g.geomean());
+  bench::print_expected(
+      "BSR only beats CSR on block-dense families and explodes (fill-in) "
+      "on scattered ones; the recoding pipeline stays below 12 B/nnz "
+      "everywhere — the case for software-defined representation.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — reordering as a recoding preprocessor (§VII direction).
+//
+// RCM renumbering pulls mesh matrices toward the diagonal, shrinking the
+// index deltas the pipeline compresses. This sweep scrambles each
+// representative matrix (worst-case numbering), then reorders with RCM,
+// and reports bytes/nnz and the resulting modeled SpMV speedup at each
+// step. Reordering is free at matrix-build time and compounds with the
+// recoding hardware.
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "common/prng.h"
+#include "core/system.h"
+#include "sparse/reorder.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = bench::scale_from_cli(cli, 0.08);
+  cli.done();
+
+  bench::print_header("Ablation",
+                      "RCM reordering as a recoding preprocessor");
+
+  const core::HeterogeneousSystem sys;
+  Table table({"matrix", "natural B/nnz", "scrambled B/nnz", "rcm B/nnz",
+               "natural speedup", "scrambled speedup", "rcm speedup"});
+  StreamingStats improvement;
+  for (const auto& m : sparse::representative_suite(scale)) {
+    // Scramble: a random symmetric permutation (worst-case numbering).
+    std::vector<sparse::index_t> shuffle(
+        static_cast<std::size_t>(m.csr.rows));
+    std::iota(shuffle.begin(), shuffle.end(), sparse::index_t{0});
+    Prng prng(17);
+    for (std::size_t i = shuffle.size(); i > 1; --i) {
+      std::swap(shuffle[i - 1], shuffle[prng.next_below(i)]);
+    }
+    const auto scrambled = sparse::permute_symmetric(m.csr, shuffle);
+    const auto restored =
+        sparse::permute_symmetric(scrambled, sparse::rcm_ordering(scrambled));
+
+    const auto analyze = [&](const sparse::Csr& csr) {
+      const auto p = sys.profile(m.name, csr, codec::PipelineConfig::udp_dsh());
+      return std::pair<double, double>(p.bytes_per_nnz,
+                                       sys.analyze_spmv(p).speedup());
+    };
+    const auto [b_nat, s_nat] = analyze(m.csr);
+    const auto [b_scr, s_scr] = analyze(scrambled);
+    const auto [b_rcm, s_rcm] = analyze(restored);
+    improvement.add(b_scr / b_rcm);
+    table.add_row({m.name, Table::num(b_nat, 2), Table::num(b_scr, 2),
+                   Table::num(b_rcm, 2), Table::num(s_nat, 2),
+                   Table::num(s_scr, 2), Table::num(s_rcm, 2)});
+  }
+  table.print();
+  std::printf("geomean compression improvement from RCM on scrambled "
+              "matrices: %.2fx\n",
+              improvement.geomean());
+  bench::print_expected(
+      "scrambling destroys index locality and most of the speedup; RCM "
+      "recovers bandwidth structure and with it most of the recoding "
+      "win — representation quality is partly a numbering choice.");
+  return 0;
+}

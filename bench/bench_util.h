@@ -1,0 +1,67 @@
+// Shared helpers for the figure-reproduction bench binaries.
+//
+// Every fig*/abl* binary prints: a header naming the paper figure it
+// regenerates, an aligned table with one row per matrix (or sweep point),
+// summary geomeans, and an "EXPECTED (paper)" line quoting the published
+// result so the shape comparison is one glance.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sparse/suite.h"
+
+namespace recode::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+// "Fig 14" -> "fig14": CSV/file-friendly experiment ids.
+inline std::string slug(const std::string& figure) {
+  std::string out;
+  for (char c : figure) {
+    if (c == ' ') continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+inline void print_expected(const std::string& text) {
+  std::printf("EXPECTED (paper): %s\n", text.c_str());
+}
+
+// Suite options shared by the collection-wide benches (Figs 10-13).
+// Defaults are sized for a single-core CI host; --count=369 --max-nnz=8e8
+// reproduces the paper's full sweep given time.
+inline sparse::SuiteOptions suite_options_from_cli(Cli& cli,
+                                                   int default_count) {
+  sparse::SuiteOptions opts;
+  opts.count = static_cast<int>(cli.get_int(
+      "count", default_count,
+      "matrices in the synthetic TAMU-like collection (paper: 369)"));
+  opts.min_nnz = static_cast<std::size_t>(cli.get_int(
+      "min-nnz", 100000, "smallest matrix nnz (paper: 1e6)"));
+  opts.max_nnz = static_cast<std::size_t>(cli.get_int(
+      "max-nnz", 1000000, "largest matrix nnz (paper: 8e8)"));
+  opts.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", 2019, "suite generator seed"));
+  return opts;
+}
+
+// Representative-suite scale shared by the 7-matrix benches (Figs 12,
+// 14-17). scale=1 reproduces the published dimensions.
+inline double scale_from_cli(Cli& cli, double default_scale = 0.25) {
+  return cli.get_double(
+      "scale", default_scale,
+      "representative-matrix size scale in (0,1]; 1.0 = published dims");
+}
+
+}  // namespace recode::bench

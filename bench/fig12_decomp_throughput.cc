@@ -1,0 +1,63 @@
+// Fig 12 — Decompression throughput: 32-thread CPU (software Snappy) vs
+// 64-lane UDP (Delta-Snappy-Huffman on the cycle simulator), on the 7
+// representative matrices.
+//
+// Paper: the UDP reaches >20 GB/s, 2x-5x over the 32-thread CPU, at
+// 0.16 W instead of ~100 W. The CPU series scales a real host
+// measurement of this library's software Snappy decoder to the paper's
+// 32-thread Xeon (see cpu::CpuModel).
+#include "bench/bench_util.h"
+#include "core/system.h"
+#include "cpu/cpu_model.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = bench::scale_from_cli(cli);
+  const bool measure_host = cli.get_bool(
+      "measure-host", false,
+      "calibrate the CPU series from a host measurement instead of the "
+      "default Xeon-class constants");
+  cli.done();
+
+  bench::print_header("Fig 12",
+                      "decompression throughput: 32-thread CPU (Snappy) vs "
+                      "64-lane UDP (DSH)");
+
+  core::SystemConfig cfg;
+  const auto suite = sparse::representative_suite(scale);
+  if (measure_host) {
+    const auto host = cpu::measure_host_decode_throughput(suite[0].csr, 0.2);
+    cfg.cpu.snappy_decode_bps_1t = host.snappy_decode_bps;
+    cfg.cpu.dsh_decode_bps_1t = host.dsh_decode_bps;
+    std::printf("host single-thread rates: snappy %.2f GB/s, dsh %.2f GB/s\n",
+                host.snappy_decode_bps / 1e9, host.dsh_decode_bps / 1e9);
+  }
+  const core::HeterogeneousSystem sys(cfg);
+
+  Table table({"matrix", "nnz", "cpu 32T GB/s", "udp 64L GB/s", "udp/cpu",
+               "block us"});
+  StreamingStats cpu_rate, udp_rate, ratio;
+  for (const auto& m : suite) {
+    const auto p = sys.profile(m.name, m.csr, codec::PipelineConfig::udp_dsh());
+    const double cpu_bps = p.cpu_snappy_bps;
+    cpu_rate.add(cpu_bps / 1e9);
+    udp_rate.add(p.udp_throughput_bps / 1e9);
+    ratio.add(p.udp_throughput_bps / cpu_bps);
+    table.add_row({m.name, std::to_string(p.nnz),
+                   Table::num(cpu_bps / 1e9, 2),
+                   Table::num(p.udp_throughput_bps / 1e9, 2),
+                   Table::num(p.udp_throughput_bps / cpu_bps, 2),
+                   Table::num(p.udp_block_micros, 1)});
+  }
+  table.print();
+  std::printf("geomean: cpu %.2f GB/s, udp %.2f GB/s, speedup %.2fx\n",
+              cpu_rate.geomean(), udp_rate.geomean(), ratio.geomean());
+  std::printf("power: UDP 0.16 W per accelerator vs ~100 W CPU package\n");
+  bench::print_expected(
+      "UDP decompresses at >20 GB/s on the 7 matrices, 2x-5x over the "
+      "32-thread CPU (7x geomean over the full 369-matrix set), with a "
+      "~21.7 us geomean per 8 KB block.");
+  return 0;
+}

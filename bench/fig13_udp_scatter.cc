@@ -1,0 +1,49 @@
+// Fig 13 — Scatter of 64-lane UDP decompression throughput vs matrix
+// size over the synthetic collection, plus the per-block latency geomean
+// (paper: ~21.7 us per 8 KB block; ~7x geomean over the 32-thread CPU).
+#include "bench/bench_util.h"
+#include "core/system.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  auto opts = bench::suite_options_from_cli(cli, 48);
+  const auto sample_blocks = static_cast<std::size_t>(cli.get_int(
+      "sample-blocks", 12, "blocks cycle-simulated per matrix (0=all)"));
+  const bool points = cli.get_bool("points", true, "print scatter points");
+  cli.done();
+
+  bench::print_header(
+      "Fig 13", "64-lane UDP decompression throughput vs # non-zeros");
+
+  core::SystemConfig cfg;
+  cfg.udp_sample_blocks = sample_blocks;
+  const core::HeterogeneousSystem sys(cfg);
+
+  Table table({"matrix", "family", "nnz", "udp GB/s", "block us"});
+  StreamingStats rate, block_us, cpu_ratio;
+  sparse::for_each_suite_matrix(opts, [&](int, const sparse::NamedMatrix& m) {
+    const auto p = sys.profile(m.name, m.csr, codec::PipelineConfig::udp_dsh());
+    rate.add(p.udp_throughput_bps / 1e9);
+    block_us.add(p.udp_block_micros);
+    cpu_ratio.add(p.udp_throughput_bps / p.cpu_snappy_bps);
+    if (points) {
+      table.add_row({m.name, m.family, std::to_string(p.nnz),
+                     Table::num(p.udp_throughput_bps / 1e9, 2),
+                     Table::num(p.udp_block_micros, 1)});
+    }
+  });
+  if (points) table.print();
+  std::printf("\nmatrices: %zu\n", rate.count());
+  std::printf("UDP throughput geomean %.2f GB/s (min %.2f, max %.2f)\n",
+              rate.geomean(), rate.min(), rate.max());
+  std::printf("per-block latency geomean %.1f us (paper: ~21.7 us)\n",
+              block_us.geomean());
+  std::printf("UDP vs 32-thread CPU geomean %.2fx (paper: ~7x)\n",
+              cpu_ratio.geomean());
+  bench::print_expected(
+      "UDP throughput clusters in the tens of GB/s with no strong size "
+      "trend; geomean block decode ~21.7 us; ~7x geomean over the CPU.");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig 14 — CPU vs CPU-UDP SpMV performance on DDR4 (100 GB/s).
+#include "bench/spmv_fig.h"
+
+int main(int argc, char** argv) {
+  recode::Cli cli(argc, argv);
+  const double scale = recode::bench::scale_from_cli(cli);
+  const std::string csv_dir = cli.get_string(
+      "csv-dir", "", "directory to also write the series as CSV");
+  cli.done();
+  recode::bench::run_spmv_figure("Fig 14",
+                                 recode::mem::DramConfig::ddr4_100gbs(),
+                                 scale, csv_dir);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fig 15 — CPU vs CPU-UDP SpMV performance on HBM2 (1 TB/s).
+#include "bench/spmv_fig.h"
+
+int main(int argc, char** argv) {
+  recode::Cli cli(argc, argv);
+  const double scale = recode::bench::scale_from_cli(cli);
+  const std::string csv_dir = cli.get_string(
+      "csv-dir", "", "directory to also write the series as CSV");
+  cli.done();
+  recode::bench::run_spmv_figure("Fig 15",
+                                 recode::mem::DramConfig::hbm2_1tbs(), scale, csv_dir);
+  return 0;
+}

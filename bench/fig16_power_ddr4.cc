@@ -1,0 +1,15 @@
+// Fig 16 — Raw and net memory power savings for a 100 GB/s DDR4 system
+// (max memory power 80 W; the paper reports an average 51 W net saving).
+#include "bench/spmv_fig.h"
+
+int main(int argc, char** argv) {
+  recode::Cli cli(argc, argv);
+  const double scale = recode::bench::scale_from_cli(cli);
+  const std::string csv_dir = cli.get_string(
+      "csv-dir", "", "directory to also write the series as CSV");
+  cli.done();
+  recode::bench::run_power_figure(
+      "Fig 16", recode::mem::DramConfig::ddr4_100gbs(), scale,
+      /*expected_avg_saving_w=*/51.0, /*expected_max_power_w=*/80.0, csv_dir);
+  return 0;
+}

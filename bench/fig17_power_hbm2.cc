@@ -1,0 +1,15 @@
+// Fig 17 — Raw and net memory power savings for a 1 TB/s HBM2 system
+// (max memory power 64 W; the paper reports an average 33 W net saving).
+#include "bench/spmv_fig.h"
+
+int main(int argc, char** argv) {
+  recode::Cli cli(argc, argv);
+  const double scale = recode::bench::scale_from_cli(cli);
+  const std::string csv_dir = cli.get_string(
+      "csv-dir", "", "directory to also write the series as CSV");
+  cli.done();
+  recode::bench::run_power_figure(
+      "Fig 17", recode::mem::DramConfig::hbm2_1tbs(), scale,
+      /*expected_avg_saving_w=*/33.0, /*expected_max_power_w=*/64.0, csv_dir);
+  return 0;
+}

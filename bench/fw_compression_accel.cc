@@ -1,0 +1,90 @@
+// §VI-D — the UDP as a compression accelerator.
+//
+// The paper compares against PCIe/SoC compression engines: Microsoft
+// Xpress FPGA (2-5 GB/s), Intel QuickAssist chipsets (2-5 GB/s), IBM
+// PowerEN (1.5 GB/s). Here the Snappy *encoder* runs as a UDP program on
+// the cycle simulator over the representative matrices' raw blocks, and
+// the aggregate 64-lane rate is set against those fixed-function devices
+// — with the UDP keeping programmability and memory-side integration.
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "codec/snappy.h"
+#include "common/timer.h"
+#include "udp/accelerator.h"
+#include "udp/lane.h"
+#include "udpprog/snappy_encode_prog.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const double scale = bench::scale_from_cli(cli, 0.12);
+  const auto blocks_per_matrix = static_cast<std::size_t>(
+      cli.get_int("blocks", 12, "8 KB blocks simulated per matrix"));
+  cli.done();
+
+  bench::print_header("§VI-D", "UDP as a programmable compression engine");
+
+  const udp::Program program = udpprog::build_snappy_encode_program();
+  const udp::Layout layout(program);
+  udp::Lane lane(layout);
+  const codec::SnappyCodec sw;
+
+  Table table({"matrix", "blocks", "ratio", "1-lane MB/s", "64-lane GB/s"});
+  StreamingStats lane_rate;
+  for (const auto& m : sparse::representative_suite(scale)) {
+    std::uint64_t cycles = 0;
+    std::uint64_t in_bytes = 0;
+    std::uint64_t out_bytes = 0;
+    const std::size_t nblocks =
+        std::min(blocks_per_matrix, m.csr.nnz() / 1024 + 1);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      // Raw 8 KB value block (the stream the pipeline compresses).
+      const std::size_t first = b * 1024;
+      const std::size_t count = std::min<std::size_t>(1024, m.csr.nnz() - first);
+      if (count == 0) break;
+      codec::Bytes raw(count * 8);
+      std::memcpy(raw.data(), m.csr.val.data() + first, raw.size());
+
+      const std::pair<int, std::uint64_t> init[] = {
+          {udpprog::kSnappyEncCountReg, raw.size()}};
+      const auto& counters = lane.run(raw, init);
+      cycles += counters.cycles;
+      in_bytes += raw.size();
+      const auto end = lane.reg(udpprog::kSnappyEncOutReg);
+      out_bytes += end - udpprog::kSnappyEncOutBase;
+
+      // Validity: the UDP's output must decode to the input.
+      const auto scratch = lane.scratch();
+      const codec::Bytes enc(
+          scratch.begin() +
+              static_cast<std::ptrdiff_t>(udpprog::kSnappyEncOutBase),
+          scratch.begin() + static_cast<std::ptrdiff_t>(end));
+      if (sw.decode(enc) != raw) fail("udp encode produced a bad stream");
+    }
+    const double lane_bps =
+        1.6e9 * static_cast<double>(in_bytes) / static_cast<double>(cycles);
+    lane_rate.add(lane_bps);
+    table.add_row({m.name, std::to_string(blocks_per_matrix),
+                   Table::num(static_cast<double>(in_bytes) /
+                                  static_cast<double>(out_bytes),
+                              2),
+                   Table::num(lane_bps / 1e6, 0),
+                   Table::num(lane_bps * 64 / 1e9, 1)});
+  }
+  table.print();
+  std::printf("geomean 64-lane compression rate: %.1f GB/s at 0.16 W\n",
+              lane_rate.geomean() * 64 / 1e9);
+  Table ref({"device", "rate", "power", "programmable"});
+  ref.add_row({"IBM PowerEN (SoC)", "1.5 GB/s", "SoC budget", "no"});
+  ref.add_row({"Intel QuickAssist (PCIe)", "2-5 GB/s", "~20 W card", "no"});
+  ref.add_row({"Microsoft Xpress (FPGA)", "2-5 GB/s", "FPGA card", "limited"});
+  ref.add_row({"UDP 64-lane (this work)", "see above", "0.16 W", "yes"});
+  ref.print();
+  bench::print_expected(
+      "the UDP lands in (or above) the fixed-function accelerators' "
+      "throughput class while staying software-programmable and avoiding "
+      "the PCIe copy — §VI-D's three claimed advantages.");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the software codec hot paths:
+// these rates feed the CPU-baseline model, so tracking them matters.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "codec/delta.h"
+#include "codec/huffman.h"
+#include "codec/snappy.h"
+#include "common/prng.h"
+
+namespace recode::codec {
+namespace {
+
+Bytes structured_block(std::size_t size, std::uint64_t seed) {
+  // Delta-coded-index-like content: small repeating words.
+  recode::Prng prng(seed);
+  Bytes raw(size);
+  for (std::size_t i = 0; i < size; i += 4) {
+    const std::uint32_t v = 1 + static_cast<std::uint32_t>(prng.next_below(8));
+    std::memcpy(raw.data() + i, &v, std::min<std::size_t>(4, size - i));
+  }
+  return raw;
+}
+
+void BM_SnappyEncode(benchmark::State& state) {
+  const SnappyCodec codec;
+  const Bytes raw = structured_block(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(raw));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnappyEncode)->Arg(8192)->Arg(32768);
+
+void BM_SnappyDecode(benchmark::State& state) {
+  const SnappyCodec codec;
+  const Bytes raw = structured_block(static_cast<std::size_t>(state.range(0)), 2);
+  const Bytes enc = codec.encode(raw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(enc));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SnappyDecode)->Arg(8192)->Arg(32768);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const Bytes raw = structured_block(static_cast<std::size_t>(state.range(0)), 3);
+  const auto table =
+      std::make_shared<const HuffmanTable>(HuffmanTable::train(raw));
+  const HuffmanCodec codec(table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(raw));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HuffmanEncode)->Arg(8192);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const Bytes raw = structured_block(static_cast<std::size_t>(state.range(0)), 4);
+  const auto table =
+      std::make_shared<const HuffmanTable>(HuffmanTable::train(raw));
+  const HuffmanCodec codec(table);
+  const Bytes enc = codec.encode(raw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(enc));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(8192);
+
+void BM_DeltaEncode(benchmark::State& state) {
+  const DeltaCodec codec;
+  const Bytes raw = structured_block(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(raw));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DeltaEncode)->Arg(8192);
+
+void BM_DeltaDecode(benchmark::State& state) {
+  const DeltaCodec codec;
+  const Bytes raw = structured_block(static_cast<std::size_t>(state.range(0)), 6);
+  const Bytes enc = codec.encode(raw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.decode(enc));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DeltaDecode)->Arg(8192);
+
+}  // namespace
+}  // namespace recode::codec
+
+BENCHMARK_MAIN();

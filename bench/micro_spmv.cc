@@ -1,0 +1,86 @@
+// Microbenchmarks for the SpMV kernels and the recoded executor.
+#include <benchmark/benchmark.h>
+
+#include "codec/pipeline.h"
+#include "common/prng.h"
+#include "common/thread_pool.h"
+#include "sparse/generators.h"
+#include "spmv/kernels.h"
+#include "spmv/recoded.h"
+
+namespace recode::spmv {
+namespace {
+
+sparse::Csr bench_matrix(std::int64_t n) {
+  return sparse::gen_fem_like(static_cast<sparse::index_t>(n), 12,
+                              static_cast<sparse::index_t>(n / 50 + 8),
+                              sparse::ValueModel::kSmoothField, 7);
+}
+
+std::vector<double> bench_vector(std::size_t n) {
+  recode::Prng prng(3);
+  std::vector<double> x(n);
+  for (auto& v : x) v = prng.next_double();
+  return x;
+}
+
+void BM_SpmvCsrSerial(benchmark::State& state) {
+  const auto a = bench_matrix(state.range(0));
+  const auto x = bench_vector(static_cast<std::size_t>(a.cols));
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  for (auto _ : state) {
+    spmv_csr(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvCsrSerial)->Arg(10000)->Arg(50000);
+
+void BM_SpmvCsrParallel(benchmark::State& state) {
+  const auto a = bench_matrix(state.range(0));
+  const auto x = bench_vector(static_cast<std::size_t>(a.cols));
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  ThreadPool pool;
+  for (auto _ : state) {
+    spmv_csr_parallel(a, x, y, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvCsrParallel)->Arg(10000)->Arg(50000);
+
+void BM_SpmvCsrMerge(benchmark::State& state) {
+  const auto a = bench_matrix(state.range(0));
+  const auto x = bench_vector(static_cast<std::size_t>(a.cols));
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  ThreadPool pool;
+  for (auto _ : state) {
+    spmv_csr_merge(a, x, y, pool);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvCsrMerge)->Arg(10000)->Arg(50000);
+
+void BM_RecodedSpmvSoftware(benchmark::State& state) {
+  const auto a = bench_matrix(state.range(0));
+  const auto cm = codec::compress(a, codec::PipelineConfig::udp_dsh());
+  RecodedSpmv recoded(cm);
+  const auto x = bench_vector(static_cast<std::size_t>(a.cols));
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  for (auto _ : state) {
+    recoded.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_RecodedSpmvSoftware)->Arg(10000);
+
+}  // namespace
+}  // namespace recode::spmv
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Design-space explorer — interactive what-if tool over the system model.
+//
+// Sweeps the architecture knobs the paper fixes (memory system, UDP lane
+// count, pipeline stages, block size) for one matrix — generated or
+// loaded from a Matrix Market file — and prints the perf/power landscape
+// so a designer can see where the knee is for *their* data.
+//
+// Run: ./build/examples/design_explorer [--mtx path] [--n 40000]
+#include <cstdio>
+
+#include "codec/pipeline.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/system.h"
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string mtx =
+      cli.get_string("mtx", "", "Matrix Market file to explore (optional)");
+  const auto n = static_cast<sparse::index_t>(
+      cli.get_int("n", 40000, "generated matrix dimension when no --mtx"));
+  cli.done();
+
+  sparse::Csr a;
+  std::string name;
+  if (!mtx.empty()) {
+    a = sparse::coo_to_csr(sparse::read_matrix_market_file(mtx));
+    name = mtx;
+  } else {
+    a = sparse::gen_fem_like(n, 13, n / 100 + 8,
+                             sparse::ValueModel::kSmoothField, 5);
+    name = "fem-like (generated)";
+  }
+  std::printf("exploring %s: %d x %d, %zu nnz\n\n", name.c_str(), a.rows,
+              a.cols, a.nnz());
+
+  // --- pipeline-stage sweep at fixed hardware ---
+  {
+    std::printf("pipeline variants (100 GB/s DDR4, 64-lane UDP):\n");
+    const core::HeterogeneousSystem sys;
+    Table t({"pipeline", "B/nnz", "udp GB/s", "SpMV GF/s", "speedup",
+             "net power saving W"});
+    struct V {
+      const char* label;
+      codec::PipelineConfig cfg;
+    };
+    const V variants[] = {
+        {"snappy (32KB, CPU-style)", codec::PipelineConfig::cpu_snappy()},
+        {"delta+snappy (8KB)", codec::PipelineConfig::udp_ds()},
+        {"delta+snappy+huffman (8KB)", codec::PipelineConfig::udp_dsh()},
+    };
+    for (const auto& v : variants) {
+      const auto p = sys.profile(v.label, a, v.cfg);
+      const auto perf = sys.analyze_spmv(p);
+      const auto power = sys.analyze_power(p);
+      t.add_row({v.label, Table::num(p.bytes_per_nnz, 2),
+                 Table::num(p.udp_throughput_bps / 1e9, 1),
+                 Table::num(perf.decomp_udp_cpu, 1),
+                 Table::num(perf.speedup(), 2),
+                 Table::num(power.net_saving, 1)});
+    }
+    t.print();
+  }
+
+  // --- memory-system sweep at the paper's pipeline ---
+  {
+    std::printf("\nmemory systems (DSH pipeline):\n");
+    Table t({"memory", "max GF/s uncompressed", "GF/s with recoding",
+             "speedup", "max mem W", "net saving W"});
+    for (const auto& dram : {mem::DramConfig::ddr4_100gbs(),
+                             mem::DramConfig::hbm2_1tbs()}) {
+      core::SystemConfig cfg;
+      cfg.dram = dram;
+      const core::HeterogeneousSystem sys(cfg);
+      const auto p = sys.profile(dram.name, a, codec::PipelineConfig::udp_dsh());
+      const auto perf = sys.analyze_spmv(p);
+      const auto power = sys.analyze_power(p);
+      t.add_row({dram.name, Table::num(perf.max_uncompressed, 1),
+                 Table::num(perf.decomp_udp_cpu, 1),
+                 Table::num(perf.speedup(), 2),
+                 Table::num(power.max_memory_power, 0),
+                 Table::num(power.net_saving, 1)});
+    }
+    t.print();
+  }
+
+  // --- UDP pool sizing: accelerators needed to saturate each memory ---
+  {
+    std::printf("\nUDP provisioning (DSH pipeline):\n");
+    Table t({"memory", "UDP accelerators", "UDP W", "% of memory W",
+             "area vs one core+L1"});
+    for (const auto& dram : {mem::DramConfig::ddr4_100gbs(),
+                             mem::DramConfig::hbm2_1tbs()}) {
+      core::SystemConfig cfg;
+      cfg.dram = dram;
+      const core::HeterogeneousSystem sys(cfg);
+      const auto p = sys.profile(dram.name, a, codec::PipelineConfig::udp_dsh());
+      const auto power = sys.analyze_power(p);
+      t.add_row(
+          {dram.name, std::to_string(power.udp_accelerators),
+           Table::num(power.udp_power, 2),
+           Table::num(100.0 * power.udp_power / power.max_memory_power, 2) +
+               "%",
+           Table::num(power.udp_accelerators *
+                          udp::AcceleratorConfig::kAreaVsXeonCoreL1,
+                      1) +
+               "x"});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Graph analytics scenario — PageRank over a power-law web/social graph
+// stored as a compressed sparse adjacency matrix (the paper's graph
+// motivation, §II-A: real-world graph datasets are extremely sparse).
+//
+// Each PageRank iteration is one SpMV with the column-normalized
+// adjacency; the matrix is kept compressed in memory and recoded on the
+// fly, so the per-iteration DRAM traffic shrinks by the compression
+// ratio.
+//
+// Run: ./build/examples/graph_pagerank [--nodes 200000] [--avg-degree 12]
+#include <cmath>
+#include <numeric>
+#include <cstdio>
+#include <vector>
+
+#include "codec/pipeline.h"
+#include "common/cli.h"
+#include "core/system.h"
+#include "sparse/generators.h"
+#include "spmv/recoded.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto nodes = static_cast<sparse::index_t>(
+      cli.get_int("nodes", 200000, "graph nodes"));
+  const double avg_degree =
+      cli.get_double("avg-degree", 12.0, "average out-degree");
+  const double damping = cli.get_double("damping", 0.85, "damping factor");
+  const double tol = cli.get_double("tol", 1e-9, "L1 convergence tolerance");
+  cli.done();
+
+  // Power-law graph, alpha 0.7: a few hubs, long tail.
+  sparse::Csr adj = sparse::gen_powerlaw(nodes, avg_degree, 0.7,
+                                         sparse::ValueModel::kUnit, 7);
+  std::printf("graph: %d nodes, %zu edges (power-law degrees)\n", adj.rows,
+              adj.nnz());
+
+  // PageRank iterates x <- d * M x + (1-d)/n, where M is the transposed
+  // column-stochastic adjacency. Build M^T = normalize-rows(adj), then
+  // transpose, so each iteration is a plain CSR SpMV.
+  std::vector<double> out_degree(static_cast<std::size_t>(adj.rows), 0.0);
+  for (sparse::index_t r = 0; r < adj.rows; ++r) {
+    out_degree[static_cast<std::size_t>(r)] =
+        static_cast<double>(adj.row_ptr[r + 1] - adj.row_ptr[r]);
+  }
+  for (sparse::index_t r = 0; r < adj.rows; ++r) {
+    for (sparse::offset_t k = adj.row_ptr[r]; k < adj.row_ptr[r + 1]; ++k) {
+      adj.val[k] = 1.0 / out_degree[static_cast<std::size_t>(r)];
+    }
+  }
+  const sparse::Csr m = sparse::transpose(adj);
+
+  const auto cm = codec::compress(m, codec::PipelineConfig::udp_dsh());
+  std::printf("adjacency compressed to %.2f bytes/edge (12.00 baseline)\n",
+              cm.bytes_per_nnz());
+  spmv::RecodedSpmv op(cm);
+
+  const auto n = static_cast<std::size_t>(m.rows);
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n)), next(n);
+  int iters = 0;
+  double delta = 1.0;
+  // Dangling nodes (zero out-degree) redistribute uniformly.
+  std::vector<bool> dangling(n);
+  for (std::size_t i = 0; i < n; ++i) dangling[i] = out_degree[i] == 0.0;
+  while (delta > tol && iters < 200) {
+    op.multiply(rank, next);
+    double dangling_mass = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dangling[i]) dangling_mass += rank[i];
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling_mass / static_cast<double>(n);
+    delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = base + damping * next[i];
+      delta += std::abs(v - rank[i]);
+      rank[i] = v;
+    }
+    ++iters;
+  }
+
+  // Report the top-ranked nodes (hubs should dominate a power-law graph).
+  std::vector<std::size_t> top(5, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t t = 0; t < top.size(); ++t) {
+      if (rank[i] > rank[top[t]]) {
+        for (std::size_t u = top.size() - 1; u > t; --u) top[u] = top[u - 1];
+        top[t] = i;
+        break;
+      }
+    }
+  }
+  std::printf("PageRank converged in %d iterations (L1 delta %.1e)\n", iters,
+              delta);
+  std::printf("top nodes:");
+  for (std::size_t t : top) std::printf(" %zu(%.2e)", t, rank[t]);
+  std::printf("\n");
+
+  const double sum =
+      std::accumulate(rank.begin(), rank.end(), 0.0);
+  std::printf("rank mass: %.6f (should be ~1)\n", sum);
+
+  const double compressed_gb =
+      static_cast<double>(op.compressed_bytes_streamed()) / 1e9;
+  const double uncompressed_gb = static_cast<double>(op.blocks_decoded()) /
+                                 cm.blocks.size() *
+                                 static_cast<double>(m.nnz()) * 12.0 / 1e9;
+  std::printf("\nadjacency traffic across %d iterations: %.3f GB "
+              "compressed vs %.3f GB raw (%.1f%% less data moved)\n",
+              iters, compressed_gb, uncompressed_gb,
+              100.0 * (1.0 - compressed_gb / uncompressed_gb));
+
+  const core::HeterogeneousSystem sys;
+  const auto perf =
+      sys.analyze_spmv(sys.profile_compressed("pagerank", &m, cm));
+  std::printf("modeled DDR4 speedup per iteration with CPU-UDP recoding: "
+              "%.2fx\n",
+              perf.speedup());
+  return 0;
+}

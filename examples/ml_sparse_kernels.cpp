@@ -1,0 +1,114 @@
+// Machine-learning scenario — kernelized SVM scoring over sparse feature
+// vectors (the paper's ML motivation, §II-A: SpMV is the core of sparse
+// PCA and kernel SVM classification).
+//
+// A sparse dataset X (documents x features, Netflix-style sparsity)
+// stays compressed in memory. Scoring a batch of support vectors
+// computes the Gram rows  k_i = X s_i  via recoded SpMV, then applies an
+// RBF kernel using ||x||^2 precomputed the same way.
+//
+// Run: ./build/examples/ml_sparse_kernels [--rows 100000] [--features 20000]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "codec/pipeline.h"
+#include "common/cli.h"
+#include "common/prng.h"
+#include "core/system.h"
+#include "sparse/generators.h"
+#include "spmv/kernels.h"
+#include "spmv/recoded.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto rows = static_cast<sparse::index_t>(
+      cli.get_int("rows", 100000, "dataset rows (samples)"));
+  const auto features = static_cast<sparse::index_t>(
+      cli.get_int("features", 20000, "feature dimension"));
+  const auto nnz = static_cast<std::size_t>(cli.get_int(
+      "nnz", 2000000, "non-zero feature values in the dataset"));
+  const auto support =
+      static_cast<int>(cli.get_int("support", 8, "support vectors scored"));
+  const double gamma = cli.get_double("gamma", 0.05, "RBF gamma");
+  cli.done();
+
+  // Sparse dataset: uniformly scattered non-zeros with a palette of
+  // quantized feature values (TF-IDF-like).
+  const sparse::Csr x = sparse::gen_random(rows, features, nnz,
+                                           sparse::ValueModel::kFewDistinct, 9);
+  std::printf("dataset: %d samples x %d features, %zu non-zeros "
+              "(density %.4f%%)\n",
+              x.rows, x.cols, x.nnz(),
+              100.0 * static_cast<double>(x.nnz()) /
+                  (static_cast<double>(x.rows) * x.cols));
+
+  const auto cm = codec::compress(x, codec::PipelineConfig::udp_dsh());
+  std::printf("compressed to %.2f bytes/nnz\n", cm.bytes_per_nnz());
+  spmv::RecodedSpmv op(cm);
+
+  // ||x_i||^2 for every sample: one pass over the matrix.
+  std::vector<double> row_norm2(static_cast<std::size_t>(x.rows), 0.0);
+  for (sparse::index_t r = 0; r < x.rows; ++r) {
+    for (sparse::offset_t k = x.row_ptr[r]; k < x.row_ptr[r + 1]; ++k) {
+      row_norm2[static_cast<std::size_t>(r)] += x.val[k] * x.val[k];
+    }
+  }
+
+  // Score `support` random sparse support vectors.
+  Prng prng(11);
+  std::vector<double> s(static_cast<std::size_t>(x.cols));
+  std::vector<double> dots(static_cast<std::size_t>(x.rows));
+  std::vector<double> scores(static_cast<std::size_t>(x.rows), 0.0);
+  double checksum = 0.0;
+  for (int v = 0; v < support; ++v) {
+    std::fill(s.begin(), s.end(), 0.0);
+    double s_norm2 = 0.0;
+    for (int j = 0; j < 64; ++j) {  // 64 active features per support vector
+      const auto f = prng.next_below(static_cast<std::uint64_t>(x.cols));
+      const double w = prng.next_double() * 2.0 - 1.0;
+      s[f] = w;
+      s_norm2 += w * w;
+    }
+    op.multiply(s, dots);  // k = X s via recoded SpMV
+    const double alpha = prng.next_double() * 2.0 - 1.0;
+    for (std::size_t i = 0; i < dots.size(); ++i) {
+      const double d2 = row_norm2[i] - 2.0 * dots[i] + s_norm2;
+      scores[i] += alpha * std::exp(-gamma * d2);
+    }
+    checksum += dots[dots.size() / 2];
+  }
+
+  // Verify one support-vector product against the plain CSR kernel.
+  std::vector<double> dots_ref(dots.size());
+  spmv::spmv_csr(x, s, dots_ref);
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < dots.size(); ++i) {
+    max_err = std::max(max_err, std::abs(dots[i] - dots_ref[i]));
+  }
+  std::printf("scored %d support vectors; max |recoded - plain| on the "
+              "last Gram row: %.3g (checksum %.6f)\n",
+              support, max_err, checksum);
+
+  // Score distribution: most samples share no features with any support
+  // vector, so their scores collapse onto a common baseline curve.
+  double smin = scores[0], smax = scores[0], ssum = 0.0;
+  for (double v : scores) {
+    smin = std::min(smin, v);
+    smax = std::max(smax, v);
+    ssum += v;
+  }
+  std::printf("decision scores: mean %.3e, range [%.3e, %.3e]\n",
+              ssum / static_cast<double>(scores.size()), smin, smax);
+
+  const core::HeterogeneousSystem sys;
+  const auto perf =
+      sys.analyze_spmv(sys.profile_compressed("svm", &x, cm));
+  std::printf("\nmodeled DDR4: scoring throughput %.2fx the uncompressed "
+              "system — each support vector streams %.2f instead of 12 "
+              "bytes per stored feature\n",
+              perf.speedup(), cm.bytes_per_nnz());
+  return 0;
+}

@@ -1,0 +1,113 @@
+// PDE solver scenario — conjugate gradient on a 2D Poisson problem with
+// the matrix stored compressed and decompressed block-by-block inside
+// every SpMV (the paper's scientific-computing motivation, §II-A).
+//
+// Solves  A u = b  where A is the 5-point Laplacian on an nx x ny grid.
+// Every CG iteration streams the compressed matrix once; the example
+// reports the data-movement saving that recoding buys across the whole
+// solve, plus the modeled wall-clock on DDR4.
+//
+// Run: ./build/examples/pde_cg_solver [--nx 300] [--ny 300] [--tol 1e-8]
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "codec/pipeline.h"
+#include "common/cli.h"
+#include "core/system.h"
+#include "sparse/generators.h"
+#include "spmv/recoded.h"
+
+using namespace recode;
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto nx = static_cast<sparse::index_t>(
+      cli.get_int("nx", 200, "grid points in x"));
+  const auto ny = static_cast<sparse::index_t>(
+      cli.get_int("ny", 200, "grid points in y"));
+  const double tol = cli.get_double("tol", 1e-7, "relative residual target");
+  const auto max_iters =
+      static_cast<int>(cli.get_int("max-iters", 2000, "iteration cap"));
+  cli.done();
+
+  // 5-point Laplacian, SPD with the standard stencil coefficients.
+  sparse::Csr a =
+      sparse::gen_stencil2d(nx, ny, sparse::ValueModel::kStencilCoeffs, 1);
+  // Make it diagonally dominant SPD: center 4, neighbors -1.
+  for (sparse::index_t r = 0; r < a.rows; ++r) {
+    for (sparse::offset_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      a.val[k] = a.col_idx[k] == r ? 4.0 : -1.0;
+    }
+  }
+  const auto n = static_cast<std::size_t>(a.rows);
+  std::printf("2D Poisson: %d x %d grid -> n = %zu, nnz = %zu\n", nx, ny, n,
+              a.nnz());
+
+  const auto cm = codec::compress(a, codec::PipelineConfig::udp_dsh());
+  std::printf("matrix compressed to %.2f bytes/nnz (12.00 uncompressed)\n",
+              cm.bytes_per_nnz());
+  spmv::RecodedSpmv op(cm);
+
+  // b = A * ones, so the exact solution is all-ones — easy to check.
+  std::vector<double> ones(n, 1.0), b(n);
+  op.multiply(ones, b);
+
+  // Conjugate gradient with the recoded operator.
+  std::vector<double> u(n, 0.0), r = b, p = r, ap(n);
+  double rr = dot(r, r);
+  const double rr0 = rr;
+  int iters = 0;
+  for (; iters < max_iters && std::sqrt(rr / rr0) > tol; ++iters) {
+    op.multiply(p, ap);
+    const double alpha = rr / dot(p, ap);
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  double max_err = 0;
+  for (double v : u) max_err = std::max(max_err, std::abs(v - 1.0));
+  std::printf("CG stopped after %d iterations, ||r||/||r0|| = %.2e, "
+              "max |u - 1| = %.2e\n",
+              iters, std::sqrt(rr / rr0), max_err);
+
+  // Data-movement accounting across the solve.
+  const double compressed_gb =
+      static_cast<double>(op.compressed_bytes_streamed()) / 1e9;
+  const double uncompressed_gb =
+      static_cast<double>(op.blocks_decoded()) / cm.blocks.size() *
+      static_cast<double>(a.nnz()) * 12.0 / 1e9;
+  std::printf("\nmatrix traffic over the whole solve: %.3f GB compressed "
+              "vs %.3f GB uncompressed (%.1f%% saved)\n",
+              compressed_gb, uncompressed_gb,
+              100.0 * (1.0 - compressed_gb / uncompressed_gb));
+
+  const core::HeterogeneousSystem sys;
+  const auto profile = sys.profile_compressed("poisson", &a, cm);
+  const auto perf = sys.analyze_spmv(profile);
+  const double spmv_s_unc = static_cast<double>(a.nnz()) * 2.0 /
+                            (perf.max_uncompressed * 1e9);
+  const double spmv_s_udp = static_cast<double>(a.nnz()) * 2.0 /
+                            (perf.decomp_udp_cpu * 1e9);
+  std::printf("modeled DDR4 time per SpMV: %.1f us uncompressed -> %.1f us "
+              "with CPU-UDP recoding; %.2fx faster solve at the same "
+              "memory system\n",
+              spmv_s_unc * 1e6, spmv_s_udp * 1e6, perf.speedup());
+  return 0;
+}

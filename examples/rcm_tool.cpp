@@ -1,0 +1,131 @@
+// rcm_tool — command-line utility around the ".rcm" compressed-matrix
+// container: compress a Matrix Market file (or a generated matrix),
+// inspect a container, verify it on the UDP simulator, or decompress
+// back to Matrix Market.
+//
+//   rcm_tool --mode=compress   --mtx in.mtx --out m.rcm [--pipeline dsh|ds|snappy|vsh|auto]
+//   rcm_tool --mode=info       --rcm m.rcm
+//   rcm_tool --mode=verify     --rcm m.rcm [--udp]
+//   rcm_tool --mode=decompress --rcm m.rcm --out out.mtx
+//
+// With no --mtx, compress generates a demo FEM-like matrix first.
+#include <cstdio>
+
+#include "codec/container.h"
+#include "codec/selector.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "sparse/generators.h"
+#include "sparse/matrix_market.h"
+#include "sparse/stats.h"
+#include "udpprog/matrix_decoder.h"
+
+using namespace recode;
+
+namespace {
+
+codec::PipelineConfig pipeline_by_name(const std::string& name,
+                                       const sparse::Csr& csr) {
+  if (name == "dsh") return codec::PipelineConfig::udp_dsh();
+  if (name == "ds") return codec::PipelineConfig::udp_ds();
+  if (name == "snappy") return codec::PipelineConfig::cpu_snappy();
+  if (name == "vsh") return codec::PipelineConfig::udp_vsh();
+  if (name == "auto") return codec::select_pipeline(csr);
+  fail("unknown --pipeline: " + name + " (dsh|ds|snappy|vsh|auto)");
+}
+
+int mode_compress(const std::string& mtx, const std::string& out,
+                  const std::string& pipeline) {
+  sparse::Csr csr;
+  if (mtx.empty()) {
+    std::printf("no --mtx given; generating a demo FEM-like matrix\n");
+    csr = sparse::gen_fem_like(30000, 13, 300,
+                               sparse::ValueModel::kSmoothField, 1);
+  } else {
+    csr = sparse::coo_to_csr(sparse::read_matrix_market_file(mtx));
+  }
+  const auto cfg = pipeline_by_name(pipeline, csr);
+  const auto cm = codec::compress(csr, cfg);
+  codec::write_compressed_file(out, cm);
+  std::printf("%s: %d x %d, %zu nnz -> %s\n",
+              mtx.empty() ? "generated" : mtx.c_str(), csr.rows, csr.cols,
+              csr.nnz(), out.c_str());
+  std::printf("pipeline: index=%s snappy=%d huffman=%d, %zu blocks of %zu "
+              "nnz\n",
+              codec::transform_name(cfg.index_transform), cfg.snappy,
+              cfg.huffman, cm.blocks.size(), cfg.nnz_per_block);
+  std::printf("%.2f bytes/nnz (%.1f%% of 12 B/nnz CSR)\n", cm.bytes_per_nnz(),
+              100.0 * cm.bytes_per_nnz() / 12.0);
+  return 0;
+}
+
+int mode_info(const std::string& rcm) {
+  const auto cm = codec::read_compressed_file(rcm);
+  Table t({"field", "value"});
+  t.add_row({"rows", std::to_string(cm.rows)});
+  t.add_row({"cols", std::to_string(cm.cols)});
+  t.add_row({"nnz", std::to_string(cm.nnz())});
+  t.add_row({"blocks", std::to_string(cm.blocks.size())});
+  t.add_row({"nnz/block", std::to_string(cm.config.nnz_per_block)});
+  t.add_row({"index transform",
+             codec::transform_name(cm.config.index_transform)});
+  t.add_row({"value transform",
+             codec::transform_name(cm.config.value_transform)});
+  t.add_row({"snappy", cm.config.snappy ? "yes" : "no"});
+  t.add_row({"huffman", cm.config.huffman ? "yes" : "no"});
+  t.add_row({"stream bytes", std::to_string(cm.stream_bytes())});
+  t.add_row({"bytes/nnz", Table::num(cm.bytes_per_nnz(), 3)});
+  t.print();
+  return 0;
+}
+
+int mode_verify(const std::string& rcm, bool udp) {
+  const auto cm = codec::read_compressed_file(rcm);
+  const sparse::Csr csr = codec::decompress(cm);  // throws on corruption
+  csr.validate();
+  std::printf("software decode: OK (%zu nnz, %zu blocks)\n", csr.nnz(),
+              cm.blocks.size());
+  if (udp) {
+    udpprog::MatrixDecodeOptions opts;
+    opts.max_sampled_blocks = 32;
+    const auto result = udpprog::simulate_matrix_decode(cm, &csr, opts);
+    std::printf("UDP simulator: OK (%zu blocks simulated, %.1f us/block, "
+                "%.1f GB/s on 64 lanes)\n",
+                result.simulated_blocks, result.mean_block_micros,
+                result.throughput_bytes_per_sec / 1e9);
+  }
+  return 0;
+}
+
+int mode_decompress(const std::string& rcm, const std::string& out) {
+  const auto cm = codec::read_compressed_file(rcm);
+  const sparse::Csr csr = codec::decompress(cm);
+  sparse::write_matrix_market_file(out, sparse::csr_to_coo(csr));
+  std::printf("%s -> %s (%zu nnz)\n", rcm.c_str(), out.c_str(), csr.nnz());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string mode = cli.get_string(
+      "mode", "compress", "compress | info | verify | decompress");
+  const std::string mtx =
+      cli.get_string("mtx", "", "Matrix Market input (compress)");
+  const std::string rcm =
+      cli.get_string("rcm", "", "container input (info/verify/decompress)");
+  const std::string out =
+      cli.get_string("out", "matrix.rcm", "output path");
+  const std::string pipeline = cli.get_string(
+      "pipeline", "dsh", "dsh | ds | snappy | vsh | auto (compress)");
+  const bool udp =
+      cli.get_bool("udp", false, "also verify on the UDP simulator");
+  cli.done();
+
+  if (mode == "compress") return mode_compress(mtx, out, pipeline);
+  if (mode == "info") return mode_info(rcm);
+  if (mode == "verify") return mode_verify(rcm, udp);
+  if (mode == "decompress") return mode_decompress(rcm, out);
+  fail("unknown --mode: " + mode);
+}

@@ -1,0 +1,71 @@
+// udp_inspect — dumps the codec programs that run on the UDP: per-program
+// summaries (states, arcs, dispatch-table slots, EffCLiP density,
+// max fanout) and optionally the full disassembly of one program.
+//
+//   udp_inspect                   # summary table of all codec programs
+//   udp_inspect --disasm delta    # full listing (delta | varint | snappy |
+//                                 #   snappy-enc | huffman | huffman-enc)
+#include <cstdio>
+
+#include "codec/huffman.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "udp/disasm.h"
+#include "udpprog/delta_prog.h"
+#include "udpprog/encode_progs.h"
+#include "udpprog/huffman_prog.h"
+#include "udpprog/snappy_encode_prog.h"
+#include "udpprog/snappy_prog.h"
+#include "udpprog/varint_delta_prog.h"
+
+using namespace recode;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string disasm = cli.get_string(
+      "disasm", "", "program to fully disassemble (empty = summaries only)");
+  cli.done();
+
+  // A representative trained Huffman table for the table-specialized
+  // programs (the shape is what matters here, not the exact data).
+  Prng prng(1);
+  codec::Bytes sample(8192);
+  for (auto& b : sample) b = static_cast<std::uint8_t>(prng.next_below(32));
+  const codec::HuffmanTable table = codec::HuffmanTable::train(sample);
+
+  struct Entry {
+    const char* name;
+    udp::Program program;
+  };
+  Entry entries[] = {
+      {"delta-decode", udpprog::build_delta_decode_program()},
+      {"varint-delta-decode", udpprog::build_varint_delta_decode_program()},
+      {"snappy-decode", udpprog::build_snappy_decode_program()},
+      {"huffman-decode", udpprog::build_huffman_decode_program(table)},
+      {"delta-encode", udpprog::build_delta_encode_program()},
+      {"snappy-encode", udpprog::build_snappy_encode_program()},
+      {"huffman-encode", udpprog::build_huffman_encode_program(table)},
+  };
+
+  std::printf("UDP codec programs (dispatch-table layout by EffCLiP):\n");
+  for (const auto& e : entries) {
+    const udp::Layout layout(e.program);
+    std::printf("%s\n",
+                udp::format_summary(e.name, udp::summarize(layout)).c_str());
+  }
+
+  if (!disasm.empty()) {
+    const udp::Program* selected = nullptr;
+    for (const auto& e : entries) {
+      if (disasm == e.name ||
+          std::string(e.name).find(disasm) != std::string::npos) {
+        selected = &e.program;
+        break;
+      }
+    }
+    if (selected == nullptr) fail("unknown program: " + disasm);
+    std::printf("\n%s\n", udp::disassemble(*selected).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Byte-stream codec interface.
+//
+// All recoding stages (delta, Snappy, Huffman) operate on byte buffers so
+// they can be composed into the paper's Delta->Snappy->Huffman pipeline and
+// mirrored 1:1 by the UDP programs in src/udpprog.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace recode::codec {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+// Stateless codec over byte buffers. Implementations throw recode::Error
+// on malformed input to decode().
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual std::string name() const = 0;
+  virtual Bytes encode(ByteSpan input) const = 0;
+  virtual Bytes decode(ByteSpan input) const = 0;
+};
+
+}  // namespace recode::codec

@@ -1,0 +1,193 @@
+#include "codec/container.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/varint.h"
+
+namespace recode::codec {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'C', 'M', '1'};
+
+void put_bytes(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+template <typename T>
+void put_pod(std::ostream& out, T v) {
+  put_bytes(out, &v, sizeof(v));
+}
+
+void put_varint(std::ostream& out, std::uint64_t v) {
+  Bytes buf;
+  varint_append(buf, v);
+  put_bytes(out, buf.data(), buf.size());
+}
+
+void put_blob(std::ostream& out, const Bytes& data) {
+  put_varint(out, data.size());
+  put_bytes(out, data.data(), data.size());
+}
+
+void get_bytes(std::istream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(in.gcount()) != size) {
+    fail("rcm: truncated container");
+  }
+}
+
+template <typename T>
+T get_pod(std::istream& in) {
+  T v;
+  get_bytes(in, &v, sizeof(v));
+  return v;
+}
+
+std::uint64_t get_varint(std::istream& in) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) fail("rcm: truncated varint");
+    if (shift >= 64) fail("rcm: overlong varint");
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Bytes get_blob(std::istream& in) {
+  const std::uint64_t size = get_varint(in);
+  Bytes data(size);
+  get_bytes(in, data.data(), data.size());
+  return data;
+}
+
+}  // namespace
+
+void write_compressed(std::ostream& out, const CompressedMatrix& cm) {
+  put_bytes(out, kMagic, 4);
+  put_pod<std::uint32_t>(out, kContainerVersion);
+  put_pod<std::int32_t>(out, cm.rows);
+  put_pod<std::int32_t>(out, cm.cols);
+  put_pod<std::uint64_t>(out, cm.config.nnz_per_block);
+  put_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cm.config.index_transform));
+  put_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cm.config.value_transform));
+  put_pod<std::uint8_t>(out, cm.config.snappy ? 1 : 0);
+  put_pod<std::uint8_t>(out, cm.config.huffman ? 1 : 0);
+  put_pod<double>(out, cm.config.huffman_sample_fraction);
+  put_pod<std::uint64_t>(out, cm.config.sample_seed);
+
+  // row_ptr as varint first-differences (monotone, so deltas are >= 0).
+  put_varint(out, cm.row_ptr.size());
+  sparse::offset_t prev = 0;
+  for (const sparse::offset_t p : cm.row_ptr) {
+    RECODE_CHECK(p >= prev);
+    put_varint(out, static_cast<std::uint64_t>(p - prev));
+    prev = p;
+  }
+
+  if (cm.config.huffman) {
+    RECODE_CHECK(cm.index_table && cm.value_table);
+    const Bytes it = cm.index_table->serialize();
+    const Bytes vt = cm.value_table->serialize();
+    put_bytes(out, it.data(), it.size());
+    put_bytes(out, vt.data(), vt.size());
+  }
+
+  put_varint(out, cm.blocks.size());
+  for (const auto& b : cm.blocks) {
+    put_blob(out, b.index_data);
+    put_blob(out, b.value_data);
+  }
+  if (!out) fail("rcm: write failed");
+}
+
+CompressedMatrix read_compressed(std::istream& in) {
+  char magic[4];
+  get_bytes(in, magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) fail("rcm: bad magic");
+  const auto version = get_pod<std::uint32_t>(in);
+  if (version != kContainerVersion) {
+    fail("rcm: unsupported version " + std::to_string(version));
+  }
+
+  CompressedMatrix cm;
+  cm.rows = get_pod<std::int32_t>(in);
+  cm.cols = get_pod<std::int32_t>(in);
+  if (cm.rows < 0 || cm.cols < 0) fail("rcm: negative dimensions");
+  cm.config.nnz_per_block = get_pod<std::uint64_t>(in);
+  if (cm.config.nnz_per_block == 0) fail("rcm: zero block size");
+  const auto it_raw = get_pod<std::uint8_t>(in);
+  const auto vt_raw = get_pod<std::uint8_t>(in);
+  if (it_raw > 2 || vt_raw > 2) fail("rcm: unknown transform");
+  cm.config.index_transform = static_cast<Transform>(it_raw);
+  cm.config.value_transform = static_cast<Transform>(vt_raw);
+  cm.config.snappy = get_pod<std::uint8_t>(in) != 0;
+  cm.config.huffman = get_pod<std::uint8_t>(in) != 0;
+  cm.config.huffman_sample_fraction = get_pod<double>(in);
+  cm.config.sample_seed = get_pod<std::uint64_t>(in);
+
+  const std::uint64_t row_count = get_varint(in);
+  if (row_count != static_cast<std::uint64_t>(cm.rows) + 1) {
+    fail("rcm: row_ptr count mismatch");
+  }
+  cm.row_ptr.resize(row_count);
+  sparse::offset_t acc = 0;
+  for (auto& p : cm.row_ptr) {
+    acc += static_cast<sparse::offset_t>(get_varint(in));
+    p = acc;
+  }
+  if (!cm.row_ptr.empty() && cm.row_ptr.front() != 0) {
+    fail("rcm: row_ptr must start at 0");
+  }
+
+  if (cm.config.huffman) {
+    Bytes it(128), vt(128);
+    get_bytes(in, it.data(), it.size());
+    get_bytes(in, vt.data(), vt.size());
+    cm.index_table =
+        std::make_shared<const HuffmanTable>(HuffmanTable::deserialize(it));
+    cm.value_table =
+        std::make_shared<const HuffmanTable>(HuffmanTable::deserialize(vt));
+  }
+
+  const std::uint64_t block_count = get_varint(in);
+  cm.blocking =
+      sparse::make_blocking(std::span<const sparse::offset_t>(cm.row_ptr),
+                            cm.config.nnz_per_block);
+  if (block_count != cm.blocking.block_count()) {
+    fail("rcm: block count disagrees with row_ptr/nnz_per_block");
+  }
+  cm.blocks.resize(block_count);
+  for (auto& b : cm.blocks) {
+    b.index_data = get_blob(in);
+    b.value_data = get_blob(in);
+  }
+  for (const auto& b : cm.blocks) {
+    cm.index_stages.after_huffman += b.index_data.size();
+    cm.value_stages.after_huffman += b.value_data.size();
+  }
+  return cm;
+}
+
+void write_compressed_file(const std::string& path,
+                           const CompressedMatrix& cm) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("rcm: cannot open for write: " + path);
+  write_compressed(out, cm);
+}
+
+CompressedMatrix read_compressed_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("rcm: cannot open: " + path);
+  return read_compressed(in);
+}
+
+}  // namespace recode::codec

@@ -1,0 +1,37 @@
+// On-disk container for compressed matrices (".rcm").
+//
+// Persists everything decompress() needs: dimensions, pipeline config,
+// the trained Huffman tables, the (varint-delta coded) row_ptr, and the
+// per-block compressed streams. Compress once offline, mmap/stream at
+// run time — the deployment model the paper assumes (matrices are
+// compressed ahead of time; only decompression is on the critical path).
+//
+// Layout (little-endian):
+//   magic "RCM1" | u32 version
+//   i32 rows | i32 cols | u64 nnz_per_block
+//   u8 index_transform | u8 value_transform | u8 snappy | u8 huffman
+//   f64 huffman_sample_fraction | u64 sample_seed
+//   varint row count, then varint deltas of row_ptr
+//   [if huffman] 128 B index table | 128 B value table
+//   varint block count, then per block:
+//     varint index bytes | data | varint value bytes | data
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "codec/pipeline.h"
+
+namespace recode::codec {
+
+inline constexpr std::uint32_t kContainerVersion = 1;
+
+void write_compressed(std::ostream& out, const CompressedMatrix& cm);
+void write_compressed_file(const std::string& path,
+                           const CompressedMatrix& cm);
+
+// Throws recode::Error on bad magic, version, or truncation.
+CompressedMatrix read_compressed(std::istream& in);
+CompressedMatrix read_compressed_file(const std::string& path);
+
+}  // namespace recode::codec

@@ -1,0 +1,214 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/bitio.h"
+#include "common/error.h"
+#include "common/varint.h"
+
+namespace recode::codec {
+
+namespace {
+
+// Plain Huffman tree build; returns per-symbol code lengths.
+std::array<std::uint8_t, 256> huffman_lengths(
+    const std::array<std::uint64_t, 256>& freq) {
+  struct Node {
+    std::uint64_t weight;
+    int left;    // -1 for leaf
+    int right;
+    int symbol;  // leaf only
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(512);
+  using HeapItem = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (int s = 0; s < 256; ++s) {
+    nodes.push_back({freq[s], -1, -1, s});
+    heap.emplace(freq[s], s);
+  }
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, a, b, -1});
+    heap.emplace(wa + wb, static_cast<int>(nodes.size()) - 1);
+  }
+  std::array<std::uint8_t, 256> lengths{};
+  // Iterative DFS carrying depth.
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.left < 0) {
+      lengths[static_cast<std::size_t>(n.symbol)] =
+          static_cast<std::uint8_t>(std::max(depth, 1));
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanTable::HuffmanTable() {
+  lengths_.fill(8);  // uniform byte code
+  assign_canonical_codes();
+  build_decode_table();
+}
+
+HuffmanTable HuffmanTable::build(
+    const std::array<std::uint64_t, 256>& histogram) {
+  // Add-one smoothing keeps every symbol encodable even when the training
+  // sample (a fraction of the matrix's blocks) missed it.
+  std::array<std::uint64_t, 256> freq;
+  for (int s = 0; s < 256; ++s) freq[s] = histogram[s] + 1;
+
+  // Length-limit by flattening: halving the dynamic range of the weights
+  // until the deepest leaf fits in kMaxCodeLen. Converges in a few rounds
+  // and is near-optimal for byte alphabets.
+  HuffmanTable t;
+  for (;;) {
+    t.lengths_ = huffman_lengths(freq);
+    const std::uint8_t max_len =
+        *std::max_element(t.lengths_.begin(), t.lengths_.end());
+    if (max_len <= kMaxCodeLen) break;
+    for (auto& f : freq) f = (f >> 1) + 1;
+  }
+  t.assign_canonical_codes();
+  t.build_decode_table();
+  return t;
+}
+
+HuffmanTable HuffmanTable::train(ByteSpan sample) {
+  std::array<std::uint64_t, 256> histogram{};
+  for (std::uint8_t b : sample) ++histogram[b];
+  return build(histogram);
+}
+
+Bytes HuffmanTable::serialize() const {
+  Bytes out(128);
+  for (int s = 0; s < 256; s += 2) {
+    out[static_cast<std::size_t>(s / 2)] = static_cast<std::uint8_t>(
+        (lengths_[static_cast<std::size_t>(s)] << 4) |
+        lengths_[static_cast<std::size_t>(s) + 1]);
+  }
+  return out;
+}
+
+HuffmanTable HuffmanTable::deserialize(ByteSpan data) {
+  if (data.size() != 128) fail("huffman table: expected 128 bytes");
+  HuffmanTable t;
+  for (int s = 0; s < 256; s += 2) {
+    const std::uint8_t packed = data[static_cast<std::size_t>(s / 2)];
+    t.lengths_[static_cast<std::size_t>(s)] = packed >> 4;
+    t.lengths_[static_cast<std::size_t>(s) + 1] = packed & 0xF;
+  }
+  for (auto len : t.lengths_) {
+    if (len == 0 || len > kMaxCodeLen) fail("huffman table: bad code length");
+  }
+  t.assign_canonical_codes();
+  t.build_decode_table();
+  return t;
+}
+
+double HuffmanTable::expected_bits(
+    const std::array<std::uint64_t, 256>& histogram) const {
+  std::uint64_t total = 0;
+  std::uint64_t bits = 0;
+  for (int s = 0; s < 256; ++s) {
+    total += histogram[static_cast<std::size_t>(s)];
+    bits += histogram[static_cast<std::size_t>(s)] *
+            lengths_[static_cast<std::size_t>(s)];
+  }
+  return total == 0 ? 0.0 : static_cast<double>(bits) / static_cast<double>(total);
+}
+
+void HuffmanTable::assign_canonical_codes() {
+  // Canonical order: by (length, symbol).
+  std::array<int, 256> order;
+  for (int s = 0; s < 256; ++s) order[static_cast<std::size_t>(s)] = s;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (lengths_[static_cast<std::size_t>(a)] !=
+        lengths_[static_cast<std::size_t>(b)]) {
+      return lengths_[static_cast<std::size_t>(a)] <
+             lengths_[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+  std::uint32_t code = 0;
+  int prev_len = 0;
+  for (int s : order) {
+    const int len = lengths_[static_cast<std::size_t>(s)];
+    code <<= (len - prev_len);
+    RECODE_CHECK_MSG(code < (1u << len), "huffman: code space overflow");
+    codes_[static_cast<std::size_t>(s)] = static_cast<std::uint16_t>(code);
+    ++code;
+    prev_len = len;
+  }
+}
+
+void HuffmanTable::build_decode_table() {
+  for (int s = 0; s < 256; ++s) {
+    const int len = lengths_[static_cast<std::size_t>(s)];
+    const std::uint32_t code = codes_[static_cast<std::size_t>(s)];
+    const std::uint32_t first = code << (kMaxCodeLen - len);
+    const std::uint32_t count = 1u << (kMaxCodeLen - len);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      decode_[first + i] = {static_cast<std::uint8_t>(s),
+                            static_cast<std::uint8_t>(len)};
+    }
+  }
+}
+
+Bytes HuffmanCodec::encode(ByteSpan input) const {
+  Bytes out;
+  varint_append(out, input.size());
+  BitWriter writer;
+  for (std::uint8_t b : input) {
+    writer.write(table_->code(b), table_->length(b));
+  }
+  const Bytes bits = writer.finish();
+  out.insert(out.end(), bits.begin(), bits.end());
+  return out;
+}
+
+Bytes HuffmanCodec::decode(ByteSpan input) const {
+  std::size_t pos = 0;
+  const std::uint64_t count = varint_read(input.data(), input.size(), pos);
+  Bytes out;
+  out.reserve(count);
+
+  // Bit accumulator: keep >= kMaxCodeLen bits available when possible.
+  const std::uint8_t* p = input.data() + pos;
+  const std::size_t nbytes = input.size() - pos;
+  std::uint32_t acc = 0;
+  int acc_bits = 0;
+  std::size_t byte_pos = 0;
+  const HuffmanTable::DecodeEntry* table = table_->decode_table();
+
+  for (std::uint64_t i = 0; i < count; ++i) {
+    while (acc_bits < kMaxCodeLen && byte_pos < nbytes) {
+      acc = (acc << 8) | p[byte_pos++];
+      acc_bits += 8;
+    }
+    if (acc_bits <= 0) fail("huffman: truncated stream");
+    // MSB-align the next kMaxCodeLen bits (zero-pad at stream end).
+    const std::uint32_t window =
+        acc_bits >= kMaxCodeLen
+            ? (acc >> (acc_bits - kMaxCodeLen)) & ((1u << kMaxCodeLen) - 1)
+            : (acc << (kMaxCodeLen - acc_bits)) & ((1u << kMaxCodeLen) - 1);
+    const auto entry = table[window];
+    if (entry.length > acc_bits) fail("huffman: truncated stream");
+    acc_bits -= entry.length;
+    out.push_back(entry.symbol);
+  }
+  return out;
+}
+
+}  // namespace recode::codec

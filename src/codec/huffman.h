@@ -1,0 +1,87 @@
+// Canonical Huffman codec over bytes with externally-trained tables.
+//
+// The paper trains one Huffman tree per matrix by sampling up to 40% of
+// its 8 KB blocks (§IV-B), then encodes every block with that shared tree.
+// HuffmanTable captures that: build it from a histogram of sampled data,
+// serialize it once per matrix, and use stateless encode/decode per block.
+//
+// Codes are canonical with lengths capped at kMaxCodeLen (15), so the
+// table serializes as 256 4-bit lengths (128 bytes) and decode can use a
+// flat 2^15-entry lookup table — the same structure the UDP program's
+// multi-way dispatch exploits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "codec/codec.h"
+
+namespace recode::codec {
+
+inline constexpr int kMaxCodeLen = 15;
+
+class HuffmanTable {
+ public:
+  // Uniform-code table (all lengths 8): a valid fallback when no training
+  // data is available.
+  HuffmanTable();
+
+  // Builds length-limited canonical codes from byte frequencies.
+  // Zero-frequency symbols are smoothed to frequency 1 so blocks outside
+  // the training sample always remain encodable.
+  static HuffmanTable build(const std::array<std::uint64_t, 256>& histogram);
+
+  // Histogram over a sample buffer, then build().
+  static HuffmanTable train(ByteSpan sample);
+
+  // 128-byte serialization (256 packed 4-bit code lengths).
+  Bytes serialize() const;
+  static HuffmanTable deserialize(ByteSpan data);
+
+  std::uint16_t code(std::uint8_t symbol) const { return codes_[symbol]; }
+  std::uint8_t length(std::uint8_t symbol) const { return lengths_[symbol]; }
+
+  // Average code length in bits under the given histogram (for tests and
+  // the sampling ablation).
+  double expected_bits(const std::array<std::uint64_t, 256>& histogram) const;
+
+  // Flat decode table: index = next 15 bits of the stream (MSB-aligned),
+  // value = {symbol, code length}.
+  struct DecodeEntry {
+    std::uint8_t symbol;
+    std::uint8_t length;
+  };
+  const DecodeEntry* decode_table() const { return decode_.data(); }
+
+  bool operator==(const HuffmanTable& other) const {
+    return lengths_ == other.lengths_;
+  }
+
+ private:
+  void assign_canonical_codes();
+  void build_decode_table();
+
+  std::array<std::uint8_t, 256> lengths_{};
+  std::array<std::uint16_t, 256> codes_{};
+  std::array<DecodeEntry, 1u << kMaxCodeLen> decode_{};
+};
+
+// Stateless Huffman codec bound to a shared table. The encoded stream is:
+// varint(decoded_byte_count) followed by the MSB-first bit stream.
+class HuffmanCodec final : public Codec {
+ public:
+  explicit HuffmanCodec(std::shared_ptr<const HuffmanTable> table)
+      : table_(std::move(table)) {}
+
+  std::string name() const override { return "huffman"; }
+  Bytes encode(ByteSpan input) const override;
+  Bytes decode(ByteSpan input) const override;
+
+  const HuffmanTable& table() const { return *table_; }
+
+ private:
+  std::shared_ptr<const HuffmanTable> table_;
+};
+
+}  // namespace recode::codec

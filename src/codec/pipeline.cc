@@ -1,0 +1,231 @@
+#include "codec/pipeline.h"
+
+#include <cstring>
+
+#include "codec/delta.h"
+#include "codec/snappy.h"
+#include "codec/varint_delta.h"
+#include "common/prng.h"
+
+namespace recode::codec {
+
+namespace {
+
+Bytes to_bytes(std::span<const sparse::index_t> v) {
+  Bytes out(v.size() * sizeof(sparse::index_t));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+Bytes to_bytes(std::span<const double> v) {
+  Bytes out(v.size() * sizeof(double));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+}  // namespace
+
+const char* transform_name(Transform t) {
+  switch (t) {
+    case Transform::kNone: return "none";
+    case Transform::kDelta32: return "delta32";
+    case Transform::kVarintDelta: return "varint-delta";
+  }
+  return "?";
+}
+
+Bytes apply_transform(Transform t, ByteSpan raw) {
+  switch (t) {
+    case Transform::kNone: return Bytes(raw.begin(), raw.end());
+    case Transform::kDelta32: return DeltaCodec().encode(raw);
+    case Transform::kVarintDelta: return VarintDeltaCodec().encode(raw);
+  }
+  fail("unknown transform");
+}
+
+Bytes invert_transform(Transform t, ByteSpan encoded) {
+  switch (t) {
+    case Transform::kNone: return Bytes(encoded.begin(), encoded.end());
+    case Transform::kDelta32: return DeltaCodec().decode(encoded);
+    case Transform::kVarintDelta: return VarintDeltaCodec().decode(encoded);
+  }
+  fail("unknown transform");
+}
+
+PipelineConfig PipelineConfig::udp_dsh() { return PipelineConfig{}; }
+
+PipelineConfig PipelineConfig::udp_ds() {
+  PipelineConfig cfg;
+  cfg.huffman = false;
+  return cfg;
+}
+
+PipelineConfig PipelineConfig::cpu_snappy() {
+  PipelineConfig cfg;
+  cfg.index_transform = Transform::kNone;
+  cfg.huffman = false;
+  cfg.nnz_per_block = 4096;  // 32 KB value blocks, as the CPU baseline uses
+  return cfg;
+}
+
+PipelineConfig PipelineConfig::udp_vsh() {
+  PipelineConfig cfg;
+  cfg.index_transform = Transform::kVarintDelta;
+  return cfg;
+}
+
+std::size_t CompressedMatrix::stream_bytes() const {
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.bytes();
+  if (index_table) total += 128;
+  if (value_table) total += 128;
+  return total;
+}
+
+EncodedStages encode_stages(ByteSpan raw, Transform transform, bool snappy,
+                            const HuffmanTable* huffman) {
+  EncodedStages st;
+  st.after_transform = apply_transform(transform, raw);
+  const SnappyCodec snappy_codec;
+  st.after_snappy =
+      snappy ? snappy_codec.encode(st.after_transform) : st.after_transform;
+  if (huffman != nullptr) {
+    const HuffmanCodec hc(std::shared_ptr<const HuffmanTable>(
+        std::shared_ptr<void>(), huffman));  // non-owning aliasing ptr
+    st.after_huffman = hc.encode(st.after_snappy);
+  } else {
+    st.after_huffman = st.after_snappy;
+  }
+  return st;
+}
+
+CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg) {
+  RECODE_CHECK(cfg.nnz_per_block > 0);
+  RECODE_CHECK(cfg.huffman_sample_fraction > 0.0 &&
+               cfg.huffman_sample_fraction <= 1.0);
+
+  CompressedMatrix cm;
+  cm.rows = csr.rows;
+  cm.cols = csr.cols;
+  cm.row_ptr = csr.row_ptr;
+  cm.config = cfg;
+  cm.blocking = sparse::make_blocking(csr, cfg.nnz_per_block);
+
+  const SnappyCodec snappy_codec;
+  const std::size_t nblocks = cm.blocking.block_count();
+
+  // Pass 1: transform + snappy per block; histogram sampled blocks for
+  // the per-matrix Huffman tables.
+  std::vector<Bytes> index_mid(nblocks);
+  std::vector<Bytes> value_mid(nblocks);
+  std::array<std::uint64_t, 256> index_hist{};
+  std::array<std::uint64_t, 256> value_hist{};
+  Prng sampler(cfg.sample_seed);
+
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const auto& range = cm.blocking.blocks[b];
+    Bytes idx_raw = apply_transform(
+        cfg.index_transform, to_bytes(sparse::block_indices(csr, range)));
+    Bytes val_raw = apply_transform(
+        cfg.value_transform, to_bytes(sparse::block_values(csr, range)));
+    cm.index_stages.raw += range.count * sizeof(sparse::index_t);
+    cm.value_stages.raw += range.count * sizeof(double);
+
+    index_mid[b] = cfg.snappy ? snappy_codec.encode(idx_raw) : std::move(idx_raw);
+    value_mid[b] = cfg.snappy ? snappy_codec.encode(val_raw) : std::move(val_raw);
+    cm.index_stages.after_snappy += index_mid[b].size();
+    cm.value_stages.after_snappy += value_mid[b].size();
+
+    if (cfg.huffman && sampler.next_double() < cfg.huffman_sample_fraction) {
+      for (std::uint8_t byte : index_mid[b]) ++index_hist[byte];
+      for (std::uint8_t byte : value_mid[b]) ++value_hist[byte];
+    }
+  }
+
+  // Pass 2: Huffman with the trained tables.
+  cm.blocks.resize(nblocks);
+  if (cfg.huffman) {
+    cm.index_table =
+        std::make_shared<const HuffmanTable>(HuffmanTable::build(index_hist));
+    cm.value_table =
+        std::make_shared<const HuffmanTable>(HuffmanTable::build(value_hist));
+    const HuffmanCodec index_hc(cm.index_table);
+    const HuffmanCodec value_hc(cm.value_table);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      cm.blocks[b].index_data = index_hc.encode(index_mid[b]);
+      cm.blocks[b].value_data = value_hc.encode(value_mid[b]);
+      index_mid[b].clear();
+      value_mid[b].clear();
+    }
+  } else {
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      cm.blocks[b].index_data = std::move(index_mid[b]);
+      cm.blocks[b].value_data = std::move(value_mid[b]);
+    }
+  }
+  for (const auto& b : cm.blocks) {
+    cm.index_stages.after_huffman += b.index_data.size();
+    cm.value_stages.after_huffman += b.value_data.size();
+  }
+  return cm;
+}
+
+void decompress_block(const CompressedMatrix& cm, std::size_t b,
+                      std::vector<sparse::index_t>& indices,
+                      std::vector<double>& values) {
+  RECODE_CHECK(b < cm.blocks.size());
+  const auto& cfg = cm.config;
+  const auto& block = cm.blocks[b];
+
+  auto decode_stream = [&](ByteSpan data, Transform transform,
+                           const std::shared_ptr<const HuffmanTable>& table) {
+    Bytes buf(data.begin(), data.end());
+    if (cfg.huffman) {
+      const HuffmanCodec hc(table);
+      buf = hc.decode(buf);
+    }
+    if (cfg.snappy) {
+      const SnappyCodec sc;
+      buf = sc.decode(buf);
+    }
+    return invert_transform(transform, buf);
+  };
+
+  const Bytes idx_bytes =
+      decode_stream(block.index_data, cfg.index_transform, cm.index_table);
+  const Bytes val_bytes =
+      decode_stream(block.value_data, cfg.value_transform, cm.value_table);
+
+  const std::size_t count = cm.blocking.blocks[b].count;
+  if (idx_bytes.size() != count * sizeof(sparse::index_t)) {
+    fail("decompress_block: index stream size mismatch");
+  }
+  if (val_bytes.size() != count * sizeof(double)) {
+    fail("decompress_block: value stream size mismatch");
+  }
+  indices.resize(count);
+  values.resize(count);
+  std::memcpy(indices.data(), idx_bytes.data(), idx_bytes.size());
+  std::memcpy(values.data(), val_bytes.data(), val_bytes.size());
+}
+
+sparse::Csr decompress(const CompressedMatrix& cm) {
+  sparse::Csr csr;
+  csr.rows = cm.rows;
+  csr.cols = cm.cols;
+  csr.row_ptr = cm.row_ptr;
+  csr.col_idx.reserve(cm.nnz());
+  csr.val.reserve(cm.nnz());
+
+  std::vector<sparse::index_t> indices;
+  std::vector<double> values;
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    decompress_block(cm, b, indices, values);
+    csr.col_idx.insert(csr.col_idx.end(), indices.begin(), indices.end());
+    csr.val.insert(csr.val.end(), values.begin(), values.end());
+  }
+  csr.validate();
+  return csr;
+}
+
+}  // namespace recode::codec

@@ -1,0 +1,120 @@
+// The paper's matrix compression pipeline: blocked CSR streams compressed
+// with Delta -> Snappy -> Huffman (§III-D, §IV-B).
+//
+// The col_idx and val arrays are split into blocks covering a common nnz
+// range (sparse::Blocking). Index blocks are optionally delta-transformed,
+// then both streams pass through Snappy and finally Huffman with one
+// per-matrix table per stream, trained on a sampled fraction of the
+// Snappy-compressed blocks (the paper samples up to 40% of blocks).
+//
+// row_ptr stays uncompressed: it is O(rows) not O(nnz) and the paper's
+// 12 B/nnz baseline convention excludes it on both sides of the metric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/huffman.h"
+#include "sparse/blocked.h"
+#include "sparse/formats.h"
+
+namespace recode::codec {
+
+// Per-stream pre-transform applied before Snappy/Huffman.
+enum class Transform : std::uint8_t {
+  kNone,
+  kDelta32,       // fixed-width zigzag first differences (the paper's Delta)
+  kVarintDelta,   // LEB128 zigzag deltas (§VII custom-encoding direction)
+};
+
+const char* transform_name(Transform t);
+
+struct PipelineConfig {
+  Transform index_transform = Transform::kDelta32;  // on the col_idx stream
+  Transform value_transform = Transform::kNone;     // (ablation only)
+  bool snappy = true;
+  bool huffman = true;
+  std::size_t nnz_per_block = sparse::kDefaultNnzPerBlock;  // 1024 => 8 KB value blocks
+  double huffman_sample_fraction = 0.4;  // fraction of blocks used to train
+  std::uint64_t sample_seed = 1;
+
+  // Paper configurations.
+  static PipelineConfig udp_dsh();      // Delta-Snappy-Huffman, 8 KB blocks
+  static PipelineConfig udp_ds();       // Delta-Snappy, 8 KB blocks
+  static PipelineConfig cpu_snappy();   // Snappy only, 32 KB blocks (CPU baseline)
+  // §VII custom encoding: varint-delta indices + Snappy + Huffman.
+  static PipelineConfig udp_vsh();
+};
+
+struct CompressedBlock {
+  Bytes index_data;
+  Bytes value_data;
+
+  std::size_t bytes() const { return index_data.size() + value_data.size(); }
+};
+
+// Per-stage byte totals across all blocks (for the codec-stage ablation).
+struct StageSizes {
+  std::size_t raw = 0;
+  std::size_t after_snappy = 0;   // == raw when snappy disabled
+  std::size_t after_huffman = 0;  // == after_snappy when huffman disabled
+};
+
+// A fully compressed matrix plus everything needed to decompress it.
+struct CompressedMatrix {
+  sparse::index_t rows = 0;
+  sparse::index_t cols = 0;
+  std::vector<sparse::offset_t> row_ptr;  // kept raw
+  sparse::Blocking blocking;
+  PipelineConfig config;
+  std::shared_ptr<const HuffmanTable> index_table;  // null if !huffman
+  std::shared_ptr<const HuffmanTable> value_table;
+  std::vector<CompressedBlock> blocks;
+  StageSizes index_stages;
+  StageSizes value_stages;
+
+  std::size_t nnz() const {
+    return row_ptr.empty() ? 0 : static_cast<std::size_t>(row_ptr.back());
+  }
+
+  // Bytes streamed from memory per SpMV pass: compressed blocks plus the
+  // (tiny) Huffman tables. Excludes row_ptr, matching the 12 B/nnz
+  // baseline convention.
+  std::size_t stream_bytes() const;
+
+  // The paper's headline metric.
+  double bytes_per_nnz() const {
+    return nnz() == 0 ? 0.0
+                      : static_cast<double>(stream_bytes()) /
+                            static_cast<double>(nnz());
+  }
+};
+
+// Compresses a CSR matrix with the given pipeline.
+CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg);
+
+// Decompresses block b into caller-provided buffers (resized to the block's
+// nnz count). This is the software reference for the UDP programs.
+void decompress_block(const CompressedMatrix& cm, std::size_t b,
+                      std::vector<sparse::index_t>& indices,
+                      std::vector<double>& values);
+
+// Full round-trip back to CSR (tests / CPU-side decompression baseline).
+sparse::Csr decompress(const CompressedMatrix& cm);
+
+// Stage-by-stage forward transform of one raw byte block, exposed so the
+// UDP programs and ablations can tap intermediate representations.
+struct EncodedStages {
+  Bytes after_transform;  // == input when transform is kNone
+  Bytes after_snappy;     // == after_transform when snappy disabled
+  Bytes after_huffman;    // == after_snappy when huffman disabled
+};
+EncodedStages encode_stages(ByteSpan raw, Transform transform, bool snappy,
+                            const HuffmanTable* huffman);
+
+// Applies / inverts one Transform on a raw byte buffer.
+Bytes apply_transform(Transform t, ByteSpan raw);
+Bytes invert_transform(Transform t, ByteSpan encoded);
+
+}  // namespace recode::codec

@@ -1,0 +1,26 @@
+#include "codec/selector.h"
+
+namespace recode::codec {
+
+PipelineConfig select_pipeline(const sparse::MatrixStats& stats) {
+  PipelineConfig cfg = PipelineConfig::udp_dsh();
+  // Varint deltas win when the typical intra-row gap fits in one LEB128
+  // byte (zigzag(gap) < 128 => gap <= 63) and row starts don't jump far
+  // (bounded bandwidth keeps the between-row delta small too).
+  const bool tight_gaps =
+      stats.mean_intra_row_gap > 0 && stats.mean_intra_row_gap <= 48.0;
+  const bool bounded_jumps =
+      stats.bandwidth > 0 &&
+      static_cast<double>(stats.bandwidth) <
+          0.05 * static_cast<double>(std::max(stats.rows, stats.cols));
+  if (tight_gaps && bounded_jumps) {
+    cfg.index_transform = Transform::kVarintDelta;
+  }
+  return cfg;
+}
+
+PipelineConfig select_pipeline(const sparse::Csr& csr) {
+  return select_pipeline(sparse::compute_stats(csr));
+}
+
+}  // namespace recode::codec

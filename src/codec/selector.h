@@ -1,0 +1,24 @@
+// Structure-aware pipeline selection — the §VII future-work direction
+// ("novel and customized encodings on top of CSR for matrices with
+// particular structures") made concrete.
+//
+// Because the UDP is programmable, choosing a different encoding per
+// matrix costs a program swap, not a hardware change. The selector reads
+// the structural statistics (sparse/stats.h) and picks the index
+// transform: matrices with tight index locality take varint deltas
+// (most deltas fit one byte), everything else keeps the paper's
+// fixed-width delta in front of Snappy.
+#pragma once
+
+#include "codec/pipeline.h"
+#include "sparse/stats.h"
+
+namespace recode::codec {
+
+// Returns the recommended pipeline for a matrix with these statistics.
+PipelineConfig select_pipeline(const sparse::MatrixStats& stats);
+
+// Convenience: compute stats and select in one step.
+PipelineConfig select_pipeline(const sparse::Csr& csr);
+
+}  // namespace recode::codec

@@ -1,0 +1,215 @@
+#include "codec/snappy.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/varint.h"
+
+namespace recode::codec {
+
+namespace {
+
+constexpr int kTagLiteral = 0;
+constexpr int kTagCopy1 = 1;
+constexpr int kTagCopy2 = 2;
+constexpr int kTagCopy4 = 3;
+
+constexpr std::size_t kHashBits = 14;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+constexpr std::size_t kMaxOffset = 65535;  // stay within 2-byte copies
+
+std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint32_t hash4(std::uint32_t v) {
+  return (v * 0x1E35A7BDu) >> (32 - kHashBits);
+}
+
+// Emits a literal run [lit, lit+len).
+void emit_literal(Bytes& out, const std::uint8_t* lit, std::size_t len) {
+  while (len > 0) {
+    // A single literal tag can carry up to 2^32 bytes; cap runs at 2^16 to
+    // keep extra-length bytes at <=2 (blocks here are tiny anyway).
+    const std::size_t run = std::min<std::size_t>(len, 65536);
+    if (run < 60) {
+      out.push_back(static_cast<std::uint8_t>(((run - 1) << 2) | kTagLiteral));
+    } else if (run <= 256) {
+      out.push_back(static_cast<std::uint8_t>((60 << 2) | kTagLiteral));
+      out.push_back(static_cast<std::uint8_t>(run - 1));
+    } else {
+      out.push_back(static_cast<std::uint8_t>((61 << 2) | kTagLiteral));
+      out.push_back(static_cast<std::uint8_t>((run - 1) & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(((run - 1) >> 8) & 0xFF));
+    }
+    out.insert(out.end(), lit, lit + run);
+    lit += run;
+    len -= run;
+  }
+}
+
+// Emits one copy element of length 4..64 (callers split longer matches).
+void emit_copy_chunk(Bytes& out, std::size_t offset, std::size_t len) {
+  if (len >= 4 && len <= 11 && offset < 2048) {
+    out.push_back(static_cast<std::uint8_t>(((offset >> 8) << 5) |
+                                            ((len - 4) << 2) | kTagCopy1));
+    out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+  } else {
+    out.push_back(static_cast<std::uint8_t>(((len - 1) << 2) | kTagCopy2));
+    out.push_back(static_cast<std::uint8_t>(offset & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((offset >> 8) & 0xFF));
+  }
+}
+
+void emit_copy(Bytes& out, std::size_t offset, std::size_t len) {
+  // Long matches are split; keep >=4-byte chunks so 1-byte-offset form
+  // stays legal for the remainder.
+  while (len >= 68) {
+    emit_copy_chunk(out, offset, 64);
+    len -= 64;
+  }
+  if (len > 64) {
+    emit_copy_chunk(out, offset, 60);
+    len -= 60;
+  }
+  emit_copy_chunk(out, offset, len);
+}
+
+}  // namespace
+
+Bytes SnappyCodec::encode(ByteSpan input) const {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  varint_append(out, input.size());
+  if (input.empty()) return out;
+
+  const std::uint8_t* base = input.data();
+  const std::size_t n = input.size();
+  std::vector<std::int64_t> table(kHashSize, -1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  // Leave a 4-byte tail so load32 never overruns.
+  while (pos + 4 <= n) {
+    const std::uint32_t cur = load32(base + pos);
+    const std::uint32_t h = hash4(cur);
+    const std::int64_t cand = table[h];
+    table[h] = static_cast<std::int64_t>(pos);
+    if (cand >= 0 && pos - static_cast<std::size_t>(cand) <= kMaxOffset &&
+        load32(base + cand) == cur) {
+      // Extend the match forward.
+      std::size_t match_len = 4;
+      const std::size_t off = pos - static_cast<std::size_t>(cand);
+      while (pos + match_len < n &&
+             base[cand + match_len] == base[pos + match_len]) {
+        ++match_len;
+      }
+      if (literal_start < pos) {
+        emit_literal(out, base + literal_start, pos - literal_start);
+      }
+      emit_copy(out, off, match_len);
+      // Re-seed the hash table sparsely inside the match (cheap, standard).
+      const std::size_t end = pos + match_len;
+      for (std::size_t p = pos + 1; p + 4 <= end && p + 4 <= n; p += 13) {
+        table[hash4(load32(base + p))] = static_cast<std::int64_t>(p);
+      }
+      pos = end;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (literal_start < n) {
+    emit_literal(out, base + literal_start, n - literal_start);
+  }
+  return out;
+}
+
+std::size_t SnappyCodec::decoded_length(ByteSpan input) {
+  std::size_t pos = 0;
+  return static_cast<std::size_t>(
+      varint_read(input.data(), input.size(), pos));
+}
+
+Bytes SnappyCodec::decode(ByteSpan input) const {
+  std::size_t pos = 0;
+  const std::uint64_t decoded =
+      varint_read(input.data(), input.size(), pos);
+  Bytes out;
+  out.reserve(decoded);
+
+  const std::uint8_t* p = input.data();
+  const std::size_t n = input.size();
+
+  auto need = [&](std::size_t count) {
+    if (pos + count > n) fail("snappy: truncated stream");
+  };
+
+  while (pos < n) {
+    const std::uint8_t tag = p[pos++];
+    switch (tag & 3) {
+      case kTagLiteral: {
+        std::size_t len = (tag >> 2) + 1;
+        if (len > 60) {
+          const std::size_t extra = len - 60;  // 1..4 length bytes
+          need(extra);
+          len = 0;
+          for (std::size_t i = 0; i < extra; ++i) {
+            len |= static_cast<std::size_t>(p[pos + i]) << (8 * i);
+          }
+          len += 1;
+          pos += extra;
+        }
+        need(len);
+        out.insert(out.end(), p + pos, p + pos + len);
+        pos += len;
+        break;
+      }
+      case kTagCopy1: {
+        need(1);
+        const std::size_t len = ((tag >> 2) & 0x7) + 4;
+        const std::size_t off =
+            (static_cast<std::size_t>(tag >> 5) << 8) | p[pos++];
+        if (off == 0 || off > out.size()) fail("snappy: bad copy offset");
+        // Byte-by-byte copy: overlapping copies (off < len) are legal and
+        // replicate the run, matching the format semantics.
+        for (std::size_t i = 0; i < len; ++i) {
+          out.push_back(out[out.size() - off]);
+        }
+        break;
+      }
+      case kTagCopy2: {
+        need(2);
+        const std::size_t len = (tag >> 2) + 1;
+        const std::size_t off = static_cast<std::size_t>(p[pos]) |
+                                (static_cast<std::size_t>(p[pos + 1]) << 8);
+        pos += 2;
+        if (off == 0 || off > out.size()) fail("snappy: bad copy offset");
+        for (std::size_t i = 0; i < len; ++i) {
+          out.push_back(out[out.size() - off]);
+        }
+        break;
+      }
+      case kTagCopy4: {
+        need(4);
+        const std::size_t len = (tag >> 2) + 1;
+        std::size_t off = 0;
+        for (int i = 0; i < 4; ++i) {
+          off |= static_cast<std::size_t>(p[pos + i]) << (8 * i);
+        }
+        pos += 4;
+        if (off == 0 || off > out.size()) fail("snappy: bad copy offset");
+        for (std::size_t i = 0; i < len; ++i) {
+          out.push_back(out[out.size() - off]);
+        }
+        break;
+      }
+    }
+  }
+  if (out.size() != decoded) fail("snappy: length mismatch after decode");
+  return out;
+}
+
+}  // namespace recode::codec

@@ -1,0 +1,35 @@
+// From-scratch implementation of the Snappy compression format
+// (https://github.com/google/snappy/blob/master/format_description.txt).
+//
+// The paper uses Google Snappy 1.1.3 as both the CPU baseline compressor
+// (32 KB blocks) and one stage of the UDP pipeline (8 KB blocks). No
+// snappy library is available offline, and the UDP port needs the format
+// implemented explicitly anyway, so this is a complete format-compatible
+// encoder/decoder:
+//   * preamble: uncompressed length as LEB128 varint
+//   * literal tags (00) with 6-bit or 1-4 extra-byte lengths
+//   * copy tags: 1-byte offset (01, len 4-11, 11-bit offset),
+//     2-byte offset (10, len 1-64), 4-byte offset (11)
+// The encoder uses the standard greedy hash-table matcher (min match 4,
+// 64 KB window) — the same algorithmic shape as the reference encoder.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace recode::codec {
+
+class SnappyCodec final : public Codec {
+ public:
+  std::string name() const override { return "snappy"; }
+
+  Bytes encode(ByteSpan input) const override;
+
+  // Throws recode::Error on any malformed stream (bad varint, copy before
+  // start, overrun).
+  Bytes decode(ByteSpan input) const override;
+
+  // Decoded length announced by the preamble without decompressing.
+  static std::size_t decoded_length(ByteSpan input);
+};
+
+}  // namespace recode::codec

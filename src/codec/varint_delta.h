@@ -1,0 +1,30 @@
+// Varint-delta index transform — a "customized encoding on top of CSR"
+// of the kind the paper's future work proposes (§VII) and the UDP's
+// variable-size-symbol support exists for (§III-E).
+//
+// Column indices are zigzag first-differences like DeltaCodec, but
+// emitted as LEB128 varints instead of fixed 32-bit words: banded and
+// FEM matrices whose deltas fit 7 bits shrink ~4x *before* Snappy ever
+// runs. Unlike the fixed-width delta, this transform changes the stream
+// size by itself — the programmable-recoding win the paper argues no
+// hard-wired CPU format gives you.
+#pragma once
+
+#include "codec/codec.h"
+
+namespace recode::codec {
+
+class VarintDeltaCodec final : public Codec {
+ public:
+  std::string name() const override { return "varint-delta32"; }
+
+  // input.size() must be a multiple of 4 (LE32 words). Output: one LEB128
+  // varint per word holding zigzag(word[i] - word[i-1]) (mod 2^32).
+  Bytes encode(ByteSpan input) const override;
+
+  // Decodes until the input is exhausted; output is LE32 words. Throws on
+  // truncated or overlong varints.
+  Bytes decode(ByteSpan input) const override;
+};
+
+}  // namespace recode::codec

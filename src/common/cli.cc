@@ -1,0 +1,88 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace recode {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "prog";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      fail("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      help_requested_ = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& def,
+                            const std::string& help) {
+  help_lines_.push_back("  --" + name + " (default: " + def + ")  " + help);
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def,
+                          const std::string& help) {
+  const std::string v = get_string(name, std::to_string(def), help);
+  try {
+    return std::stoll(v);
+  } catch (const std::exception&) {
+    fail("flag --" + name + ": expected integer, got '" + v + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double def,
+                       const std::string& help) {
+  // Do not round-trip the default through to_string (it truncates to six
+  // decimals, turning 1e-7 into 0); stringify for help display only.
+  char def_str[40];
+  std::snprintf(def_str, sizeof(def_str), "%g", def);
+  help_lines_.push_back("  --" + name + " (default: " + def_str + ")  " +
+                        help);
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    fail("flag --" + name + ": expected number, got '" + it->second + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool def,
+                   const std::string& help) {
+  const std::string v = get_string(name, def ? "true" : "false", help);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  fail("flag --" + name + ": expected boolean, got '" + v + "'");
+}
+
+void Cli::done() {
+  if (help_requested_) {
+    std::printf("Usage: %s [flags]\n", program_.c_str());
+    for (const auto& line : help_lines_) std::printf("%s\n", line.c_str());
+    std::exit(0);
+  }
+  for (const auto& [name, _] : values_) {
+    if (!consumed_.count(name)) fail("unknown flag: --" + name);
+  }
+}
+
+}  // namespace recode

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser shared by benches and examples.
+//
+// Supports --name=value, --name value, and bare boolean --name. Unknown
+// flags throw so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace recode {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  // Registers a flag with a default and a help string; returns the parsed
+  // value. Call for every supported flag before done().
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& help);
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help);
+  double get_double(const std::string& name, double def,
+                    const std::string& help);
+  bool get_bool(const std::string& name, bool def, const std::string& help);
+
+  // Validates that no unknown flags were passed; prints help and exits 0
+  // when --help was given.
+  void done();
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;  // parsed --name -> raw value
+  std::vector<std::string> help_lines_;
+  std::map<std::string, bool> consumed_;
+  bool help_requested_ = false;
+};
+
+}  // namespace recode

@@ -1,0 +1,50 @@
+// Error handling primitives for the recode library.
+//
+// Unrecoverable programming errors (contract violations) abort via
+// RECODE_CHECK; recoverable conditions (bad input files, malformed
+// compressed streams) throw recode::Error so callers can surface them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace recode {
+
+// Exception type for recoverable errors: malformed input, I/O failures,
+// corrupt compressed streams. Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "RECODE_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace detail
+
+// Contract check: aborts on violation. Enabled in all build types — the
+// simulator and codecs rely on these to catch modelling bugs early.
+#define RECODE_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::recode::detail::check_failed(__FILE__, __LINE__, #expr, "");     \
+  } while (false)
+
+#define RECODE_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::recode::detail::check_failed(__FILE__, __LINE__, #expr, (msg));  \
+  } while (false)
+
+// Throws recode::Error with a formatted message for recoverable failures.
+[[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace recode

@@ -1,0 +1,66 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recode {
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) return 0.0;
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  s.mean = mean(values);
+  s.median = median(std::vector<double>(values.begin(), values.end()));
+  s.geomean = geomean(values);
+  return s;
+}
+
+void StreamingStats::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  if (v > 0.0) {
+    log_sum_ += std::log(v);
+  } else {
+    all_positive_ = false;
+  }
+}
+
+double StreamingStats::geomean() const {
+  if (count_ == 0 || !all_positive_) return 0.0;
+  return std::exp(log_sum_ / static_cast<double>(count_));
+}
+
+}  // namespace recode

@@ -1,0 +1,53 @@
+// Small statistics helpers used throughout the evaluation harness:
+// geometric means (the paper's headline aggregation), summaries, and
+// a streaming accumulator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace recode {
+
+// Geometric mean of strictly positive values. Returns 0 for empty input.
+double geomean(std::span<const double> values);
+
+// Arithmetic mean. Returns 0 for empty input.
+double mean(std::span<const double> values);
+
+// Median (average of middle two for even sizes). Returns 0 for empty input.
+double median(std::vector<double> values);
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double geomean = 0.0;  // 0 if any value is non-positive
+};
+
+Summary summarize(std::span<const double> values);
+
+// Streaming accumulator for mean / min / max / geomean without retaining
+// the sample vector.
+class StreamingStats {
+ public:
+  void add(double v);
+  std::size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  // Geomean over added values; 0 if any value was non-positive.
+  double geomean() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double log_sum_ = 0.0;
+  bool all_positive_ = true;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace recode

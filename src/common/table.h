@@ -1,0 +1,32 @@
+// Aligned text-table printer used by every bench binary to emit the
+// paper's figure data as readable rows/series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace recode {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; cells beyond the header width are dropped, missing cells
+  // are blank.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  // Renders with column alignment and a rule under the header.
+  std::string to_string() const;
+
+  // Prints to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace recode

@@ -1,0 +1,54 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// Used by the threaded SpMV kernels and the CPU-side block decompression
+// baseline. Sized from std::thread::hardware_concurrency() by default but
+// fully functional at any size (including 1, as on the CI host).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace recode {
+
+class ThreadPool {
+ public:
+  // Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void wait_idle();
+
+  // Splits [begin, end) into ~3x-oversubscribed chunks and runs `body(b, e)`
+  // on the pool, blocking until all chunks finish. Runs inline if the pool
+  // has one thread or the range is tiny.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // signals task availability
+  std::condition_variable idle_cv_;   // signals pending_ == 0
+  std::size_t pending_ = 0;           // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace recode

@@ -1,0 +1,61 @@
+#include "core/experiments.h"
+
+#include <fstream>
+
+#include "common/error.h"
+
+namespace recode::core {
+
+CsvRecorder::CsvRecorder(std::string experiment_id,
+                         std::vector<std::string> columns)
+    : id_(std::move(experiment_id)), columns_(std::move(columns)) {
+  RECODE_CHECK(!id_.empty());
+  RECODE_CHECK(!columns_.empty());
+}
+
+void CsvRecorder::add_row(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string CsvRecorder::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += escape(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void CsvRecorder::write(const std::string& dir) const {
+  const std::string path = dir + "/" + id_ + ".csv";
+  std::ofstream out(path);
+  if (!out) fail("csv: cannot open for write: " + path);
+  out << to_csv();
+  if (!out) fail("csv: write failed: " + path);
+}
+
+}  // namespace recode::core

@@ -1,0 +1,34 @@
+// Experiment recording: every bench can dump its series as CSV next to
+// the human-readable table, so figure data feeds straight into plotting
+// scripts (the open-source-release workflow for regenerating the paper's
+// plots).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace recode::core {
+
+class CsvRecorder {
+ public:
+  // Columns fixed at construction; rows appended as the bench runs.
+  CsvRecorder(std::string experiment_id, std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // RFC-4180-style CSV (quotes applied where needed).
+  std::string to_csv() const;
+
+  // Writes `<dir>/<experiment_id>.csv`; creates nothing else. Throws on
+  // I/O failure.
+  void write(const std::string& dir) const;
+
+ private:
+  std::string id_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace recode::core

@@ -1,0 +1,85 @@
+#include "core/pipeline_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.h"
+
+namespace recode::core {
+
+PipelineSimResult simulate_pipeline(
+    const codec::CompressedMatrix& cm,
+    const std::vector<std::uint64_t>& block_cycles,
+    const PipelineSimConfig& config) {
+  RECODE_CHECK(block_cycles.size() == cm.blocks.size());
+  RECODE_CHECK(config.udp_lanes > 0);
+  RECODE_CHECK(config.staging_slots > 0);
+  RECODE_CHECK(config.cpu_nnz_per_sec > 0);
+
+  PipelineSimResult result;
+  result.blocks = cm.blocks.size();
+  if (cm.blocks.empty()) return result;
+
+  const mem::DramModel dram(config.dram);
+
+  // Lane pool: min-heap of next-free times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> lanes;
+  for (int l = 0; l < config.udp_lanes; ++l) lanes.push(0.0);
+
+  // Ring of CPU-completion times for staging back-pressure.
+  std::vector<double> slot_release(cm.blocks.size(), 0.0);
+
+  double dma_free = 0.0;
+  double cpu_free = 0.0;
+  double makespan = 0.0;
+
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    // Back-pressure: the DMA may not start block b until a staging slot
+    // is free (the slot vacated by block b - staging_slots).
+    double earliest = dma_free;
+    if (b >= static_cast<std::size_t>(config.staging_slots)) {
+      const double slot_free =
+          slot_release[b - static_cast<std::size_t>(config.staging_slots)];
+      if (slot_free > earliest) {
+        earliest = slot_free;
+        ++result.dma_stalls;
+      }
+    }
+
+    const double transfer =
+        dram.transfer_seconds(cm.blocks[b].bytes()) + config.dma_overhead_s;
+    const double dma_done = earliest + transfer;
+    dma_free = dma_done;
+    result.dram_busy_s += transfer;
+
+    // Earliest-free UDP lane decodes the block.
+    const double lane_free = lanes.top();
+    lanes.pop();
+    const double decode_start = std::max(dma_done, lane_free);
+    const double decode_time =
+        static_cast<double>(block_cycles[b]) / config.udp_clock_hz;
+    const double decode_done = decode_start + decode_time;
+    lanes.push(decode_done);
+    result.udp_busy_lane_s += decode_time;
+
+    // CPU consumes decoded blocks in order.
+    const double consume_time =
+        static_cast<double>(cm.blocking.blocks[b].count) /
+        config.cpu_nnz_per_sec;
+    const double cpu_done = std::max(decode_done, cpu_free) + consume_time;
+    cpu_free = cpu_done;
+    slot_release[b] = cpu_done;
+    makespan = std::max(makespan, cpu_done);
+  }
+
+  result.makespan_s = makespan;
+  result.dram_utilization = result.dram_busy_s / makespan;
+  result.udp_utilization =
+      result.udp_busy_lane_s /
+      (makespan * static_cast<double>(config.udp_lanes));
+  result.achieved_gflops =
+      2.0 * static_cast<double>(cm.nnz()) / makespan / 1e9;
+  return result;
+}
+
+}  // namespace recode::core

@@ -1,0 +1,57 @@
+// Discrete-event simulation of the steady-state recoded-SpMV pipeline.
+//
+// The analytic model in system.h assumes perfect rate balance
+// (performance = min of the stage rates). This module checks that
+// assumption with an event-level simulation of Figure 6's flow:
+//
+//   DRAM/DMA --compressed blocks--> UDP lanes --CSR blocks--> CPU SpMV
+//
+// Each block is an event chain: the DMA serializes transfers at the
+// memory interface, a finite pool of UDP lanes decodes (per-block
+// latency from the cycle simulator), and a bounded staging buffer
+// applies back-pressure to the DMA. The simulated completion time
+// converges to the analytic bound when buffers are deep enough and
+// exposes the start-up/latency effects the closed form hides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/pipeline.h"
+#include "mem/dram.h"
+
+namespace recode::core {
+
+struct PipelineSimConfig {
+  mem::DramConfig dram = mem::DramConfig::ddr4_100gbs();
+  int udp_lanes = 64;
+  double udp_clock_hz = 1.6e9;
+  // Decoded-block staging slots between the UDP and the CPU; the DMA
+  // stalls when all slots hold blocks not yet consumed.
+  int staging_slots = 128;
+  // CPU SpMV consumption rate in non-zeros per second (memory-system
+  // independent here: the decoded stream is consumed from on-chip
+  // buffers). Default: effectively unbounded.
+  double cpu_nnz_per_sec = 1e18;
+  double dma_overhead_s = 200e-9;  // per block descriptor
+};
+
+struct PipelineSimResult {
+  double makespan_s = 0.0;
+  double dram_busy_s = 0.0;      // time the memory interface streamed data
+  double udp_busy_lane_s = 0.0;  // summed lane-busy time
+  double dram_utilization = 0.0;
+  double udp_utilization = 0.0;
+  double achieved_gflops = 0.0;
+  std::size_t blocks = 0;
+  std::size_t dma_stalls = 0;  // transfers delayed by staging back-pressure
+};
+
+// Simulates one full pass over the compressed matrix. `block_cycles`
+// holds per-block UDP decode cycles (e.g. sampled from the lane
+// simulator and tiled to all blocks); must have one entry per block.
+PipelineSimResult simulate_pipeline(const codec::CompressedMatrix& cm,
+                                    const std::vector<std::uint64_t>& block_cycles,
+                                    const PipelineSimConfig& config = {});
+
+}  // namespace recode::core

@@ -1,0 +1,52 @@
+#include "cpu/branch_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace recode::cpu {
+
+DictionaryDecodeModel::DictionaryDecodeModel(BranchModelConfig config)
+    : config_(config) {
+  RECODE_CHECK(config_.base_cycles_per_symbol > 0);
+  RECODE_CHECK(config_.flush_penalty_cycles >= 0);
+  RECODE_CHECK(config_.clock_hz > 0);
+}
+
+double DictionaryDecodeModel::byte_entropy(codec::ByteSpan data) {
+  if (data.empty()) return 0.0;
+  std::array<std::uint64_t, 256> hist{};
+  for (std::uint8_t b : data) ++hist[b];
+  double h = 0.0;
+  const double n = static_cast<double>(data.size());
+  for (std::uint64_t c : hist) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double DictionaryDecodeModel::mispredict_rate(double entropy_bits) const {
+  const double h = std::max(0.0, entropy_bits);
+  return std::clamp(1.0 - std::exp2(-h), 0.0, 1.0);
+}
+
+double DictionaryDecodeModel::cycles_per_symbol(double entropy_bits) const {
+  return config_.base_cycles_per_symbol +
+         mispredict_rate(entropy_bits) * config_.flush_penalty_cycles;
+}
+
+double DictionaryDecodeModel::wasted_cycle_fraction(
+    double entropy_bits) const {
+  const double flush =
+      mispredict_rate(entropy_bits) * config_.flush_penalty_cycles;
+  return flush / (config_.base_cycles_per_symbol + flush);
+}
+
+double DictionaryDecodeModel::throughput_bps(double entropy_bits) const {
+  return config_.clock_hz / cycles_per_symbol(entropy_bits);
+}
+
+}  // namespace recode::cpu

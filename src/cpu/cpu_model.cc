@@ -1,0 +1,71 @@
+#include "cpu/cpu_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace recode::cpu {
+
+CpuModel::CpuModel(CpuConfig config) : config_(std::move(config)) {
+  RECODE_CHECK(config_.threads >= 1);
+  RECODE_CHECK(config_.parallel_efficiency > 0 &&
+               config_.parallel_efficiency <= 1.0);
+}
+
+double CpuModel::spmv_gflops(double bytes_per_nnz,
+                             const mem::DramModel& dram) const {
+  RECODE_CHECK(bytes_per_nnz > 0);
+  const double nnz_per_sec =
+      dram.config().peak_bandwidth_bps / bytes_per_nnz;
+  const double mem_bound_gflops = nnz_per_sec * 2.0 / 1e9;
+  return std::min(mem_bound_gflops, config_.peak_gflops);
+}
+
+double CpuModel::scaled(double single_thread_bps) const {
+  return single_thread_bps * static_cast<double>(config_.threads) *
+         config_.parallel_efficiency;
+}
+
+double CpuModel::snappy_decode_bps() const {
+  return scaled(config_.snappy_decode_bps_1t);
+}
+
+double CpuModel::dsh_decode_bps() const {
+  return scaled(config_.dsh_decode_bps_1t);
+}
+
+namespace {
+
+double time_decode(const codec::CompressedMatrix& cm, double min_seconds) {
+  std::vector<sparse::index_t> indices;
+  std::vector<double> values;
+  recode::Timer timer;
+  std::uint64_t decoded_bytes = 0;
+  int rounds = 0;
+  do {
+    for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+      codec::decompress_block(cm, b, indices, values);
+      decoded_bytes += cm.blocking.blocks[b].count * 12;
+    }
+    ++rounds;
+  } while (timer.seconds() < min_seconds);
+  (void)rounds;
+  const double s = timer.seconds();
+  return s > 0 ? static_cast<double>(decoded_bytes) / s : 0.0;
+}
+
+}  // namespace
+
+HostThroughput measure_host_decode_throughput(const sparse::Csr& csr,
+                                              double min_seconds) {
+  HostThroughput result;
+  const auto snappy_cm =
+      codec::compress(csr, codec::PipelineConfig::cpu_snappy());
+  const auto dsh_cm = codec::compress(csr, codec::PipelineConfig::udp_dsh());
+  result.snappy_decode_bps = time_decode(snappy_cm, min_seconds);
+  result.dsh_decode_bps = time_decode(dsh_cm, min_seconds);
+  return result;
+}
+
+}  // namespace recode::cpu

@@ -1,0 +1,45 @@
+#include "mem/bus.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace recode::mem {
+
+SharedBus::SharedBus(const DramModel& dram, BusConfig config)
+    : dram_(&dram), config_(config) {
+  RECODE_CHECK(config_.efficiency > 0 && config_.efficiency <= 1.0);
+  RECODE_CHECK(config_.unloaded_latency_s >= 0);
+}
+
+void SharedBus::add_stream(double bandwidth_bps) {
+  RECODE_CHECK(bandwidth_bps >= 0);
+  demand_bps_ += bandwidth_bps;
+}
+
+void SharedBus::reset() { demand_bps_ = 0.0; }
+
+double SharedBus::capacity_bps() const {
+  return dram_->config().peak_bandwidth_bps * config_.efficiency;
+}
+
+double SharedBus::utilization() const {
+  return demand_bps_ / capacity_bps();
+}
+
+double SharedBus::granted_bps(double requested_bps) const {
+  RECODE_CHECK(requested_bps >= 0);
+  if (demand_bps_ <= 0 || feasible()) return requested_bps;
+  return requested_bps * capacity_bps() / demand_bps_;
+}
+
+double SharedBus::mean_latency_s() const {
+  const double rho = std::min(utilization(), 0.999999);
+  return config_.unloaded_latency_s * (1.0 + rho / (2.0 * (1.0 - rho)));
+}
+
+double SharedBus::power_watts() const {
+  return dram_->power_at_bandwidth(std::min(demand_bps_, capacity_bps()));
+}
+
+}  // namespace recode::mem

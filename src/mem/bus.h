@@ -1,0 +1,63 @@
+// Shared memory-bus contention model.
+//
+// Figure 4 of the paper integrates the UDP into the chip NoC next to the
+// LLC: the DMA engine's block transfers and the CPU's demand misses share
+// the memory controller. This M/D/1-style model answers the system
+// question the figure raises — how much does recoding traffic interfere
+// with the cores? Under compression the *total* traffic shrinks, so
+// contention drops even though a new agent was added.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/dram.h"
+
+namespace recode::mem {
+
+struct BusConfig {
+  // Fraction of peak DRAM bandwidth usable before queueing dominates
+  // (row-buffer and scheduling losses).
+  double efficiency = 0.9;
+  // Fixed service latency per 64 B line at zero load.
+  double unloaded_latency_s = 60e-9;
+};
+
+class SharedBus {
+ public:
+  SharedBus(const DramModel& dram, BusConfig config = {});
+
+  // Registers a traffic source demanding `bandwidth_bps` sustained.
+  void add_stream(double bandwidth_bps);
+
+  void reset();
+
+  // Total demanded bandwidth across sources.
+  double demand_bps() const { return demand_bps_; }
+
+  // Usable peak (efficiency-derated).
+  double capacity_bps() const;
+
+  // Utilization rho = demand / capacity (may exceed 1: oversubscribed).
+  double utilization() const;
+
+  // Whether all streams fit (rho <= 1).
+  bool feasible() const { return utilization() <= 1.0; }
+
+  // Bandwidth each source actually receives: demand when feasible, a
+  // proportional share of capacity when oversubscribed.
+  double granted_bps(double requested_bps) const;
+
+  // Mean access latency under M/D/1 queueing: L = s * (1 + rho/(2(1-rho))).
+  // Unbounded as rho -> 1; callers should check feasible() first.
+  double mean_latency_s() const;
+
+  // Memory power at the granted (not demanded) traffic level.
+  double power_watts() const;
+
+ private:
+  const DramModel* dram_;
+  BusConfig config_;
+  double demand_bps_ = 0.0;
+};
+
+}  // namespace recode::mem

@@ -1,0 +1,37 @@
+#include "mem/dma.h"
+
+#include "common/error.h"
+
+namespace recode::mem {
+
+DmaEngine::DmaEngine(const DramModel& dram, DmaConfig config)
+    : dram_(&dram), config_(config) {
+  RECODE_CHECK(config_.max_descriptor_bytes > 0);
+  RECODE_CHECK(config_.descriptor_overhead_s >= 0);
+}
+
+double DmaEngine::transfer(std::uint64_t bytes) {
+  const std::uint64_t descriptors =
+      bytes == 0 ? 0
+                 : (bytes + config_.max_descriptor_bytes - 1) /
+                       config_.max_descriptor_bytes;
+  const double latency =
+      static_cast<double>(descriptors) * config_.descriptor_overhead_s +
+      dram_->transfer_seconds(bytes == 0 ? 0 : bytes);
+  total_bytes_ += bytes;
+  total_descriptors_ += descriptors;
+  total_seconds_ += latency;
+  return latency;
+}
+
+double DmaEngine::total_energy_joules() const {
+  return dram_->energy_joules(total_bytes_);
+}
+
+void DmaEngine::reset() {
+  total_bytes_ = 0;
+  total_descriptors_ = 0;
+  total_seconds_ = 0.0;
+}
+
+}  // namespace recode::mem

@@ -1,0 +1,48 @@
+// DMA engine model (paper §III-C, citing the DLT accelerator of DATE'16).
+//
+// The UDP's local memory is mapped uncacheable into the CPU address space;
+// a lightweight DMA engine acting as an L2 agent moves blocks between the
+// memory controller and UDP scratchpads. The model charges a fixed
+// per-descriptor setup latency plus the streaming time at the DRAM rate,
+// and accounts total traffic so system-level analyses can convert it to
+// time and energy.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/dram.h"
+
+namespace recode::mem {
+
+struct DmaConfig {
+  double descriptor_overhead_s = 200e-9;  // setup cost per block transfer
+  std::size_t max_descriptor_bytes = 64 * 1024;
+};
+
+class DmaEngine {
+ public:
+  DmaEngine(const DramModel& dram, DmaConfig config = {});
+
+  // Models transferring `bytes` as one logical request (split into
+  // descriptors as needed); returns the transfer latency and accumulates
+  // traffic counters.
+  double transfer(std::uint64_t bytes);
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_descriptors() const { return total_descriptors_; }
+  double total_seconds() const { return total_seconds_; }
+
+  // Energy of all traffic so far under the DRAM energy model.
+  double total_energy_joules() const;
+
+  void reset();
+
+ private:
+  const DramModel* dram_;
+  DmaConfig config_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_descriptors_ = 0;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace recode::mem

@@ -1,0 +1,43 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace recode::mem {
+
+DramConfig DramConfig::ddr4_100gbs() {
+  return {"ddr4-100GB/s", 100e9, 100.0};
+}
+
+DramConfig DramConfig::hbm2_1tbs() {
+  return {"hbm2-1TB/s", 1000e9, 8.0};
+}
+
+DramModel::DramModel(DramConfig config) : config_(std::move(config)) {
+  RECODE_CHECK(config_.peak_bandwidth_bps > 0);
+  RECODE_CHECK(config_.energy_pj_per_bit >= 0);
+}
+
+double DramModel::transfer_seconds(std::uint64_t bytes,
+                                   double fraction) const {
+  RECODE_CHECK(fraction > 0.0 && fraction <= 1.0);
+  return static_cast<double>(bytes) /
+         (config_.peak_bandwidth_bps * fraction);
+}
+
+double DramModel::power_at_bandwidth(double bandwidth_bps) const {
+  const double bw = std::min(bandwidth_bps, config_.peak_bandwidth_bps);
+  // bytes/s * 8 bits/byte * pJ/bit = pW; 1e-12 to watts.
+  return bw * 8.0 * config_.energy_pj_per_bit * 1e-12;
+}
+
+double DramModel::max_power_watts() const {
+  return power_at_bandwidth(config_.peak_bandwidth_bps);
+}
+
+double DramModel::energy_joules(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) * 8.0 * config_.energy_pj_per_bit * 1e-12;
+}
+
+}  // namespace recode::mem

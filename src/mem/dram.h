@@ -1,0 +1,48 @@
+// DRAM bandwidth/energy models (paper §IV-A).
+//
+// Two reference memory systems:
+//   * DDR4: single-die AMD Epyc class, 100 GB/s peak, 100 pJ/bit for a
+//     DRAM read shipped to the CPU.
+//   * HBM2: four stacks, 1 TB/s peak, 8 pJ/bit.
+// Power at a given sustained bandwidth is linear in the data rate; the
+// "maximum memory power" of the paper's Figs 16/17 is peak bandwidth
+// times energy per bit (80 W for DDR4, 64 W for HBM2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace recode::mem {
+
+struct DramConfig {
+  std::string name;
+  double peak_bandwidth_bps = 0.0;  // bytes per second
+  double energy_pj_per_bit = 0.0;
+
+  static DramConfig ddr4_100gbs();
+  static DramConfig hbm2_1tbs();
+};
+
+class DramModel {
+ public:
+  explicit DramModel(DramConfig config);
+
+  const DramConfig& config() const { return config_; }
+
+  // Time to stream `bytes` sequentially at `fraction` of peak bandwidth.
+  double transfer_seconds(std::uint64_t bytes, double fraction = 1.0) const;
+
+  // Power when the interface sustains `bandwidth_bps` (clamped to peak).
+  double power_at_bandwidth(double bandwidth_bps) const;
+
+  // Peak-rate power: the paper's "maximum memory power".
+  double max_power_watts() const;
+
+  // Energy to move `bytes` (rate-independent: pJ/bit model).
+  double energy_joules(std::uint64_t bytes) const;
+
+ private:
+  DramConfig config_;
+};
+
+}  // namespace recode::mem

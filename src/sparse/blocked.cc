@@ -1,0 +1,48 @@
+#include "sparse/blocked.h"
+
+#include <algorithm>
+
+namespace recode::sparse {
+
+Blocking make_blocking(std::span<const offset_t> row_ptr,
+                       std::size_t nnz_per_block) {
+  RECODE_CHECK(nnz_per_block > 0);
+  RECODE_CHECK(!row_ptr.empty());
+  Blocking plan;
+  plan.nnz_per_block = nnz_per_block;
+  const auto nnz = static_cast<std::size_t>(row_ptr.back());
+  plan.blocks.reserve((nnz + nnz_per_block - 1) / nnz_per_block);
+
+  // Walk rows once, assigning each nnz range to its block and tracking the
+  // row span each block touches.
+  index_t row = 0;
+  for (std::size_t first = 0; first < nnz; first += nnz_per_block) {
+    BlockRange b;
+    b.first_nnz = first;
+    b.count = std::min(nnz_per_block, nnz - first);
+    // Advance `row` to the row containing nnz index `first`.
+    while (static_cast<std::size_t>(row_ptr[row + 1]) <= first) ++row;
+    b.first_row = row;
+    index_t last = row;
+    const std::size_t end = first + b.count;
+    while (static_cast<std::size_t>(row_ptr[last + 1]) < end) ++last;
+    b.last_row = last;
+    plan.blocks.push_back(b);
+  }
+  return plan;
+}
+
+Blocking make_blocking(const Csr& csr, std::size_t nnz_per_block) {
+  return make_blocking(std::span<const offset_t>(csr.row_ptr),
+                       nnz_per_block);
+}
+
+std::span<const index_t> block_indices(const Csr& csr, const BlockRange& b) {
+  return {csr.col_idx.data() + b.first_nnz, b.count};
+}
+
+std::span<const double> block_values(const Csr& csr, const BlockRange& b) {
+  return {csr.val.data() + b.first_nnz, b.count};
+}
+
+}  // namespace recode::sparse

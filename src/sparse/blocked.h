@@ -1,0 +1,49 @@
+// Fixed-size blocking of the CSR nnz streams.
+//
+// The paper compresses the CSR col_idx and val arrays in fixed blocks that
+// decompress to 8 KB in the UDP scratchpad (§V-A). We block both streams by
+// a common nnz count so index block k and value block k cover the same
+// non-zeros: the default 1024 nnz/block yields an 8 KB value block
+// (1024 x 8 B) and a 4 KB index block (1024 x 4 B), both within the lane
+// scratchpad budget.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+inline constexpr std::size_t kDefaultNnzPerBlock = 1024;
+
+struct BlockRange {
+  std::size_t first_nnz = 0;  // index into col_idx/val
+  std::size_t count = 0;      // non-zeros in this block
+  index_t first_row = 0;      // first row with an element in the block
+  index_t last_row = 0;       // last row with an element in the block
+};
+
+// A blocking plan over one CSR matrix.
+struct Blocking {
+  std::size_t nnz_per_block = kDefaultNnzPerBlock;
+  std::vector<BlockRange> blocks;
+
+  std::size_t block_count() const { return blocks.size(); }
+};
+
+// Splits csr's nnz streams into ceil(nnz / nnz_per_block) blocks and
+// records the covered row range of each (used by the tiled SpMV executor).
+Blocking make_blocking(const Csr& csr, std::size_t nnz_per_block);
+
+// Same plan from a bare row_ptr array (rows + 1 entries); used when
+// reconstructing a compressed container without the original matrix.
+Blocking make_blocking(std::span<const offset_t> row_ptr,
+                       std::size_t nnz_per_block);
+
+// Spans of the raw (uncompressed) streams covered by block b.
+std::span<const index_t> block_indices(const Csr& csr, const BlockRange& b);
+std::span<const double> block_values(const Csr& csr, const BlockRange& b);
+
+}  // namespace recode::sparse

@@ -1,0 +1,79 @@
+#include "sparse/bsr.h"
+
+#include <map>
+
+namespace recode::sparse {
+
+Bsr csr_to_bsr(const Csr& csr, index_t block_size) {
+  RECODE_CHECK(block_size >= 1);
+  Bsr bsr;
+  bsr.rows = csr.rows;
+  bsr.cols = csr.cols;
+  bsr.block_size = block_size;
+  const index_t brows = bsr.block_rows();
+  bsr.block_row_ptr.assign(static_cast<std::size_t>(brows) + 1, 0);
+
+  const auto b = static_cast<std::size_t>(block_size);
+  // One block row at a time: collect the touched block columns, then fill.
+  for (index_t br = 0; br < brows; ++br) {
+    std::map<index_t, std::size_t> blocks;  // block col -> val offset
+    const index_t r_lo = br * block_size;
+    const index_t r_hi = std::min<index_t>(csr.rows, r_lo + block_size);
+    for (index_t r = r_lo; r < r_hi; ++r) {
+      for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+        const index_t bc = csr.col_idx[k] / block_size;
+        if (!blocks.count(bc)) {
+          blocks.emplace(bc, bsr.val.size() + blocks.size() * b * b);
+        }
+      }
+    }
+    const std::size_t base = bsr.val.size();
+    bsr.val.resize(base + blocks.size() * b * b, 0.0);
+    // map iteration is ordered, so block_col stays sorted per block row.
+    std::size_t slot = 0;
+    for (auto& [bc, off] : blocks) {
+      off = base + slot * b * b;
+      bsr.block_col.push_back(bc);
+      ++slot;
+    }
+    for (index_t r = r_lo; r < r_hi; ++r) {
+      for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+        const index_t c = csr.col_idx[k];
+        const index_t bc = c / block_size;
+        const std::size_t off = blocks.at(bc);
+        bsr.val[off + static_cast<std::size_t>(r - r_lo) * b +
+                static_cast<std::size_t>(c - bc * block_size)] = csr.val[k];
+      }
+    }
+    bsr.block_row_ptr[static_cast<std::size_t>(br) + 1] =
+        static_cast<offset_t>(bsr.block_col.size());
+  }
+  return bsr;
+}
+
+Csr bsr_to_csr(const Bsr& bsr) {
+  Coo coo;
+  coo.rows = bsr.rows;
+  coo.cols = bsr.cols;
+  const auto b = static_cast<std::size_t>(bsr.block_size);
+  for (index_t br = 0; br < bsr.block_rows(); ++br) {
+    for (offset_t k = bsr.block_row_ptr[br]; k < bsr.block_row_ptr[br + 1];
+         ++k) {
+      const index_t bc = bsr.block_col[k];
+      const std::size_t base = static_cast<std::size_t>(k) * b * b;
+      for (std::size_t i = 0; i < b; ++i) {
+        const index_t r = br * bsr.block_size + static_cast<index_t>(i);
+        if (r >= bsr.rows) break;
+        for (std::size_t j = 0; j < b; ++j) {
+          const index_t c = bc * bsr.block_size + static_cast<index_t>(j);
+          if (c >= bsr.cols) break;
+          const double v = bsr.val[base + i * b + j];
+          if (v != 0.0) coo.add(r, c, v);
+        }
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+}  // namespace recode::sparse

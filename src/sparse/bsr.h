@@ -1,0 +1,71 @@
+// BSR (Block Sparse Row) — the classic block-format baseline from the
+// paper's related work (§VI-B: "many block-oriented, customized data
+// storage formats ... have been proposed to further compress and improve
+// the SpMV performance").
+//
+// BSR stores dense b x b blocks, amortizing one column index over b^2
+// values — the hardware-free alternative to recoding. Its weakness is
+// fill-in: blocks that are not fully dense store explicit zeros, so its
+// effective bytes/nnz depends on the matrix's block density. The
+// abl-style comparison against the recoding pipeline is exactly the
+// paper's argument for programmable compression over format engineering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+struct Bsr {
+  index_t rows = 0;        // element (not block) dimensions
+  index_t cols = 0;
+  index_t block_size = 1;  // b: blocks are b x b
+  std::vector<offset_t> block_row_ptr;  // size block_rows + 1
+  std::vector<index_t> block_col;       // block-column per stored block
+  std::vector<double> val;              // b*b values per block, row-major
+
+  index_t block_rows() const {
+    return (rows + block_size - 1) / block_size;
+  }
+  index_t block_cols() const {
+    return (cols + block_size - 1) / block_size;
+  }
+  std::size_t stored_blocks() const { return block_col.size(); }
+
+  // Stored values including explicit zero fill.
+  std::size_t stored_values() const {
+    return stored_blocks() * static_cast<std::size_t>(block_size) *
+           static_cast<std::size_t>(block_size);
+  }
+
+  // Memory-stream bytes under the paper's counting convention: 4 B per
+  // block column index + 8 B per stored value (block_row_ptr amortized).
+  std::size_t stream_bytes() const {
+    return stored_blocks() * 4 + stored_values() * 8;
+  }
+
+  // Effective bytes per *true* non-zero given the original nnz.
+  double bytes_per_nnz(std::size_t true_nnz) const {
+    return true_nnz == 0 ? 0.0
+                         : static_cast<double>(stream_bytes()) /
+                               static_cast<double>(true_nnz);
+  }
+
+  // Fraction of stored values that are true non-zeros.
+  double fill_efficiency(std::size_t true_nnz) const {
+    return stored_values() == 0 ? 0.0
+                                : static_cast<double>(true_nnz) /
+                                      static_cast<double>(stored_values());
+  }
+};
+
+// Tiles csr into b x b blocks (any block containing >= 1 non-zero is
+// stored dense). Throws on block_size < 1.
+Bsr csr_to_bsr(const Csr& csr, index_t block_size);
+
+// Expands back, dropping the explicit zeros BSR introduced.
+Csr bsr_to_csr(const Bsr& bsr);
+
+}  // namespace recode::sparse

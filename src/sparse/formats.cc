@@ -1,0 +1,143 @@
+#include "sparse/formats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace recode::sparse {
+
+void Csr::validate() const {
+  if (rows < 0 || cols < 0) fail("Csr: negative dimensions");
+  if (row_ptr.size() != static_cast<std::size_t>(rows) + 1) {
+    fail("Csr: row_ptr size mismatch");
+  }
+  if (col_idx.size() != val.size()) fail("Csr: col_idx/val size mismatch");
+  if (row_ptr.front() != 0) fail("Csr: row_ptr[0] != 0");
+  if (row_ptr.back() != static_cast<offset_t>(val.size())) {
+    fail("Csr: row_ptr back != nnz");
+  }
+  for (index_t r = 0; r < rows; ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) fail("Csr: row_ptr not monotone");
+    for (offset_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] < 0 || col_idx[k] >= cols) fail("Csr: column out of range");
+      if (k > row_ptr[r] && col_idx[k] <= col_idx[k - 1]) {
+        fail("Csr: columns not strictly increasing within row");
+      }
+    }
+  }
+}
+
+Csr coo_to_csr(const Coo& coo) {
+  RECODE_CHECK(coo.row.size() == coo.val.size() &&
+               coo.col.size() == coo.val.size());
+  const std::size_t nnz = coo.nnz();
+  std::vector<std::size_t> order(nnz);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (coo.row[a] != coo.row[b]) return coo.row[a] < coo.row[b];
+    return coo.col[a] < coo.col[b];
+  });
+
+  Csr csr;
+  csr.rows = coo.rows;
+  csr.cols = coo.cols;
+  csr.row_ptr.assign(static_cast<std::size_t>(coo.rows) + 1, 0);
+  csr.col_idx.reserve(nnz);
+  csr.val.reserve(nnz);
+
+  index_t prev_r = -1;
+  index_t prev_c = -1;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    const std::size_t k = order[i];
+    const index_t r = coo.row[k];
+    const index_t c = coo.col[k];
+    RECODE_CHECK_MSG(r >= 0 && r < coo.rows && c >= 0 && c < coo.cols,
+                     "COO entry out of range");
+    if (r == prev_r && c == prev_c) {
+      csr.val.back() += coo.val[k];  // sum duplicates
+      continue;
+    }
+    csr.col_idx.push_back(c);
+    csr.val.push_back(coo.val[k]);
+    csr.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(csr.col_idx.size());
+    prev_r = r;
+    prev_c = c;
+  }
+  // Prefix-fill: rows with no entries inherit the previous offset.
+  for (std::size_t r = 1; r < csr.row_ptr.size(); ++r) {
+    csr.row_ptr[r] = std::max(csr.row_ptr[r], csr.row_ptr[r - 1]);
+  }
+  csr.validate();
+  return csr;
+}
+
+Coo csr_to_coo(const Csr& csr) {
+  Coo coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.reserve(csr.nnz());
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      coo.add(r, csr.col_idx[k], csr.val[k]);
+    }
+  }
+  return coo;
+}
+
+Csc csr_to_csc(const Csr& csr) {
+  Csc csc;
+  csc.rows = csr.rows;
+  csc.cols = csr.cols;
+  csc.col_ptr.assign(static_cast<std::size_t>(csr.cols) + 1, 0);
+  csc.row_idx.resize(csr.nnz());
+  csc.val.resize(csr.nnz());
+
+  for (std::size_t k = 0; k < csr.nnz(); ++k) {
+    ++csc.col_ptr[static_cast<std::size_t>(csr.col_idx[k]) + 1];
+  }
+  for (std::size_t c = 1; c < csc.col_ptr.size(); ++c) {
+    csc.col_ptr[c] += csc.col_ptr[c - 1];
+  }
+  std::vector<offset_t> cursor(csc.col_ptr.begin(), csc.col_ptr.end() - 1);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      const index_t c = csr.col_idx[k];
+      const offset_t dst = cursor[c]++;
+      csc.row_idx[dst] = r;
+      csc.val[dst] = csr.val[k];
+    }
+  }
+  return csc;
+}
+
+Csr transpose(const Csr& csr) {
+  const Csc csc = csr_to_csc(csr);
+  Csr t;
+  t.rows = csr.cols;
+  t.cols = csr.rows;
+  t.row_ptr = csc.col_ptr;
+  t.col_idx = csc.row_idx;
+  t.val = csc.val;
+  t.validate();
+  return t;
+}
+
+bool equal(const Csr& a, const Csr& b) {
+  return a.rows == b.rows && a.cols == b.cols && a.row_ptr == b.row_ptr &&
+         a.col_idx == b.col_idx && a.val == b.val;
+}
+
+std::vector<double> spmv_reference(const Csr& a, std::span<const double> x) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  std::vector<double> y(static_cast<std::size_t>(a.rows), 0.0);
+  for (index_t r = 0; r < a.rows; ++r) {
+    double acc = 0.0;
+    for (offset_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+    }
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+}  // namespace recode::sparse

@@ -1,0 +1,280 @@
+#include "sparse/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recode::sparse {
+
+const char* value_model_name(ValueModel vm) {
+  switch (vm) {
+    case ValueModel::kStencilCoeffs: return "stencil";
+    case ValueModel::kSmoothField: return "smooth";
+    case ValueModel::kFewDistinct: return "few-distinct";
+    case ValueModel::kRandom: return "random";
+    case ValueModel::kUnit: return "unit";
+  }
+  return "?";
+}
+
+void fill_values(Csr& csr, ValueModel vm, std::uint64_t seed) {
+  Prng prng(seed);
+  switch (vm) {
+    case ValueModel::kStencilCoeffs: {
+      // Diagonal gets the center coefficient, off-diagonals a small set of
+      // couplings — the pattern of an assembled constant-coefficient PDE.
+      static constexpr double kOffdiag[4] = {-1.0, -0.5, -0.25, -2.0};
+      for (index_t r = 0; r < csr.rows; ++r) {
+        for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+          csr.val[k] = csr.col_idx[k] == r
+                           ? 4.0
+                           : kOffdiag[static_cast<std::size_t>(csr.col_idx[k]) % 4];
+        }
+      }
+      break;
+    }
+    case ValueModel::kSmoothField: {
+      // Smooth function of (row, col), quantized to ~1e-4 so mantissa tails
+      // repeat — models fields stored after iterative-solver convergence.
+      for (index_t r = 0; r < csr.rows; ++r) {
+        const double fr = static_cast<double>(r) / std::max<index_t>(1, csr.rows);
+        for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+          const double fc =
+              static_cast<double>(csr.col_idx[k]) / std::max<index_t>(1, csr.cols);
+          const double v = std::sin(6.28318 * fr) * std::cos(3.14159 * fc) + 2.0;
+          csr.val[k] = std::round(v * 1e4) / 1e4;
+        }
+      }
+      break;
+    }
+    case ValueModel::kFewDistinct: {
+      double palette[64];
+      for (double& p : palette) p = prng.next_double() * 10.0 - 5.0;
+      for (double& v : csr.val) v = palette[prng.next_below(64)];
+      break;
+    }
+    case ValueModel::kRandom: {
+      for (double& v : csr.val) v = prng.next_normal();
+      break;
+    }
+    case ValueModel::kUnit: {
+      std::fill(csr.val.begin(), csr.val.end(), 1.0);
+      break;
+    }
+  }
+}
+
+Csr gen_stencil2d(index_t nx, index_t ny, ValueModel vm, std::uint64_t seed) {
+  RECODE_CHECK(nx > 0 && ny > 0);
+  const index_t n = nx * ny;
+  Coo coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t i = y * nx + x;
+      if (y > 0) coo.add(i, i - nx, 1.0);
+      if (x > 0) coo.add(i, i - 1, 1.0);
+      coo.add(i, i, 1.0);
+      if (x + 1 < nx) coo.add(i, i + 1, 1.0);
+      if (y + 1 < ny) coo.add(i, i + nx, 1.0);
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed);
+  return csr;
+}
+
+Csr gen_stencil3d(index_t nx, index_t ny, index_t nz, ValueModel vm,
+                  std::uint64_t seed) {
+  RECODE_CHECK(nx > 0 && ny > 0 && nz > 0);
+  const index_t n = nx * ny * nz;
+  Coo coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * 7);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t i = (z * ny + y) * nx + x;
+        if (z > 0) coo.add(i, i - nx * ny, 1.0);
+        if (y > 0) coo.add(i, i - nx, 1.0);
+        if (x > 0) coo.add(i, i - 1, 1.0);
+        coo.add(i, i, 1.0);
+        if (x + 1 < nx) coo.add(i, i + 1, 1.0);
+        if (y + 1 < ny) coo.add(i, i + nx, 1.0);
+        if (z + 1 < nz) coo.add(i, i + nx * ny, 1.0);
+      }
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed);
+  return csr;
+}
+
+Csr gen_banded(index_t n, index_t half_bandwidth, double fill, ValueModel vm,
+               std::uint64_t seed) {
+  RECODE_CHECK(n > 0 && half_bandwidth >= 0 && fill >= 0.0 && fill <= 1.0);
+  Prng prng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  for (index_t r = 0; r < n; ++r) {
+    const index_t lo = std::max<index_t>(0, r - half_bandwidth);
+    const index_t hi = std::min<index_t>(n - 1, r + half_bandwidth);
+    for (index_t c = lo; c <= hi; ++c) {
+      if (c == r || prng.next_double() < fill) coo.add(r, c, 1.0);
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed + 1);
+  return csr;
+}
+
+Csr gen_multi_diagonal(index_t n, const std::vector<index_t>& offsets,
+                       ValueModel vm, std::uint64_t seed) {
+  RECODE_CHECK(n > 0);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  for (index_t r = 0; r < n; ++r) {
+    for (index_t off : offsets) {
+      const index_t c = r + off;
+      if (c >= 0 && c < n) coo.add(r, c, 1.0);
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed);
+  return csr;
+}
+
+Csr gen_fem_like(index_t n, int avg_degree, index_t locality_window,
+                 ValueModel vm, std::uint64_t seed) {
+  RECODE_CHECK(n > 0 && avg_degree >= 0 && locality_window > 0);
+  Prng prng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * (avg_degree + 1));
+  for (index_t r = 0; r < n; ++r) {
+    coo.add(r, r, 1.0);
+    // Symmetric couplings: emit only the upper triangle here, mirror below.
+    const int links = avg_degree / 2 + (prng.next_below(2) ? 1 : 0);
+    for (int l = 0; l < links; ++l) {
+      const index_t delta =
+          1 + static_cast<index_t>(prng.next_below(locality_window));
+      const index_t c = r + delta;
+      if (c < n) {
+        coo.add(r, c, 1.0);
+        coo.add(c, r, 1.0);
+      }
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed + 1);
+  return csr;
+}
+
+Csr gen_powerlaw(index_t n, double avg_degree, double alpha, ValueModel vm,
+                 std::uint64_t seed) {
+  RECODE_CHECK(n > 0 && avg_degree > 0 && alpha >= 0);
+  Prng prng(seed);
+  // Chung-Lu style: cumulative weight table for (i+1)^-alpha, sampled by
+  // binary search. Duplicates are merged by coo_to_csr.
+  std::vector<double> cum(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (index_t i = 0; i < n; ++i) {
+    total += std::pow(static_cast<double>(i) + 1.0, -alpha);
+    cum[static_cast<std::size_t>(i)] = total;
+  }
+  auto sample = [&]() -> index_t {
+    const double u = prng.next_double() * total;
+    const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    return static_cast<index_t>(it - cum.begin());
+  };
+  const auto edges =
+      static_cast<std::size_t>(avg_degree * static_cast<double>(n));
+  Coo coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    coo.add(sample(), sample(), 1.0);
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed + 1);
+  return csr;
+}
+
+Csr gen_circuit(index_t n, int avg_fanin, ValueModel vm, std::uint64_t seed) {
+  RECODE_CHECK(n > 0 && avg_fanin >= 0);
+  Prng prng(seed);
+  Coo coo;
+  coo.rows = coo.cols = n;
+  coo.reserve(static_cast<std::size_t>(n) * (avg_fanin + 1));
+  for (index_t r = 0; r < n; ++r) {
+    coo.add(r, r, 1.0);
+    for (int f = 0; f < avg_fanin; ++f) {
+      index_t c;
+      if (prng.next_below(8) == 0) {
+        c = static_cast<index_t>(prng.next_below(static_cast<std::uint64_t>(n)));  // global net
+      } else {
+        const index_t win = std::max<index_t>(2, n / 64);
+        const index_t lo = std::max<index_t>(0, r - win / 2);
+        c = lo + static_cast<index_t>(prng.next_below(static_cast<std::uint64_t>(
+                     std::min<index_t>(win, n - lo))));
+      }
+      coo.add(r, c, 1.0);
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed + 1);
+  return csr;
+}
+
+Csr gen_random(index_t rows, index_t cols, std::size_t nnz, ValueModel vm,
+               std::uint64_t seed) {
+  RECODE_CHECK(rows > 0 && cols > 0);
+  Prng prng(seed);
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  coo.reserve(nnz);
+  for (std::size_t i = 0; i < nnz; ++i) {
+    coo.add(static_cast<index_t>(prng.next_below(static_cast<std::uint64_t>(rows))),
+            static_cast<index_t>(prng.next_below(static_cast<std::uint64_t>(cols))),
+            1.0);
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed + 1);
+  return csr;
+}
+
+Csr gen_block_dense(index_t n, index_t block_size, int extra_blocks,
+                    double block_density, ValueModel vm, std::uint64_t seed) {
+  RECODE_CHECK(n > 0 && block_size > 0 && extra_blocks >= 0);
+  RECODE_CHECK(block_density > 0.0 && block_density <= 1.0);
+  Prng prng(seed);
+  const index_t nblocks = (n + block_size - 1) / block_size;
+  Coo coo;
+  coo.rows = coo.cols = n;
+  auto fill_block = [&](index_t br, index_t bc) {
+    const index_t r0 = br * block_size;
+    const index_t c0 = bc * block_size;
+    const index_t rl = std::min(block_size, n - r0);
+    const index_t cl = std::min(block_size, n - c0);
+    for (index_t r = 0; r < rl; ++r) {
+      for (index_t c = 0; c < cl; ++c) {
+        if (r0 + r == c0 + c || prng.next_double() < block_density) {
+          coo.add(r0 + r, c0 + c, 1.0);
+        }
+      }
+    }
+  };
+  for (index_t b = 0; b < nblocks; ++b) {
+    fill_block(b, b);
+    for (int e = 0; e < extra_blocks; ++e) {
+      fill_block(b, static_cast<index_t>(
+                        prng.next_below(static_cast<std::uint64_t>(nblocks))));
+    }
+  }
+  Csr csr = coo_to_csr(coo);
+  fill_values(csr, vm, seed + 1);
+  return csr;
+}
+
+}  // namespace recode::sparse

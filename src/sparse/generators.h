@@ -1,0 +1,77 @@
+// Synthetic sparse matrix generators.
+//
+// These stand in for the TAMU/SuiteSparse collection (DESIGN.md §2): each
+// generator reproduces one structure class that occurs in the collection —
+// 2D/3D discretizations, banded/diagonal systems, FEM-style meshes,
+// power-law graphs, circuit matrices, unstructured random matrices, and
+// block-dense matrices. All generators are deterministic from their seed.
+//
+// Compression behaviour depends on both index structure (what Delta+Snappy
+// exploit) and value entropy (what Huffman exploits), so the value stream
+// is controlled separately via ValueModel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+// Controls the entropy of the value stream.
+enum class ValueModel {
+  kStencilCoeffs,  // handful of PDE stencil coefficients; highly repetitive
+  kSmoothField,    // low-frequency smooth field, quantized mantissa
+  kFewDistinct,    // 64 distinct random doubles (Huffman-friendly)
+  kRandom,         // full-entropy doubles (incompressible mantissas)
+  kUnit,           // all ones (graph adjacency)
+};
+
+const char* value_model_name(ValueModel vm);
+
+// Overwrites csr.val in place according to the model. Deterministic in seed.
+void fill_values(Csr& csr, ValueModel vm, std::uint64_t seed);
+
+// 5-point Laplacian on an nx x ny grid (classic 2D PDE discretization).
+Csr gen_stencil2d(index_t nx, index_t ny, ValueModel vm, std::uint64_t seed);
+
+// 7-point Laplacian on an nx x ny x nz grid.
+Csr gen_stencil3d(index_t nx, index_t ny, index_t nz, ValueModel vm,
+                  std::uint64_t seed);
+
+// Banded matrix: entries within +/- half_bandwidth of the diagonal, each
+// present with probability `fill`. Diagonal always present.
+Csr gen_banded(index_t n, index_t half_bandwidth, double fill, ValueModel vm,
+               std::uint64_t seed);
+
+// Multi-diagonal matrix: full diagonals at the given offsets (0 = main).
+Csr gen_multi_diagonal(index_t n, const std::vector<index_t>& offsets,
+                       ValueModel vm, std::uint64_t seed);
+
+// FEM-like mesh matrix: symmetric, diagonal plus ~avg_degree neighbors per
+// row drawn within a locality window (models the node numbering locality
+// of meshed geometries like copter2/shipsec1).
+Csr gen_fem_like(index_t n, int avg_degree, index_t locality_window,
+                 ValueModel vm, std::uint64_t seed);
+
+// Power-law (Chung-Lu) directed graph adjacency: expected degree of node i
+// proportional to (i+1)^-alpha, scaled to ~avg_degree edges/row.
+Csr gen_powerlaw(index_t n, double avg_degree, double alpha, ValueModel vm,
+                 std::uint64_t seed);
+
+// Circuit-simulation-like matrix: diagonal plus a few local couplings and
+// occasional long-range entries per row (supply rails, global nets).
+Csr gen_circuit(index_t n, int avg_fanin, ValueModel vm, std::uint64_t seed);
+
+// Unstructured random matrix with ~nnz entries placed uniformly.
+Csr gen_random(index_t rows, index_t cols, std::size_t nnz, ValueModel vm,
+               std::uint64_t seed);
+
+// Block-structured matrix: n/block_size block rows, each with a diagonal
+// block plus `extra_blocks` random off-diagonal blocks, blocks filled with
+// density `block_density` (models supernodal / multi-physics coupling).
+Csr gen_block_dense(index_t n, index_t block_size, int extra_blocks,
+                    double block_density, ValueModel vm, std::uint64_t seed);
+
+}  // namespace recode::sparse

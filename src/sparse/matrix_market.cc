@@ -1,0 +1,116 @@
+#include "sparse/matrix_market.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.h"
+
+namespace recode::sparse {
+
+namespace {
+
+enum class Field { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+Coo read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("mtx: empty stream");
+
+  std::istringstream banner(line);
+  std::string tag, object, format, field_s, symmetry_s;
+  banner >> tag >> object >> format >> field_s >> symmetry_s;
+  if (tag != "%%MatrixMarket") fail("mtx: missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail("mtx: only 'matrix' objects supported");
+  if (lower(format) != "coordinate") {
+    fail("mtx: only 'coordinate' format supported (got " + format + ")");
+  }
+
+  Field field;
+  const std::string f = lower(field_s);
+  if (f == "real" || f == "double") {
+    field = Field::kReal;
+  } else if (f == "integer") {
+    field = Field::kInteger;
+  } else if (f == "pattern") {
+    field = Field::kPattern;
+  } else {
+    fail("mtx: unsupported field type: " + field_s);
+  }
+
+  Symmetry sym;
+  const std::string s = lower(symmetry_s);
+  if (s == "general") {
+    sym = Symmetry::kGeneral;
+  } else if (s == "symmetric") {
+    sym = Symmetry::kSymmetric;
+  } else if (s == "skew-symmetric") {
+    sym = Symmetry::kSkewSymmetric;
+  } else {
+    fail("mtx: unsupported symmetry: " + symmetry_s);
+  }
+
+  // Skip comments, find the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries)) fail("mtx: bad size line");
+  if (rows <= 0 || cols <= 0 || entries < 0) fail("mtx: bad dimensions");
+
+  Coo coo;
+  coo.rows = static_cast<index_t>(rows);
+  coo.cols = static_cast<index_t>(cols);
+  coo.reserve(static_cast<std::size_t>(
+      sym == Symmetry::kGeneral ? entries : entries * 2));
+
+  for (long long i = 0; i < entries; ++i) {
+    long long r = 0, c = 0;
+    double v = 1.0;
+    if (!(in >> r >> c)) fail("mtx: truncated entry list");
+    if (field != Field::kPattern && !(in >> v)) fail("mtx: missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail("mtx: entry out of range");
+    const auto ri = static_cast<index_t>(r - 1);
+    const auto ci = static_cast<index_t>(c - 1);
+    coo.add(ri, ci, v);
+    if (ri != ci) {
+      if (sym == Symmetry::kSymmetric) coo.add(ci, ri, v);
+      if (sym == Symmetry::kSkewSymmetric) coo.add(ci, ri, -v);
+    }
+  }
+  return coo;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("mtx: cannot open file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.rows << " " << coo.cols << " " << coo.nnz() << "\n";
+  for (std::size_t i = 0; i < coo.nnz(); ++i) {
+    out << (coo.row[i] + 1) << " " << (coo.col[i] + 1) << " ";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", coo.val[i]);
+    out << buf << "\n";
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const Coo& coo) {
+  std::ofstream out(path);
+  if (!out) fail("mtx: cannot open file for write: " + path);
+  write_matrix_market(out, coo);
+  if (!out) fail("mtx: write failed: " + path);
+}
+
+}  // namespace recode::sparse

@@ -1,0 +1,27 @@
+// Matrix Market (.mtx) reader/writer.
+//
+// Supports the `matrix coordinate` banner with real/integer/pattern fields
+// and general/symmetric/skew-symmetric symmetry — the variants that occur
+// in the SuiteSparse/TAMU collection the paper evaluates on. This lets
+// real TAMU matrices be dropped into any bench via --mtx when available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+// Parses a Matrix Market stream into COO (symmetric entries expanded).
+// Throws recode::Error on malformed input.
+Coo read_matrix_market(std::istream& in);
+
+// Convenience: reads from a file path.
+Coo read_matrix_market_file(const std::string& path);
+
+// Writes `coo` as `%%MatrixMarket matrix coordinate real general`.
+void write_matrix_market(std::ostream& out, const Coo& coo);
+void write_matrix_market_file(const std::string& path, const Coo& coo);
+
+}  // namespace recode::sparse

@@ -1,0 +1,115 @@
+#include "sparse/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace recode::sparse {
+
+std::vector<index_t> rcm_ordering(const Csr& csr) {
+  RECODE_CHECK(csr.rows == csr.cols);
+  const index_t n = csr.rows;
+
+  // Symmetrize the pattern: adjacency = pattern(A) | pattern(A^T).
+  const Csr at = transpose(csr);
+  std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+  auto add_edges = [&](const Csr& m) {
+    for (index_t r = 0; r < n; ++r) {
+      for (offset_t k = m.row_ptr[r]; k < m.row_ptr[r + 1]; ++k) {
+        if (m.col_idx[k] != r) {
+          adj[static_cast<std::size_t>(r)].push_back(m.col_idx[k]);
+        }
+      }
+    }
+  };
+  add_edges(csr);
+  add_edges(at);
+  std::vector<index_t> degree(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    auto& nb = adj[static_cast<std::size_t>(v)];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    degree[static_cast<std::size_t>(v)] = static_cast<index_t>(nb.size());
+  }
+
+  // Cuthill-McKee BFS from the minimum-degree vertex of each component,
+  // visiting neighbors in increasing-degree order; reverse at the end.
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  // Vertices sorted by degree give deterministic component seeds.
+  std::vector<index_t> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), index_t{0});
+  std::sort(by_degree.begin(), by_degree.end(), [&](index_t a, index_t b) {
+    if (degree[static_cast<std::size_t>(a)] !=
+        degree[static_cast<std::size_t>(b)]) {
+      return degree[static_cast<std::size_t>(a)] <
+             degree[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+
+  std::vector<index_t> frontier;
+  for (const index_t seed : by_degree) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    std::queue<index_t> queue;
+    queue.push(seed);
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      frontier.clear();
+      for (const index_t w : adj[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          frontier.push_back(w);
+        }
+      }
+      std::sort(frontier.begin(), frontier.end(),
+                [&](index_t a, index_t b) {
+                  if (degree[static_cast<std::size_t>(a)] !=
+                      degree[static_cast<std::size_t>(b)]) {
+                    return degree[static_cast<std::size_t>(a)] <
+                           degree[static_cast<std::size_t>(b)];
+                  }
+                  return a < b;
+                });
+      for (const index_t w : frontier) queue.push(w);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+Csr permute_symmetric(const Csr& csr, const std::vector<index_t>& perm) {
+  RECODE_CHECK(csr.rows == csr.cols);
+  RECODE_CHECK(perm.size() == static_cast<std::size_t>(csr.rows));
+  // inverse[old] = new.
+  std::vector<index_t> inverse(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const index_t old = perm[i];
+    RECODE_CHECK_MSG(old >= 0 && static_cast<std::size_t>(old) < perm.size(),
+                     "perm entry out of range");
+    RECODE_CHECK_MSG(!seen[static_cast<std::size_t>(old)],
+                     "perm is not a permutation");
+    seen[static_cast<std::size_t>(old)] = true;
+    inverse[static_cast<std::size_t>(old)] = static_cast<index_t>(i);
+  }
+
+  Coo coo;
+  coo.rows = csr.rows;
+  coo.cols = csr.cols;
+  coo.reserve(csr.nnz());
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      coo.add(inverse[static_cast<std::size_t>(r)],
+              inverse[static_cast<std::size_t>(csr.col_idx[k])], csr.val[k]);
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+}  // namespace recode::sparse

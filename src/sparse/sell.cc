@@ -1,0 +1,117 @@
+#include "sparse/sell.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace recode::sparse {
+
+SellCSigma csr_to_sell(const Csr& csr, index_t chunk, index_t sigma) {
+  RECODE_CHECK(chunk >= 1);
+  RECODE_CHECK(sigma >= chunk);
+  SellCSigma sell;
+  sell.rows = csr.rows;
+  sell.cols = csr.cols;
+  sell.chunk = chunk;
+  sell.sigma = ((sigma + chunk - 1) / chunk) * chunk;
+
+  // Sort rows by descending length within each sigma window.
+  sell.row_order.resize(static_cast<std::size_t>(csr.rows));
+  std::iota(sell.row_order.begin(), sell.row_order.end(), index_t{0});
+  auto row_len = [&](index_t r) {
+    return csr.row_ptr[r + 1] - csr.row_ptr[r];
+  };
+  for (index_t w = 0; w < csr.rows; w += sell.sigma) {
+    const index_t hi = std::min<index_t>(csr.rows, w + sell.sigma);
+    std::sort(sell.row_order.begin() + w, sell.row_order.begin() + hi,
+              [&](index_t a, index_t b) {
+                if (row_len(a) != row_len(b)) return row_len(a) > row_len(b);
+                return a < b;  // stable tie-break keeps locality
+              });
+  }
+
+  // Pack chunks column-major, padded to the chunk's longest row.
+  const index_t nchunks = (csr.rows + chunk - 1) / chunk;
+  sell.chunk_ptr.reserve(static_cast<std::size_t>(nchunks) + 1);
+  sell.chunk_len.reserve(static_cast<std::size_t>(nchunks));
+  sell.chunk_ptr.push_back(0);
+  for (index_t c = 0; c < nchunks; ++c) {
+    const index_t first = c * chunk;
+    const index_t last = std::min<index_t>(csr.rows, first + chunk);
+    index_t max_len = 0;
+    for (index_t s = first; s < last; ++s) {
+      max_len = std::max<index_t>(
+          max_len, static_cast<index_t>(row_len(sell.row_order[s])));
+    }
+    sell.chunk_len.push_back(max_len);
+    // Column-major: entry j of every row in the chunk is contiguous.
+    for (index_t j = 0; j < max_len; ++j) {
+      for (index_t s = first; s < first + chunk; ++s) {
+        if (s < last) {
+          const index_t r = sell.row_order[s];
+          if (static_cast<offset_t>(j) < row_len(r)) {
+            sell.col_idx.push_back(csr.col_idx[csr.row_ptr[r] + j]);
+            sell.val.push_back(csr.val[csr.row_ptr[r] + j]);
+            continue;
+          }
+        }
+        sell.col_idx.push_back(0);  // padding
+        sell.val.push_back(0.0);
+      }
+    }
+    sell.chunk_ptr.push_back(static_cast<offset_t>(sell.val.size()));
+  }
+  return sell;
+}
+
+Csr sell_to_csr(const SellCSigma& sell) {
+  Coo coo;
+  coo.rows = sell.rows;
+  coo.cols = sell.cols;
+  const index_t nchunks = static_cast<index_t>(sell.chunk_count());
+  for (index_t c = 0; c < nchunks; ++c) {
+    const index_t first = c * sell.chunk;
+    const offset_t base = sell.chunk_ptr[c];
+    for (index_t j = 0; j < sell.chunk_len[c]; ++j) {
+      for (index_t lane = 0; lane < sell.chunk; ++lane) {
+        const index_t slot = first + lane;
+        if (slot >= sell.rows) continue;
+        const offset_t k =
+            base + static_cast<offset_t>(j) * sell.chunk + lane;
+        const double v = sell.val[k];
+        if (v != 0.0) {
+          coo.add(sell.row_order[slot], sell.col_idx[k], v);
+        }
+      }
+    }
+  }
+  return coo_to_csr(coo);
+}
+
+void spmv_sell(const SellCSigma& sell, std::span<const double> x,
+               std::span<double> y) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(sell.cols));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(sell.rows));
+  std::fill(y.begin(), y.end(), 0.0);
+  const index_t nchunks = static_cast<index_t>(sell.chunk_count());
+  std::vector<double> acc(static_cast<std::size_t>(sell.chunk));
+  for (index_t c = 0; c < nchunks; ++c) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    const index_t first = c * sell.chunk;
+    const offset_t base = sell.chunk_ptr[c];
+    for (index_t j = 0; j < sell.chunk_len[c]; ++j) {
+      const offset_t k0 = base + static_cast<offset_t>(j) * sell.chunk;
+      for (index_t lane = 0; lane < sell.chunk; ++lane) {
+        acc[lane] += sell.val[k0 + lane] *
+                     x[static_cast<std::size_t>(sell.col_idx[k0 + lane])];
+      }
+    }
+    for (index_t lane = 0; lane < sell.chunk; ++lane) {
+      const index_t slot = first + lane;
+      if (slot < sell.rows) {
+        y[static_cast<std::size_t>(sell.row_order[slot])] = acc[lane];
+      }
+    }
+  }
+}
+
+}  // namespace recode::sparse

@@ -1,0 +1,67 @@
+// SELL-C-sigma (Sliced ELLPACK) — the cross-platform SIMD format of
+// Kreutzer, Hager, Wellein, Fehske, Bishop (SIAM SISC 2014), cited by the
+// paper as reference [27] among the format-optimization baselines.
+//
+// Rows are sorted by length within windows of sigma rows, grouped into
+// chunks of C rows, and each chunk is stored column-major padded to its
+// longest row — unit-stride vector loads at the cost of padding zeros.
+// Like BSR it trades explicit zeros for regularity; its bytes/nnz
+// degrades with row-length skew, which the recoding pipeline is immune
+// to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+struct SellCSigma {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t chunk = 32;   // C: rows per chunk
+  index_t sigma = 128;  // sorting window (multiple of C)
+
+  std::vector<index_t> row_order;    // permutation: slot -> original row
+  std::vector<offset_t> chunk_ptr;   // per chunk, offset into col_idx/val
+  std::vector<index_t> chunk_len;    // per chunk, padded row length
+  std::vector<index_t> col_idx;      // column-major within chunk, padded
+  std::vector<double> val;           // padding entries are 0 with col 0
+
+  std::size_t chunk_count() const { return chunk_len.size(); }
+
+  // Stored entries including padding.
+  std::size_t stored_entries() const { return val.size(); }
+
+  // Memory-stream bytes: 4 B index + 8 B value per stored (padded) entry.
+  std::size_t stream_bytes() const { return stored_entries() * 12; }
+
+  double bytes_per_nnz(std::size_t true_nnz) const {
+    return true_nnz == 0 ? 0.0
+                         : static_cast<double>(stream_bytes()) /
+                               static_cast<double>(true_nnz);
+  }
+
+  // Fraction of stored entries that are true non-zeros.
+  double fill_efficiency(std::size_t true_nnz) const {
+    return stored_entries() == 0
+               ? 0.0
+               : static_cast<double>(true_nnz) /
+                     static_cast<double>(stored_entries());
+  }
+};
+
+// Builds SELL-C-sigma from CSR. sigma is rounded up to a multiple of
+// chunk; pass sigma == rows for full sorting, sigma == chunk for none.
+SellCSigma csr_to_sell(const Csr& csr, index_t chunk, index_t sigma);
+
+// Expands back to CSR (drops padding).
+Csr sell_to_csr(const SellCSigma& sell);
+
+// y = A*x on the SELL structure (kernel lives here because the traversal
+// is format-specific).
+void spmv_sell(const SellCSigma& sell, std::span<const double> x,
+               std::span<double> y);
+
+}  // namespace recode::sparse

@@ -1,0 +1,100 @@
+#include "sparse/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace recode::sparse {
+
+MatrixStats compute_stats(const Csr& csr) {
+  MatrixStats s;
+  s.rows = csr.rows;
+  s.cols = csr.cols;
+  s.nnz = csr.nnz();
+  if (csr.rows == 0 || csr.cols == 0) return s;
+  s.density = static_cast<double>(s.nnz) /
+              (static_cast<double>(csr.rows) * static_cast<double>(csr.cols));
+
+  // Row-length distribution.
+  double sum = 0.0, sum_sq = 0.0;
+  for (index_t r = 0; r < csr.rows; ++r) {
+    const auto len =
+        static_cast<std::size_t>(csr.row_ptr[r + 1] - csr.row_ptr[r]);
+    s.max_row_nnz = std::max(s.max_row_nnz, len);
+    if (len == 0) ++s.empty_rows;
+    sum += static_cast<double>(len);
+    sum_sq += static_cast<double>(len) * static_cast<double>(len);
+  }
+  s.avg_row_nnz = sum / static_cast<double>(csr.rows);
+  const double var =
+      sum_sq / static_cast<double>(csr.rows) - s.avg_row_nnz * s.avg_row_nnz;
+  s.row_nnz_cv =
+      s.avg_row_nnz > 0 ? std::sqrt(std::max(0.0, var)) / s.avg_row_nnz : 0.0;
+
+  // Index locality.
+  std::size_t diag_count = 0;
+  double abs_offset_sum = 0.0;
+  double gap_sum = 0.0;
+  std::size_t gap_count = 0;
+  std::size_t unit_gaps = 0;
+  for (index_t r = 0; r < csr.rows; ++r) {
+    index_t prev = -1;
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      const index_t c = csr.col_idx[k];
+      const index_t off = c >= r ? c - r : r - c;
+      s.bandwidth = std::max(s.bandwidth, off);
+      abs_offset_sum += static_cast<double>(off);
+      if (c == r) ++diag_count;
+      if (prev >= 0) {
+        const index_t gap = c - prev;
+        gap_sum += static_cast<double>(gap);
+        ++gap_count;
+        if (gap == 1) ++unit_gaps;
+      }
+      prev = c;
+    }
+  }
+  if (s.nnz > 0) {
+    s.avg_abs_diag_offset = abs_offset_sum / static_cast<double>(s.nnz);
+  }
+  if (gap_count > 0) {
+    s.mean_intra_row_gap = gap_sum / static_cast<double>(gap_count);
+    s.fraction_unit_gaps =
+        static_cast<double>(unit_gaps) / static_cast<double>(gap_count);
+  }
+  s.has_full_diagonal =
+      csr.rows == csr.cols &&
+      diag_count == static_cast<std::size_t>(std::min(csr.rows, csr.cols));
+
+  // Structural symmetry: pattern of A equals pattern of A^T.
+  if (csr.rows == csr.cols) {
+    const Csr t = transpose(csr);
+    s.structurally_symmetric =
+        t.row_ptr == csr.row_ptr && t.col_idx == csr.col_idx;
+  }
+
+  // Shape heuristic for the encoding selector.
+  const auto n = static_cast<double>(std::max(csr.rows, csr.cols));
+  if (s.avg_row_nnz <= 12.0 && s.bandwidth > 0 &&
+      static_cast<double>(s.bandwidth) < 0.02 * n && s.row_nnz_cv < 0.3) {
+    s.shape = MatrixStats::Shape::kDiagonalish;
+  } else if (static_cast<double>(s.bandwidth) < 0.1 * n) {
+    s.shape = MatrixStats::Shape::kBanded;
+  } else if (s.fraction_unit_gaps > 0.5) {
+    s.shape = MatrixStats::Shape::kBlocky;
+  } else {
+    s.shape = MatrixStats::Shape::kUnstructured;
+  }
+  return s;
+}
+
+const char* shape_name(MatrixStats::Shape shape) {
+  switch (shape) {
+    case MatrixStats::Shape::kDiagonalish: return "diagonal";
+    case MatrixStats::Shape::kBanded: return "banded";
+    case MatrixStats::Shape::kBlocky: return "blocky";
+    case MatrixStats::Shape::kUnstructured: return "unstructured";
+  }
+  return "?";
+}
+
+}  // namespace recode::sparse

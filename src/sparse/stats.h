@@ -1,0 +1,47 @@
+// Structural statistics of sparse matrices.
+//
+// The compression ratio the recoding pipeline achieves is a function of
+// index structure (bandedness, locality, row-length regularity) and the
+// paper selects/characterizes matrices by exactly these properties
+// (§IV-B: "banded, diagonal, and symmetric structure, as well as
+// unstructured"). This module computes them, both for reporting in the
+// benches and for the structure-aware encoding selector (codec/custom).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+struct MatrixStats {
+  index_t rows = 0;
+  index_t cols = 0;
+  std::size_t nnz = 0;
+
+  double density = 0.0;           // nnz / (rows*cols)
+  double avg_row_nnz = 0.0;
+  std::size_t max_row_nnz = 0;
+  std::size_t empty_rows = 0;
+  double row_nnz_cv = 0.0;        // coefficient of variation of row lengths
+
+  // Index locality.
+  index_t bandwidth = 0;          // max |col - row| over entries
+  double avg_abs_diag_offset = 0.0;
+  double mean_intra_row_gap = 0.0;   // mean col-index delta within rows
+  double fraction_unit_gaps = 0.0;   // gaps == 1 (dense runs)
+
+  bool structurally_symmetric = false;
+  bool has_full_diagonal = false;
+
+  // Crude structure classification used by the encoding selector.
+  enum class Shape { kDiagonalish, kBanded, kBlocky, kUnstructured };
+  Shape shape = Shape::kUnstructured;
+};
+
+MatrixStats compute_stats(const Csr& csr);
+
+const char* shape_name(MatrixStats::Shape shape);
+
+}  // namespace recode::sparse

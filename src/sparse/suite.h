@@ -1,0 +1,60 @@
+// Evaluation suites standing in for the TAMU/SuiteSparse collection.
+//
+// representative_suite() reproduces the paper's seven named matrices
+// (copter2, g7jac160, gas_sensor, m3dc1_a30, matrix-new_3, shipsec1,
+// xenon1) as synthetic stand-ins with each matrix's published dimensions,
+// density and structure class (DESIGN.md §2 documents the substitution).
+//
+// synthetic_collection() generates the paper's "369 largest TAMU matrices"
+// analogue: a deterministic sweep over structure classes and value models
+// with log-uniform nnz in a configurable range. It is callback-streamed so
+// benches never hold the whole collection in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sparse/formats.h"
+
+namespace recode::sparse {
+
+struct NamedMatrix {
+  std::string name;
+  std::string family;  // structure class, e.g. "fem", "stencil2d", "powerlaw"
+  Csr csr;
+};
+
+// The seven matrices of Figs 12/14-17. `scale` in (0, 1] shrinks the
+// dimension (nnz scales proportionally) so the full pipeline runs quickly
+// on small hosts; 1.0 reproduces the published sizes.
+std::vector<NamedMatrix> representative_suite(double scale = 1.0);
+
+// Metadata of the paper's seven matrices (published dims/nnz) so tests and
+// docs can check the stand-ins are faithful.
+struct RepresentativeSpec {
+  std::string name;
+  index_t n;               // published dimension
+  std::int64_t nnz;        // published non-zero count
+  std::string structure;   // published domain/kind
+};
+const std::vector<RepresentativeSpec>& representative_specs();
+
+struct SuiteOptions {
+  int count = 369;                 // number of matrices, paper: 369
+  std::size_t min_nnz = 100'000;   // paper: 1e6 (scaled down for 1-core CI)
+  std::size_t max_nnz = 1'000'000; // paper: 8e8
+  std::uint64_t seed = 2019;
+};
+
+// Invokes `fn(index, matrix)` for each suite member in order. Matrices are
+// generated on demand and released after the callback returns.
+void for_each_suite_matrix(
+    const SuiteOptions& opts,
+    const std::function<void(int, const NamedMatrix&)>& fn);
+
+// Convenience for tests/small runs: materializes the whole suite.
+std::vector<NamedMatrix> synthetic_collection(const SuiteOptions& opts);
+
+}  // namespace recode::sparse

@@ -1,0 +1,178 @@
+#include "spmv/kernels.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+
+namespace recode::spmv {
+
+using sparse::Csr;
+using sparse::index_t;
+using sparse::offset_t;
+
+void spmv_csr(const Csr& a, std::span<const double> x, std::span<double> y) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  for (index_t i = 0; i < a.rows; ++i) {
+    double acc = 0.0;
+    for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void spmv_bsr(const sparse::Bsr& a, std::span<const double> x,
+              std::span<double> y) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  std::fill(y.begin(), y.end(), 0.0);
+  const auto b = static_cast<std::size_t>(a.block_size);
+  for (index_t br = 0; br < a.block_rows(); ++br) {
+    const index_t r0 = br * a.block_size;
+    for (offset_t k = a.block_row_ptr[br]; k < a.block_row_ptr[br + 1]; ++k) {
+      const index_t c0 = a.block_col[k] * a.block_size;
+      const double* block = a.val.data() + static_cast<std::size_t>(k) * b * b;
+      const std::size_t rl =
+          std::min<std::size_t>(b, static_cast<std::size_t>(a.rows - r0));
+      const std::size_t cl =
+          std::min<std::size_t>(b, static_cast<std::size_t>(a.cols - c0));
+      for (std::size_t i = 0; i < rl; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < cl; ++j) {
+          acc += block[i * b + j] * x[static_cast<std::size_t>(c0) + j];
+        }
+        y[static_cast<std::size_t>(r0) + i] += acc;
+      }
+    }
+  }
+}
+
+void spmv_csr_parallel(const Csr& a, std::span<const double> x,
+                       std::span<double> y, ThreadPool& pool) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  pool.parallel_for(
+      0, static_cast<std::size_t>(a.rows),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double acc = 0.0;
+          for (offset_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+            acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+          }
+          y[i] = acc;
+        }
+      });
+}
+
+void spmm_csr(const Csr& a, std::span<const double> x, std::span<double> y,
+              int k) {
+  RECODE_CHECK(k >= 1);
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(a.cols) *
+                               static_cast<std::size_t>(k));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(a.rows) *
+                               static_cast<std::size_t>(k));
+  const auto kk = static_cast<std::size_t>(k);
+  for (index_t i = 0; i < a.rows; ++i) {
+    double* yi = y.data() + static_cast<std::size_t>(i) * kk;
+    std::fill(yi, yi + kk, 0.0);
+    for (offset_t kidx = a.row_ptr[i]; kidx < a.row_ptr[i + 1]; ++kidx) {
+      const double v = a.val[kidx];
+      const double* xj =
+          x.data() + static_cast<std::size_t>(a.col_idx[kidx]) * kk;
+      for (std::size_t c = 0; c < kk; ++c) yi[c] += v * xj[c];
+    }
+  }
+}
+
+namespace {
+
+// Merge-path split: finds the (row, nnz) coordinate where the given
+// diagonal crosses the merge path of row-end offsets vs nnz indices.
+std::pair<index_t, offset_t> merge_path_search(offset_t diagonal,
+                                               const Csr& a) {
+  const auto rows = static_cast<offset_t>(a.rows);
+  const auto nnz = static_cast<offset_t>(a.nnz());
+  offset_t x_min = std::max<offset_t>(diagonal - nnz, 0);
+  offset_t x_max = std::min<offset_t>(diagonal, rows);
+  while (x_min < x_max) {
+    const offset_t pivot = (x_min + x_max) >> 1;
+    if (a.row_ptr[pivot + 1] <= diagonal - pivot - 1) {
+      x_min = pivot + 1;
+    } else {
+      x_max = pivot;
+    }
+  }
+  return {static_cast<index_t>(std::min(x_min, rows)), diagonal - x_min};
+}
+
+}  // namespace
+
+void spmv_csr_merge(const Csr& a, std::span<const double> x,
+                    std::span<double> y, ThreadPool& pool) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(a.cols));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(a.rows));
+  std::fill(y.begin(), y.end(), 0.0);
+  const auto nnz = static_cast<offset_t>(a.nnz());
+  if (nnz == 0) return;
+
+  const std::size_t segments =
+      std::max<std::size_t>(1, std::min<std::size_t>(pool.size() * 4,
+                                                     a.nnz() / 64 + 1));
+  const offset_t total = static_cast<offset_t>(a.rows) + nnz;
+  struct Carry {
+    index_t row = -1;
+    double value = 0.0;
+  };
+  std::vector<std::vector<Carry>> carries(segments);
+
+  pool.parallel_for(0, segments, [&](std::size_t seg_begin,
+                                     std::size_t seg_end) {
+    for (std::size_t s = seg_begin; s < seg_end; ++s) {
+      const offset_t d0 =
+          static_cast<offset_t>(static_cast<double>(total) *
+                                static_cast<double>(s) /
+                                static_cast<double>(segments));
+      const offset_t d1 =
+          static_cast<offset_t>(static_cast<double>(total) *
+                                static_cast<double>(s + 1) /
+                                static_cast<double>(segments));
+      auto [row, k] = merge_path_search(d0, a);
+      const auto [row_end, k_end] = merge_path_search(d1, a);
+
+      double acc = 0.0;
+      // Consume the merge path: row-end events flush the accumulator,
+      // nnz events accumulate.
+      while (row < row_end ||
+             (row == row_end && k < k_end)) {
+        if (row < static_cast<index_t>(a.rows) && k == a.row_ptr[row + 1]) {
+          // Row boundary inside this segment: this thread completes row.
+          y[static_cast<std::size_t>(row)] += acc;
+          acc = 0.0;
+          ++row;
+        } else if (k < k_end) {
+          acc += a.val[k] * x[static_cast<std::size_t>(a.col_idx[k])];
+          ++k;
+        } else {
+          // Only row events remain on this segment's path.
+          y[static_cast<std::size_t>(row)] += acc;
+          acc = 0.0;
+          ++row;
+        }
+      }
+      if (acc != 0.0 && row < static_cast<index_t>(a.rows)) {
+        carries[s].push_back({row, acc});  // partial last row
+      }
+    }
+  });
+
+  for (const auto& seg : carries) {
+    for (const Carry& c : seg) {
+      y[static_cast<std::size_t>(c.row)] += c.value;
+    }
+  }
+}
+
+}  // namespace recode::spmv

@@ -1,0 +1,42 @@
+// SpMV kernels: y = A*x for CSR matrices.
+//
+// * spmv_csr            — the paper's Fig 2 reference loop.
+// * spmv_csr_parallel   — row-partitioned threading (classic BLAS style).
+// * spmv_csr_merge      — merge-based decomposition (Merrill & Garland,
+//                         SC'16, the robust baseline the paper cites
+//                         [33]): work is split by equal shares of
+//                         (rows + nnz) along the merge path so pathological
+//                         row-length skew cannot unbalance threads.
+// All kernels overwrite y.
+#pragma once
+
+#include <span>
+
+#include "common/thread_pool.h"
+#include "sparse/bsr.h"
+#include "sparse/formats.h"
+
+namespace recode::spmv {
+
+void spmv_csr(const sparse::Csr& a, std::span<const double> x,
+              std::span<double> y);
+
+// y = A*x on the BSR structure: dense b x b block kernels, one column
+// index per block (the format-optimization baseline of §VI-B).
+void spmv_bsr(const sparse::Bsr& a, std::span<const double> x,
+              std::span<double> y);
+
+void spmv_csr_parallel(const sparse::Csr& a, std::span<const double> x,
+                       std::span<double> y, ThreadPool& pool);
+
+void spmv_csr_merge(const sparse::Csr& a, std::span<const double> x,
+                    std::span<double> y, ThreadPool& pool);
+
+// SpMM: Y = A*X for k dense right-hand sides stored row-major
+// (X is cols x k, Y is rows x k). Each matrix element is reused k times,
+// amortizing the 12 B/nnz stream across k flop pairs — the multi-vector
+// regime of block Krylov methods and ML feature batches.
+void spmm_csr(const sparse::Csr& a, std::span<const double> x,
+              std::span<double> y, int k);
+
+}  // namespace recode::spmv

@@ -1,0 +1,47 @@
+#include "spmv/recoded.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace recode::spmv {
+
+RecodedSpmv::RecodedSpmv(const codec::CompressedMatrix& cm,
+                         DecodeEngine engine)
+    : cm_(&cm), engine_(engine) {
+  if (engine_ == DecodeEngine::kUdpSimulated) {
+    udp_decoder_ = std::make_unique<udpprog::UdpPipelineDecoder>(cm);
+  }
+}
+
+void RecodedSpmv::multiply(std::span<const double> x, std::span<double> y) {
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(cm_->cols));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(cm_->rows));
+  std::fill(y.begin(), y.end(), 0.0);
+
+  for (std::size_t b = 0; b < cm_->blocks.size(); ++b) {
+    const auto& range = cm_->blocking.blocks[b];
+    if (engine_ == DecodeEngine::kSoftware) {
+      codec::decompress_block(*cm_, b, indices_, values_);
+    } else {
+      udpprog::BlockResult result = udp_decoder_->decode_block(b);
+      indices_ = std::move(result.indices);
+      values_ = std::move(result.values);
+      udp_cycles_ += result.lane_cycles();
+    }
+    ++blocks_decoded_;
+    compressed_bytes_streamed_ += cm_->blocks[b].bytes();
+
+    // Walk the decoded streams, advancing the row as nnz positions cross
+    // row_ptr boundaries (the Fig 7 inner loop, block-tiled).
+    sparse::index_t row = range.first_row;
+    for (std::size_t i = 0; i < range.count; ++i) {
+      const auto k = static_cast<sparse::offset_t>(range.first_nnz + i);
+      while (k >= cm_->row_ptr[row + 1]) ++row;
+      y[static_cast<std::size_t>(row)] +=
+          values_[i] * x[static_cast<std::size_t>(indices_[i])];
+    }
+  }
+}
+
+}  // namespace recode::spmv

@@ -1,0 +1,55 @@
+// Recoding-enhanced SpMV (the paper's Fig 7 tiled loop).
+//
+// The matrix lives in memory compressed; each block of col_idx/val is
+// decompressed on the fly — by the software codecs (fast functional mode)
+// or by the UDP cycle simulator (full-fidelity mode) — and the unchanged
+// CSR multiply runs over the recovered streams. This is the functional
+// proof that the heterogeneous architecture computes the right answer;
+// the performance numbers come from core::HeterogeneousSystem on top.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "codec/pipeline.h"
+#include "udpprog/block_decoder.h"
+
+namespace recode::spmv {
+
+enum class DecodeEngine {
+  kSoftware,      // software codecs (the functional reference)
+  kUdpSimulated,  // every block through the UDP lane simulator
+};
+
+class RecodedSpmv {
+ public:
+  explicit RecodedSpmv(const codec::CompressedMatrix& cm,
+                       DecodeEngine engine = DecodeEngine::kSoftware);
+
+  // y = A*x, decompressing block by block. Overwrites y.
+  void multiply(std::span<const double> x, std::span<double> y);
+
+  // Totals across all multiply() calls.
+  std::uint64_t blocks_decoded() const { return blocks_decoded_; }
+  std::uint64_t compressed_bytes_streamed() const {
+    return compressed_bytes_streamed_;
+  }
+  // UDP lane cycles spent decoding (kUdpSimulated only).
+  std::uint64_t udp_cycles() const { return udp_cycles_; }
+
+  sparse::index_t rows() const { return cm_->rows; }
+  sparse::index_t cols() const { return cm_->cols; }
+
+ private:
+  const codec::CompressedMatrix* cm_;
+  DecodeEngine engine_;
+  std::unique_ptr<udpprog::UdpPipelineDecoder> udp_decoder_;
+  std::vector<sparse::index_t> indices_;
+  std::vector<double> values_;
+  std::uint64_t blocks_decoded_ = 0;
+  std::uint64_t compressed_bytes_streamed_ = 0;
+  std::uint64_t udp_cycles_ = 0;
+};
+
+}  // namespace recode::spmv

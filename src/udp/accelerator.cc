@@ -1,0 +1,57 @@
+#include "udp/accelerator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace recode::udp {
+
+Accelerator::Accelerator(AcceleratorConfig config) : config_(config) {
+  RECODE_CHECK(config_.lanes > 0);
+  RECODE_CHECK(config_.clock_hz > 0);
+  lane_cycles_.assign(static_cast<std::size_t>(config_.lanes), 0);
+}
+
+void Accelerator::add_job(std::uint64_t cycles) {
+  auto it = std::min_element(lane_cycles_.begin(), lane_cycles_.end());
+  *it += cycles;
+  ++jobs_;
+}
+
+void Accelerator::reset() {
+  std::fill(lane_cycles_.begin(), lane_cycles_.end(), 0);
+  jobs_ = 0;
+}
+
+std::uint64_t Accelerator::makespan_cycles() const {
+  return *std::max_element(lane_cycles_.begin(), lane_cycles_.end());
+}
+
+std::uint64_t Accelerator::total_busy_cycles() const {
+  std::uint64_t total = 0;
+  for (auto c : lane_cycles_) total += c;
+  return total;
+}
+
+double Accelerator::seconds() const {
+  return static_cast<double>(makespan_cycles()) / config_.clock_hz;
+}
+
+double Accelerator::utilization() const {
+  const std::uint64_t makespan = makespan_cycles();
+  if (makespan == 0) return 1.0;
+  return static_cast<double>(total_busy_cycles()) /
+         (static_cast<double>(makespan) *
+          static_cast<double>(config_.lanes));
+}
+
+double Accelerator::energy_joules() const {
+  return seconds() * config_.power_watts;
+}
+
+double Accelerator::throughput_bytes_per_sec(std::uint64_t bytes) const {
+  const double s = seconds();
+  return s == 0.0 ? 0.0 : static_cast<double>(bytes) / s;
+}
+
+}  // namespace recode::udp

@@ -1,0 +1,71 @@
+// 64-lane MIMD UDP accelerator model.
+//
+// Lanes are independent (MIMD) and blocks are independent decode jobs, so
+// the accelerator-level model is a scheduling + time/energy account: jobs
+// (per-block cycle counts measured on the Lane simulator) are placed on
+// the least-loaded lane, makespan determines wall time at the 14 nm clock,
+// and energy charges the paper's 0.16 W accelerator power for the busy
+// interval.
+//
+// Performance/power envelope from §IV-A of the paper: 28 nm silicon ran
+// at 1 GHz / 864 mW; the 14 nm + FinFET extrapolation used throughout the
+// evaluation is 1.6 GHz / 160 mW per 64-lane accelerator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udp/lane.h"
+
+namespace recode::udp {
+
+struct AcceleratorConfig {
+  int lanes = 64;
+  double clock_hz = 1.6e9;     // 14 nm extrapolation (paper §IV-A)
+  double power_watts = 0.16;   // per 64-lane accelerator
+  LaneConfig lane;
+
+  // Area model (paper §III-C): one 64-lane UDP is ~half an x86 core + L1,
+  // <5% of a core with its L1/L2/L3 slice, ~1% of a 4-core Xeon die.
+  static constexpr double kAreaVsXeonCoreL1 = 0.5;
+  static constexpr double kAreaVsCoreAllCaches = 0.05;
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(AcceleratorConfig config = {});
+
+  const AcceleratorConfig& config() const { return config_; }
+
+  // Assigns a job of `cycles` to the least-loaded lane.
+  void add_job(std::uint64_t cycles);
+
+  void reset();
+
+  std::size_t job_count() const { return jobs_; }
+
+  // Longest lane occupancy — the accelerator's completion time in cycles.
+  std::uint64_t makespan_cycles() const;
+
+  // Sum of all lanes' busy cycles.
+  std::uint64_t total_busy_cycles() const;
+
+  // Wall-clock completion time at the configured clock.
+  double seconds() const;
+
+  // Average lane utilization over the makespan (1.0 = perfectly balanced).
+  double utilization() const;
+
+  // Energy at the configured accelerator power over the makespan.
+  double energy_joules() const;
+
+  // Aggregate throughput for `bytes` of output produced by the jobs.
+  double throughput_bytes_per_sec(std::uint64_t bytes) const;
+
+ private:
+  AcceleratorConfig config_;
+  std::vector<std::uint64_t> lane_cycles_;
+  std::size_t jobs_ = 0;
+};
+
+}  // namespace recode::udp

@@ -1,0 +1,40 @@
+// UDP program disassembler / inspector.
+//
+// Renders a Program's states, dispatch specs, and action lists as
+// readable text (the reverse of what the paper's UDP assembler consumes)
+// and summarizes a Layout's dispatch-memory map. This is the debugging
+// surface for anyone writing new recoding programs against the ISA.
+#pragma once
+
+#include <string>
+
+#include "udp/effclip.h"
+#include "udp/program.h"
+
+namespace recode::udp {
+
+// One action as text, e.g. "add r2, r2, r4" or "stle1 [r5+0], r3".
+std::string format_action(const Action& action);
+
+// A state's dispatch spec, e.g. "dispatch stream[8]" or "dispatch r1!=0".
+std::string format_dispatch(const DispatchSpec& spec);
+
+// Full program listing: one block per state, one line per arc. Arc lines
+// show symbol, actions, and the target state name.
+std::string disassemble(const Program& program);
+
+// Per-program summary: states, arcs, dispatch-table slots, density, and
+// the largest fanout (the multi-way dispatch width the program needs).
+struct ProgramSummary {
+  std::size_t states = 0;
+  std::size_t arcs = 0;
+  std::size_t actions = 0;
+  std::size_t table_slots = 0;
+  double density = 0.0;
+  std::size_t max_fanout = 0;
+};
+ProgramSummary summarize(const Layout& layout);
+
+std::string format_summary(const std::string& name, const ProgramSummary& s);
+
+}  // namespace recode::udp

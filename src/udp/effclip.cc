@@ -1,0 +1,70 @@
+#include "udp/effclip.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace recode::udp {
+
+Layout::Layout(Program program) : program_(std::move(program)) {
+  program_.validate();
+
+  // Place larger-fanout states first: their base constraints are the
+  // hardest to satisfy, and small states fill the holes they leave.
+  std::vector<StateId> order(program_.state_count());
+  std::iota(order.begin(), order.end(), StateId{0});
+  std::sort(order.begin(), order.end(), [&](StateId a, StateId b) {
+    const std::size_t fa = program_.state(a).arcs.size();
+    const std::size_t fb = program_.state(b).arcs.size();
+    if (fa != fb) return fa > fb;
+    return a < b;
+  });
+
+  bases_.assign(program_.state_count(), 0);
+  slots_.resize(std::max<std::size_t>(1, program_.arc_count()));
+
+  for (const StateId sid : order) {
+    const State& state = program_.state(sid);
+    if (state.arcs.empty()) continue;  // halt states occupy no slots
+
+    // First-fit linear probe over candidate bases.
+    std::uint32_t candidate = 0;
+    for (;;) {
+      bool fits = true;
+      for (const Arc& arc : state.arcs) {
+        const std::size_t addr =
+            static_cast<std::size_t>(candidate) + arc.symbol;
+        if (addr >= slots_.size()) {
+          slots_.resize(addr + 1);  // grow; density accounts for it
+        }
+        if (slots_[addr].valid) {
+          fits = false;
+          break;
+        }
+      }
+      if (fits) break;
+      ++candidate;
+    }
+    bases_[static_cast<std::size_t>(sid)] = candidate;
+    for (const Arc& arc : state.arcs) {
+      Slot& slot = slots_[static_cast<std::size_t>(candidate) + arc.symbol];
+      slot.valid = true;
+      slot.owner = sid;
+      slot.symbol = arc.symbol;
+      slot.arc = &arc;
+      ++occupied_;
+    }
+  }
+
+  // Trim trailing free slots so density reflects the real footprint.
+  while (!slots_.empty() && !slots_.back().valid) slots_.pop_back();
+}
+
+const Slot& Layout::slot(std::uint32_t addr) const {
+  static const Slot kInvalid{};
+  if (static_cast<std::size_t>(addr) >= slots_.size()) return kInvalid;
+  return slots_[addr];
+}
+
+}  // namespace recode::udp

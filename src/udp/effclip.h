@@ -1,0 +1,71 @@
+// EffCLiP — Efficient Coupled Linear Packing (Fang, Lehane, Chien,
+// UChicago TR-2015-05) — reconstructed layout pass.
+//
+// Multi-way dispatch requires that the machine-code slot for (state s,
+// symbol σ) live at address base(s) + σ: the "hash" is a plain integer
+// add, which is what lets the UDP dispatch in one cycle with no branch
+// prediction and no target table. EffCLiP's job is to choose base(s) for
+// every state so all occupied slots land on distinct addresses while the
+// overall table stays dense ("perfect hashing" for the arc set).
+//
+// This implementation uses first-fit linear probing over candidate bases
+// (the published algorithm's greedy core): states are placed in
+// decreasing-fanout order, each at the lowest base whose occupied symbol
+// offsets are all free. Density (arcs / table size) is reported so tests
+// can assert near-perfect packing on the real codec programs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "udp/program.h"
+
+namespace recode::udp {
+
+// One dispatch-memory slot: the machine form of an arc.
+struct Slot {
+  bool valid = false;
+  StateId owner = -1;        // state whose arc occupies this slot
+  std::uint32_t symbol = 0;  // symbol within the owner's dispatch
+  const Arc* arc = nullptr;  // borrowed from the Program
+};
+
+// A laid-out ("assembled") program: dispatch memory plus per-state bases.
+// Owns its copy of the Program, so temporaries are safe to pass; the
+// Layout itself is immovable (slots point into the owned program).
+class Layout {
+ public:
+  // Runs EffCLiP placement. Throws recode::Error if the program is
+  // invalid. Never fails to place (the table grows as needed).
+  explicit Layout(Program program);
+
+  Layout(const Layout&) = delete;
+  Layout& operator=(const Layout&) = delete;
+
+  const Program& program() const { return program_; }
+
+  std::uint32_t base(StateId s) const {
+    return bases_[static_cast<std::size_t>(s)];
+  }
+
+  // Slot lookup used by the lane's Dispatch unit: addr = base + symbol.
+  const Slot& slot(std::uint32_t addr) const;
+
+  std::size_t table_size() const { return slots_.size(); }
+  std::size_t occupied() const { return occupied_; }
+
+  // Packing density achieved (occupied / table_size).
+  double density() const {
+    return slots_.empty() ? 1.0
+                          : static_cast<double>(occupied_) /
+                                static_cast<double>(slots_.size());
+  }
+
+ private:
+  Program program_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> bases_;
+  std::size_t occupied_ = 0;
+};
+
+}  // namespace recode::udp

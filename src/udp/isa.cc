@@ -1,0 +1,168 @@
+#include "udp/isa.h"
+
+#include "common/error.h"
+
+namespace recode::udp {
+
+namespace act {
+
+Action set_imm(int dst, std::uint64_t v) {
+  Action a;
+  a.op = Op::kSetImm;
+  a.dst = dst;
+  a.a = Operand::immediate(v);
+  return a;
+}
+
+Action move(int dst, int src) {
+  Action a;
+  a.op = Op::kMove;
+  a.dst = dst;
+  a.a = Operand::r(src);
+  return a;
+}
+
+namespace {
+Action alu(Op op, int dst, int a_reg, Operand b) {
+  Action a;
+  a.op = op;
+  a.dst = dst;
+  a.a = Operand::r(a_reg);
+  a.b = b;
+  return a;
+}
+}  // namespace
+
+Action add(int dst, int a, Operand b) { return alu(Op::kAdd, dst, a, b); }
+Action sub(int dst, int a, Operand b) { return alu(Op::kSub, dst, a, b); }
+Action and_(int dst, int a, Operand b) { return alu(Op::kAnd, dst, a, b); }
+Action or_(int dst, int a, Operand b) { return alu(Op::kOr, dst, a, b); }
+Action xor_(int dst, int a, Operand b) { return alu(Op::kXor, dst, a, b); }
+Action not_(int dst, int a) { return alu(Op::kNot, dst, a, Operand::immediate(0)); }
+Action shl(int dst, int a, Operand b) { return alu(Op::kShl, dst, a, b); }
+Action shr(int dst, int a, Operand b) { return alu(Op::kShr, dst, a, b); }
+Action sar(int dst, int a, Operand b) { return alu(Op::kSar, dst, a, b); }
+Action mul(int dst, int a, Operand b) { return alu(Op::kMul, dst, a, b); }
+
+Action load_le(int dst, int addr_reg, std::uint64_t offset, int width) {
+  Action a;
+  a.op = Op::kLoadLe;
+  a.dst = dst;
+  a.a = Operand::r(addr_reg);
+  a.b = Operand::immediate(offset);
+  a.width = width;
+  return a;
+}
+
+Action store_le(int src, int addr_reg, std::uint64_t offset, int width) {
+  Action a;
+  a.op = Op::kStoreLe;
+  a.dst = src;  // register holding the value to store
+  a.a = Operand::r(addr_reg);
+  a.b = Operand::immediate(offset);
+  a.width = width;
+  return a;
+}
+
+Action stream_read_bits(int dst, Operand nbits) {
+  Action a;
+  a.op = Op::kStreamReadBits;
+  a.dst = dst;
+  a.b = nbits;
+  return a;
+}
+
+Action stream_peek_bits(int dst, Operand nbits) {
+  Action a;
+  a.op = Op::kStreamPeekBits;
+  a.dst = dst;
+  a.b = nbits;
+  return a;
+}
+
+Action stream_skip_bits(Operand nbits) {
+  Action a;
+  a.op = Op::kStreamSkipBits;
+  a.b = nbits;
+  return a;
+}
+
+Action stream_rewind_bits(Operand nbits) {
+  Action a;
+  a.op = Op::kStreamRewindBits;
+  a.b = nbits;
+  return a;
+}
+
+Action stream_read_le(int dst, int width) {
+  Action a;
+  a.op = Op::kStreamReadLe;
+  a.dst = dst;
+  a.width = width;
+  return a;
+}
+
+Action stream_copy(int dst_addr_reg, Operand nbytes) {
+  Action a;
+  a.op = Op::kStreamCopy;
+  a.a = Operand::r(dst_addr_reg);
+  a.b = nbytes;
+  return a;
+}
+
+Action scratch_copy(int dst_addr_reg, int src_addr_reg, Operand nbytes) {
+  Action a;
+  a.op = Op::kScratchCopy;
+  a.dst = dst_addr_reg;
+  a.a = Operand::r(src_addr_reg);
+  a.b = nbytes;
+  return a;
+}
+
+}  // namespace act
+
+std::size_t DispatchSpec::fanout() const {
+  switch (kind) {
+    case DispatchKind::kDirect:
+      return 1;
+    case DispatchKind::kStreamBits:
+      RECODE_CHECK(bits >= 1 && bits <= 16);
+      return std::size_t{1} << bits;
+    case DispatchKind::kRegister:
+      return static_cast<std::size_t>(mask) + 1;
+    case DispatchKind::kRegisterBool:
+      return 2;
+    case DispatchKind::kHalt:
+      return 0;
+  }
+  return 0;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kSetImm: return "set";
+    case Op::kMove: return "mov";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kNot: return "not";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kSar: return "sar";
+    case Op::kMul: return "mul";
+    case Op::kLoadLe: return "ldle";
+    case Op::kStoreLe: return "stle";
+    case Op::kStreamReadBits: return "srdb";
+    case Op::kStreamPeekBits: return "spkb";
+    case Op::kStreamSkipBits: return "sskb";
+    case Op::kStreamRewindBits: return "srwb";
+    case Op::kStreamReadLe: return "srdl";
+    case Op::kStreamCopy: return "scpy";
+    case Op::kScratchCopy: return "mcpy";
+  }
+  return "?";
+}
+
+}  // namespace recode::udp

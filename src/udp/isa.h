@@ -1,0 +1,136 @@
+// UDP (Unstructured Data Processor) instruction set, reconstructed from
+// the public descriptions of the UDP/UAP line of work (MICRO'15 UAP,
+// MICRO'17 UDP, and §III-E of the IPDPS'19 paper this library reproduces).
+//
+// A UDP program is a set of *states*. Each state owns a *dispatch spec*
+// describing how the next symbol is obtained (consume k bits from the
+// input stream, examine a data register, or nothing for direct arcs) and
+// a set of *arcs*, one per symbol value. Each arc carries an ordered
+// action list plus the id of the next state. Multi-way dispatch is the
+// signature feature: the machine jumps to `base[state] + symbol` in a
+// densely packed dispatch memory laid out by EffCLiP, so a 256-way branch
+// costs one cycle and no prediction.
+//
+// Actions run on the lane's Action unit: a small 16x64-bit register file,
+// a single-issue ALU, byte-addressed scratchpad access, and stream-cursor
+// manipulation. The Stream Prefetch unit hides input latency, so stream
+// reads cost no extra cycles (the paper's intended steady state).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recode::udp {
+
+inline constexpr int kNumRegisters = 16;
+inline constexpr std::size_t kDefaultScratchpadBytes = 64 * 1024;
+
+// Action opcodes. ALU ops compute dst = a OP b (b may be an immediate).
+enum class Op : std::uint8_t {
+  kSetImm,   // dst = imm
+  kMove,     // dst = reg a
+  kAdd,      // dst = a + b
+  kSub,      // dst = a - b
+  kAnd,      // dst = a & b
+  kOr,       // dst = a | b
+  kXor,      // dst = a ^ b
+  kNot,      // dst = ~a
+  kShl,      // dst = a << b
+  kShr,      // dst = a >> b (logical)
+  kSar,      // dst = a >> b (arithmetic, 64-bit)
+  kMul,      // dst = a * b (mod 2^64; hash functions, strides)
+
+  kLoadLe,   // dst = scratch[a + imm], little-endian, `width` bytes
+  kStoreLe,  // scratch[a + imm] = src reg (register field `dst`), `width` bytes
+
+  kStreamReadBits,    // dst = next b bits of the stream (MSB-first), consume
+  kStreamPeekBits,    // dst = next b bits, do not consume (zero-padded at end)
+  kStreamSkipBits,    // consume b bits (b = reg or imm)
+  kStreamRewindBits,  // move the stream cursor back b bits
+  kStreamReadLe,      // dst = next `width` whole bytes as little-endian, consume
+
+  kStreamCopy,   // copy b bytes from the stream to scratch[a], consume
+  kScratchCopy,  // copy b bytes from scratch[src=a] to scratch[dst reg field]
+};
+
+// Register-or-immediate operand.
+struct Operand {
+  bool is_imm = true;
+  std::uint64_t imm = 0;
+  int reg = 0;
+
+  static Operand immediate(std::uint64_t v) { return {true, v, 0}; }
+  static Operand r(int reg) { return {false, 0, reg}; }
+};
+
+struct Action {
+  Op op = Op::kSetImm;
+  int dst = 0;       // destination register (or source register for kStoreLe)
+  Operand a;         // first operand (register for address/ALU source)
+  Operand b;         // second operand / bit count / byte count
+  int width = 8;     // byte width for kLoadLe/kStoreLe/kStreamReadLe
+};
+
+// Convenience constructors keep the program builders readable.
+namespace act {
+Action set_imm(int dst, std::uint64_t v);
+Action move(int dst, int src);
+Action add(int dst, int a, Operand b);
+Action sub(int dst, int a, Operand b);
+Action and_(int dst, int a, Operand b);
+Action or_(int dst, int a, Operand b);
+Action xor_(int dst, int a, Operand b);
+Action not_(int dst, int a);
+Action shl(int dst, int a, Operand b);
+Action shr(int dst, int a, Operand b);
+Action sar(int dst, int a, Operand b);
+Action mul(int dst, int a, Operand b);
+Action load_le(int dst, int addr_reg, std::uint64_t offset, int width);
+Action store_le(int src, int addr_reg, std::uint64_t offset, int width);
+Action stream_read_bits(int dst, Operand nbits);
+Action stream_peek_bits(int dst, Operand nbits);
+Action stream_skip_bits(Operand nbits);
+Action stream_rewind_bits(Operand nbits);
+Action stream_read_le(int dst, int width);
+Action stream_copy(int dst_addr_reg, Operand nbytes);
+Action scratch_copy(int dst_addr_reg, int src_addr_reg, Operand nbytes);
+}  // namespace act
+
+// How a state obtains its dispatch symbol.
+enum class DispatchKind : std::uint8_t {
+  kDirect,      // no symbol; single arc 0
+  kStreamBits,  // consume `bits` stream bits; symbol = their value
+  kRegister,    // symbol = (reg >> shift) & mask, no stream access
+  kRegisterBool,// symbol = (reg != 0) ? 1 : 0
+  kHalt,        // terminal state; no arcs
+};
+
+struct DispatchSpec {
+  DispatchKind kind = DispatchKind::kDirect;
+  int bits = 0;            // kStreamBits
+  int reg = 0;             // kRegister / kRegisterBool
+  int shift = 0;           // kRegister
+  std::uint64_t mask = 0;  // kRegister
+
+  // Number of symbol slots this dispatch can produce.
+  std::size_t fanout() const;
+};
+
+using StateId = std::int32_t;
+
+struct Arc {
+  std::uint32_t symbol = 0;
+  std::vector<Action> actions;
+  StateId next = -1;
+};
+
+struct State {
+  std::string name;  // for diagnostics
+  DispatchSpec dispatch;
+  std::vector<Arc> arcs;
+};
+
+const char* op_name(Op op);
+
+}  // namespace recode::udp

@@ -1,0 +1,257 @@
+#include "udp/lane.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace recode::udp {
+
+Lane::Lane(const Layout& layout, LaneConfig config)
+    : layout_(&layout), config_(config) {
+  scratch_.resize(config_.scratchpad_bytes);
+}
+
+std::uint64_t Lane::reg(int r) const {
+  RECODE_CHECK(r >= 0 && r < kNumRegisters);
+  return regs_[r];
+}
+
+std::uint64_t Lane::stream_bits(int nbits, bool consume) {
+  RECODE_CHECK(nbits >= 0 && nbits <= 32);
+  const std::uint64_t total_bits = static_cast<std::uint64_t>(input_.size()) * 8;
+  if (bit_pos_ >= total_bits && nbits > 0) {
+    fail("udp lane: stream exhausted");
+  }
+  // MSB-first read with zero padding past the end (codec convention).
+  std::uint64_t v = 0;
+  for (int i = 0; i < nbits; ++i) {
+    const std::uint64_t p = bit_pos_ + static_cast<std::uint64_t>(i);
+    std::uint64_t bit = 0;
+    if (p < total_bits) {
+      bit = (input_[p / 8] >> (7 - (p % 8))) & 1u;
+    }
+    v = (v << 1) | bit;
+  }
+  if (consume) {
+    bit_pos_ += static_cast<std::uint64_t>(nbits);
+    counters_.stream_bits_consumed += static_cast<std::uint64_t>(nbits);
+  }
+  return v;
+}
+
+void Lane::stream_skip(std::uint64_t nbits) {
+  bit_pos_ += nbits;
+  counters_.stream_bits_consumed += nbits;
+}
+
+void Lane::stream_rewind(std::uint64_t nbits) {
+  if (nbits > bit_pos_) fail("udp lane: rewind before stream start");
+  bit_pos_ -= nbits;
+}
+
+std::uint64_t Lane::stream_read_le(int width) {
+  if (bit_pos_ % 8 != 0) fail("udp lane: byte read on unaligned stream");
+  const std::uint64_t byte_pos = bit_pos_ / 8;
+  if (byte_pos + static_cast<std::uint64_t>(width) > input_.size()) {
+    fail("udp lane: stream exhausted (byte read)");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v |= static_cast<std::uint64_t>(input_[byte_pos + static_cast<std::uint64_t>(i)])
+         << (8 * i);
+  }
+  bit_pos_ += static_cast<std::uint64_t>(width) * 8;
+  counters_.stream_bits_consumed += static_cast<std::uint64_t>(width) * 8;
+  return v;
+}
+
+void Lane::scratch_check(std::uint64_t addr, std::uint64_t len) const {
+  if (addr + len > scratch_.size() || addr + len < addr) {
+    fail("udp lane: scratchpad access out of bounds");
+  }
+}
+
+void Lane::stream_copy_to_scratch(std::uint64_t dst, std::uint64_t nbytes) {
+  if (bit_pos_ % 8 != 0) fail("udp lane: byte copy on unaligned stream");
+  const std::uint64_t byte_pos = bit_pos_ / 8;
+  if (byte_pos + nbytes > input_.size()) {
+    fail("udp lane: stream exhausted (copy)");
+  }
+  scratch_check(dst, nbytes);
+  std::memcpy(scratch_.data() + dst, input_.data() + byte_pos, nbytes);
+  bit_pos_ += nbytes * 8;
+  counters_.stream_bits_consumed += nbytes * 8;
+  counters_.scratch_bytes_written += nbytes;
+}
+
+std::uint64_t Lane::operand(const Operand& o) const {
+  return o.is_imm ? o.imm : regs_[o.reg];
+}
+
+std::uint64_t Lane::execute(const Action& a) {
+  ++counters_.actions;
+  switch (a.op) {
+    case Op::kSetImm:
+      regs_[a.dst] = a.a.imm;
+      return 0;
+    case Op::kMove:
+      regs_[a.dst] = operand(a.a);
+      return 0;
+    case Op::kAdd:
+      regs_[a.dst] = operand(a.a) + operand(a.b);
+      return 0;
+    case Op::kSub:
+      regs_[a.dst] = operand(a.a) - operand(a.b);
+      return 0;
+    case Op::kAnd:
+      regs_[a.dst] = operand(a.a) & operand(a.b);
+      return 0;
+    case Op::kOr:
+      regs_[a.dst] = operand(a.a) | operand(a.b);
+      return 0;
+    case Op::kXor:
+      regs_[a.dst] = operand(a.a) ^ operand(a.b);
+      return 0;
+    case Op::kNot:
+      regs_[a.dst] = ~operand(a.a);
+      return 0;
+    case Op::kShl:
+      regs_[a.dst] = operand(a.a) << (operand(a.b) & 63);
+      return 0;
+    case Op::kShr:
+      regs_[a.dst] = operand(a.a) >> (operand(a.b) & 63);
+      return 0;
+    case Op::kSar:
+      regs_[a.dst] = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(operand(a.a)) >>
+          (operand(a.b) & 63));
+      return 0;
+    case Op::kMul:
+      regs_[a.dst] = operand(a.a) * operand(a.b);
+      return 0;
+    case Op::kLoadLe: {
+      const std::uint64_t addr = operand(a.a) + a.b.imm;
+      scratch_check(addr, static_cast<std::uint64_t>(a.width));
+      std::uint64_t v = 0;
+      std::memcpy(&v, scratch_.data() + addr, static_cast<std::size_t>(a.width));
+      regs_[a.dst] = v;
+      counters_.scratch_bytes_read += static_cast<std::uint64_t>(a.width);
+      return 0;
+    }
+    case Op::kStoreLe: {
+      const std::uint64_t addr = operand(a.a) + a.b.imm;
+      scratch_check(addr, static_cast<std::uint64_t>(a.width));
+      const std::uint64_t v = regs_[a.dst];
+      std::memcpy(scratch_.data() + addr, &v, static_cast<std::size_t>(a.width));
+      counters_.scratch_bytes_written += static_cast<std::uint64_t>(a.width);
+      return 0;
+    }
+    case Op::kStreamReadBits:
+      regs_[a.dst] = stream_bits(static_cast<int>(operand(a.b)), true);
+      return 0;
+    case Op::kStreamPeekBits:
+      regs_[a.dst] = stream_bits(static_cast<int>(operand(a.b)), false);
+      return 0;
+    case Op::kStreamSkipBits:
+      stream_skip(operand(a.b));
+      return 0;
+    case Op::kStreamRewindBits:
+      stream_rewind(operand(a.b));
+      return 0;
+    case Op::kStreamReadLe:
+      regs_[a.dst] = stream_read_le(a.width);
+      return 0;
+    case Op::kStreamCopy: {
+      const std::uint64_t dst = operand(a.a);
+      const std::uint64_t n = operand(a.b);
+      stream_copy_to_scratch(dst, n);
+      // 8 B/cycle through the scratchpad port; first beat rides the
+      // action slot.
+      return n == 0 ? 0 : (n + 7) / 8 - 1;
+    }
+    case Op::kScratchCopy: {
+      const std::uint64_t dst = regs_[a.dst];
+      const std::uint64_t src = operand(a.a);
+      const std::uint64_t n = operand(a.b);
+      scratch_check(src, n);
+      scratch_check(dst, n);
+      // Overlapping forward copy replicates bytes (LZ semantics).
+      const bool overlap = dst > src && dst - src < 8;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        scratch_[dst + i] = scratch_[src + i];
+      }
+      counters_.scratch_bytes_read += n;
+      counters_.scratch_bytes_written += n;
+      if (n == 0) return 0;
+      const std::uint64_t rate = overlap ? 1 : 8;
+      return (n + rate - 1) / rate - 1;
+    }
+  }
+  fail("udp lane: unknown opcode");
+}
+
+const LaneCounters& Lane::run(
+    std::span<const std::uint8_t> input,
+    std::span<const std::pair<int, std::uint64_t>> init_regs) {
+  counters_ = LaneCounters{};
+  std::fill(scratch_.begin(), scratch_.end(), std::uint8_t{0});
+  std::memset(regs_, 0, sizeof(regs_));
+  input_ = input;
+  bit_pos_ = 0;
+  for (const auto& [r, v] : init_regs) {
+    RECODE_CHECK(r >= 0 && r < kNumRegisters);
+    regs_[r] = v;
+  }
+
+  const Program& program = layout_->program();
+  StateId state = program.entry();
+  while (true) {
+    const State& s = program.state(state);
+    if (s.dispatch.kind == DispatchKind::kHalt) break;
+
+    // Dispatch unit: obtain the symbol, then jump to base + symbol.
+    std::uint32_t symbol = 0;
+    switch (s.dispatch.kind) {
+      case DispatchKind::kDirect:
+        symbol = 0;
+        break;
+      case DispatchKind::kStreamBits:
+        symbol = static_cast<std::uint32_t>(
+            stream_bits(s.dispatch.bits, /*consume=*/true));
+        break;
+      case DispatchKind::kRegister:
+        symbol = static_cast<std::uint32_t>(
+            (regs_[s.dispatch.reg] >> s.dispatch.shift) & s.dispatch.mask);
+        break;
+      case DispatchKind::kRegisterBool:
+        symbol = regs_[s.dispatch.reg] != 0 ? 1 : 0;
+        break;
+      case DispatchKind::kHalt:
+        break;
+    }
+
+    const std::uint32_t addr = layout_->base(state) + symbol;
+    const Slot& slot = layout_->slot(addr);
+    if (!slot.valid || slot.owner != state) {
+      fail("udp lane: invalid dispatch in state '" + s.name + "' symbol " +
+           std::to_string(symbol));
+    }
+
+    ++counters_.transitions;
+    std::uint64_t cycle_cost = 1;  // dispatch + first action
+    const auto& actions = slot.arc->actions;
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const std::uint64_t extra = execute(actions[i]);
+      if (i > 0) ++cycle_cost;  // one action rides the dispatch cycle
+      cycle_cost += extra;
+    }
+    counters_.cycles += cycle_cost;
+    if (counters_.cycles > config_.max_cycles) {
+      fail("udp lane: cycle budget exceeded (runaway program?)");
+    }
+    state = slot.arc->next;
+  }
+  return counters_;
+}
+
+}  // namespace recode::udp

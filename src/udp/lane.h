@@ -1,0 +1,83 @@
+// Single UDP lane cycle simulator.
+//
+// Models the three-unit lane of §III-E: the Dispatch unit (one multi-way
+// dispatch per cycle against the EffCLiP-packed table), the Symbol/Stream
+// Prefetch unit (variable-size symbol fetch; prefetching hides stream
+// latency, so stream access adds no cycles), and the Action unit
+// (single-issue ALU + scratchpad). Timing model:
+//
+//   * every transition costs 1 cycle (dispatch + first action execute in
+//     the short pipeline's steady state),
+//   * each action beyond the first adds 1 cycle,
+//   * block copies move 8 B/cycle through the scratchpad port, falling to
+//     1 B/cycle for overlapping copies with distance < 8 (RLE-style),
+//     charged as extra cycles on the copy action.
+//
+// The clock (1.6 GHz) and power (0.16 W per 64-lane accelerator) are the
+// paper's 14 nm numbers; see accelerator.h.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "udp/effclip.h"
+
+namespace recode::udp {
+
+struct LaneConfig {
+  std::size_t scratchpad_bytes = kDefaultScratchpadBytes;
+  std::uint64_t max_cycles = 1ull << 32;  // runaway-program guard
+};
+
+struct LaneCounters {
+  std::uint64_t cycles = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t actions = 0;
+  std::uint64_t stream_bits_consumed = 0;
+  std::uint64_t scratch_bytes_read = 0;
+  std::uint64_t scratch_bytes_written = 0;
+};
+
+class Lane {
+ public:
+  explicit Lane(const Layout& layout, LaneConfig config = {});
+
+  // Executes the program from its entry state until a halt state.
+  // The scratchpad is zeroed first; `init_regs` seeds the register file
+  // (registers not listed start at 0). Throws recode::Error on invalid
+  // dispatch, stream/scratch overrun, or exceeding max_cycles.
+  const LaneCounters& run(
+      std::span<const std::uint8_t> input,
+      std::span<const std::pair<int, std::uint64_t>> init_regs = {});
+
+  const LaneCounters& counters() const { return counters_; }
+  std::span<const std::uint8_t> scratch() const { return scratch_; }
+  std::uint64_t reg(int r) const;
+
+ private:
+  // Stream (Symbol Prefetch unit) helpers.
+  std::uint64_t stream_bits(int nbits, bool consume);
+  void stream_skip(std::uint64_t nbits);
+  void stream_rewind(std::uint64_t nbits);
+  std::uint64_t stream_read_le(int width);
+  void stream_copy_to_scratch(std::uint64_t dst, std::uint64_t nbytes);
+
+  std::uint64_t operand(const Operand& o) const;
+  // Executes one action; returns extra cycles beyond the base action slot.
+  std::uint64_t execute(const Action& a);
+
+  void scratch_check(std::uint64_t addr, std::uint64_t len) const;
+
+  const Layout* layout_;
+  LaneConfig config_;
+  LaneCounters counters_;
+  std::vector<std::uint8_t> scratch_;
+  std::uint64_t regs_[kNumRegisters] = {};
+
+  std::span<const std::uint8_t> input_;
+  std::uint64_t bit_pos_ = 0;  // stream cursor in bits
+};
+
+}  // namespace recode::udp

@@ -1,0 +1,116 @@
+#include "udp/program.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace recode::udp {
+
+StateId Program::add_state(std::string name, DispatchSpec dispatch) {
+  State s;
+  s.name = std::move(name);
+  s.dispatch = dispatch;
+  states_.push_back(std::move(s));
+  return static_cast<StateId>(states_.size() - 1);
+}
+
+void Program::add_arc(StateId state, std::uint32_t symbol,
+                      std::vector<Action> actions, StateId next) {
+  RECODE_CHECK(state >= 0 &&
+               static_cast<std::size_t>(state) < states_.size());
+  Arc arc;
+  arc.symbol = symbol;
+  arc.actions = std::move(actions);
+  arc.next = next;
+  states_[static_cast<std::size_t>(state)].arcs.push_back(std::move(arc));
+}
+
+void Program::add_arc_range(StateId state, std::uint32_t first,
+                            std::uint32_t last, std::vector<Action> actions,
+                            StateId next) {
+  RECODE_CHECK(first <= last);
+  for (std::uint32_t s = first; s <= last; ++s) {
+    add_arc(state, s, actions, next);
+  }
+}
+
+std::size_t Program::arc_count() const {
+  std::size_t n = 0;
+  for (const auto& s : states_) n += s.arcs.size();
+  return n;
+}
+
+namespace {
+
+void check_operand(const Operand& o) {
+  if (!o.is_imm && (o.reg < 0 || o.reg >= kNumRegisters)) {
+    fail("udp program: register operand out of range");
+  }
+}
+
+void check_action(const Action& a) {
+  if (a.dst < 0 || a.dst >= kNumRegisters) {
+    fail("udp program: destination register out of range");
+  }
+  check_operand(a.a);
+  check_operand(a.b);
+  switch (a.op) {
+    case Op::kLoadLe:
+    case Op::kStoreLe:
+    case Op::kStreamReadLe:
+      if (a.width != 1 && a.width != 2 && a.width != 4 && a.width != 8) {
+        fail("udp program: bad memory width");
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void Program::validate() const {
+  if (entry_ < 0 || static_cast<std::size_t>(entry_) >= states_.size()) {
+    fail("udp program: entry state not set");
+  }
+  for (const auto& s : states_) {
+    const std::size_t fanout = s.dispatch.fanout();
+    if (s.dispatch.kind == DispatchKind::kHalt) {
+      if (!s.arcs.empty()) fail("udp program: halt state has arcs");
+      continue;
+    }
+    if (s.arcs.empty()) {
+      fail("udp program: non-halt state '" + s.name + "' has no arcs");
+    }
+    std::set<std::uint32_t> seen;
+    for (const auto& arc : s.arcs) {
+      if (arc.symbol >= fanout) {
+        fail("udp program: symbol out of dispatch range in '" + s.name + "'");
+      }
+      if (!seen.insert(arc.symbol).second) {
+        fail("udp program: duplicate symbol in state '" + s.name + "'");
+      }
+      if (arc.next < 0 ||
+          static_cast<std::size_t>(arc.next) >= states_.size()) {
+        fail("udp program: arc to unknown state from '" + s.name + "'");
+      }
+      for (const auto& action : arc.actions) check_action(action);
+    }
+    if (s.dispatch.kind == DispatchKind::kRegister) {
+      // Mask must be a low bit mask so base+symbol stays dense.
+      const std::uint64_t m = s.dispatch.mask;
+      if (m == 0 || (m & (m + 1)) != 0) {
+        fail("udp program: register dispatch mask must be 2^k - 1");
+      }
+      if (s.dispatch.reg < 0 || s.dispatch.reg >= kNumRegisters) {
+        fail("udp program: dispatch register out of range");
+      }
+    }
+    if (s.dispatch.kind == DispatchKind::kRegisterBool &&
+        (s.dispatch.reg < 0 || s.dispatch.reg >= kNumRegisters)) {
+      fail("udp program: dispatch register out of range");
+    }
+  }
+}
+
+}  // namespace recode::udp

@@ -1,0 +1,53 @@
+// UDP program container and builder.
+//
+// Programs are built state-by-state (the software analogue of UDP
+// assembly), validated, and then packed into dispatch memory by the
+// EffCLiP layout pass (effclip.h) before running on the lane simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "udp/isa.h"
+
+namespace recode::udp {
+
+class Program {
+ public:
+  // Adds a state; returns its id. Arcs may reference ids of states added
+  // later (forward references are resolved at validate()).
+  StateId add_state(std::string name, DispatchSpec dispatch);
+
+  // Adds an arc to an existing state. `symbol` must be < fanout.
+  void add_arc(StateId state, std::uint32_t symbol,
+               std::vector<Action> actions, StateId next);
+
+  // Adds the same actions/next for every symbol in [first, last].
+  void add_arc_range(StateId state, std::uint32_t first, std::uint32_t last,
+                     std::vector<Action> actions, StateId next);
+
+  void set_entry(StateId s) { entry_ = s; }
+  StateId entry() const { return entry_; }
+
+  const std::vector<State>& states() const { return states_; }
+  State& state(StateId id) { return states_[static_cast<std::size_t>(id)]; }
+  const State& state(StateId id) const {
+    return states_[static_cast<std::size_t>(id)];
+  }
+  std::size_t state_count() const { return states_.size(); }
+
+  // Total arcs across all states (== dispatch memory slots needed).
+  std::size_t arc_count() const;
+
+  // Checks structural sanity: entry set, every arc's next exists, symbols
+  // within fanout, no duplicate symbols, halt states have no arcs, and
+  // every register index is in range. Throws recode::Error on violation.
+  void validate() const;
+
+ private:
+  std::vector<State> states_;
+  StateId entry_ = -1;
+};
+
+}  // namespace recode::udp

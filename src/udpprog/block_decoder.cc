@@ -1,0 +1,150 @@
+#include "udpprog/block_decoder.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "udpprog/delta_prog.h"
+#include "udpprog/varint_delta_prog.h"
+#include "udpprog/huffman_prog.h"
+#include "udpprog/snappy_prog.h"
+
+namespace recode::udpprog {
+
+UdpPipelineDecoder::UdpPipelineDecoder(const codec::CompressedMatrix& cm,
+                                       udp::LaneConfig lane_config)
+    : cm_(&cm) {
+  const auto& cfg = cm.config;
+  const bool uses_delta = cfg.index_transform == codec::Transform::kDelta32 ||
+                          cfg.value_transform == codec::Transform::kDelta32;
+  const bool uses_varint =
+      cfg.index_transform == codec::Transform::kVarintDelta ||
+      cfg.value_transform == codec::Transform::kVarintDelta;
+  if (uses_delta) {
+    delta_program_ = build_delta_decode_program();
+    delta_layout_ = std::make_unique<udp::Layout>(delta_program_);
+  }
+  if (uses_varint) {
+    varint_delta_program_ = build_varint_delta_decode_program();
+    varint_delta_layout_ = std::make_unique<udp::Layout>(varint_delta_program_);
+  }
+  if (cfg.snappy) {
+    snappy_program_ = build_snappy_decode_program();
+    snappy_layout_ = std::make_unique<udp::Layout>(snappy_program_);
+  }
+  if (cfg.huffman) {
+    RECODE_CHECK(cm.index_table && cm.value_table);
+    index_huffman_program_ = build_huffman_decode_program(*cm.index_table);
+    index_huffman_layout_ =
+        std::make_unique<udp::Layout>(index_huffman_program_);
+    value_huffman_program_ = build_huffman_decode_program(*cm.value_table);
+    value_huffman_layout_ =
+        std::make_unique<udp::Layout>(value_huffman_program_);
+  }
+  lane_config_ = lane_config;
+  // The default 64 KB scratchpad is the real lane's budget and fits the
+  // paper's 8 KB blocks with room for stage buffers. Block-size ablations
+  // beyond that model a hypothetically larger scratchpad: size it so the
+  // largest stage output (a possibly-incompressible value block plus
+  // codec framing) always fits.
+  const std::size_t value_block_bytes = cm.config.nnz_per_block * 8;
+  lane_config_.scratchpad_bytes =
+      std::max(lane_config_.scratchpad_bytes,
+               value_block_bytes * 2 + 4096);
+}
+
+codec::Bytes UdpPipelineDecoder::run_stage(const udp::Layout& layout,
+                                           codec::ByteSpan input,
+                                           std::uint64_t init_count,
+                                           std::uint64_t& cycles) {
+  udp::Lane lane(layout, lane_config_);
+  std::vector<std::pair<int, std::uint64_t>> init;
+  // All programs share the conventions: R5 = output base (0), and the
+  // delta program additionally takes the word count in R1; R9 mirrors the
+  // output base for the snappy program.
+  init.emplace_back(kDeltaOutReg, 0);
+  init.emplace_back(kSnappyBaseReg, 0);
+  if (init_count != 0) init.emplace_back(kDeltaCountReg, init_count);
+
+  const auto& counters = lane.run(input, init);
+  cycles += counters.cycles;
+  const std::uint64_t out_len = lane.reg(kDeltaOutReg);
+  if (out_len > lane.scratch().size()) fail("udp stage: output overrun");
+  const auto scratch = lane.scratch();
+  return codec::Bytes(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+codec::Bytes UdpPipelineDecoder::decode_stream(codec::ByteSpan data,
+                                               codec::Transform transform,
+                                               const udp::Layout* huffman_layout,
+                                               std::size_t expect_bytes,
+                                               StageCycles& cycles) {
+  codec::Bytes buf(data.begin(), data.end());
+  if (cm_->config.huffman) {
+    RECODE_CHECK(huffman_layout != nullptr);
+    buf = run_stage(*huffman_layout, buf, 0, cycles.huffman);
+  }
+  if (cm_->config.snappy) {
+    buf = run_stage(*snappy_layout_, buf, 0, cycles.snappy);
+  }
+  if (transform == codec::Transform::kDelta32) {
+    if (buf.size() % 4 != 0) fail("udp stage: delta input misaligned");
+    buf = run_stage(*delta_layout_, buf, buf.size() / 4, cycles.delta);
+  } else if (transform == codec::Transform::kVarintDelta) {
+    // The word count comes from the blocking plan, not the byte stream.
+    buf = run_stage(*varint_delta_layout_, buf, expect_bytes / 4,
+                    cycles.delta);
+  }
+  if (buf.size() != expect_bytes) {
+    fail("udp stage: decoded size mismatch (got " +
+         std::to_string(buf.size()) + ", want " +
+         std::to_string(expect_bytes) + ")");
+  }
+  return buf;
+}
+
+BlockResult UdpPipelineDecoder::decode_block(std::size_t b) {
+  RECODE_CHECK(b < cm_->blocks.size());
+  const auto& block = cm_->blocks[b];
+  const std::size_t count = cm_->blocking.blocks[b].count;
+
+  BlockResult result;
+  const codec::Bytes idx_bytes = decode_stream(
+      block.index_data, cm_->config.index_transform,
+      index_huffman_layout_.get(), count * sizeof(sparse::index_t),
+      result.index_cycles);
+  const codec::Bytes val_bytes = decode_stream(
+      block.value_data, cm_->config.value_transform,
+      value_huffman_layout_.get(), count * sizeof(double),
+      result.value_cycles);
+
+  result.indices.resize(count);
+  result.values.resize(count);
+  std::memcpy(result.indices.data(), idx_bytes.data(), idx_bytes.size());
+  std::memcpy(result.values.data(), val_bytes.data(), val_bytes.size());
+  return result;
+}
+
+double UdpPipelineDecoder::min_layout_density() const {
+  double density = 1.0;
+  for (const udp::Layout* l :
+       {delta_layout_.get(), varint_delta_layout_.get(),
+        snappy_layout_.get(), index_huffman_layout_.get(),
+        value_huffman_layout_.get()}) {
+    if (l != nullptr) density = std::min(density, l->density());
+  }
+  return density;
+}
+
+std::size_t UdpPipelineDecoder::total_table_slots() const {
+  std::size_t slots = 0;
+  for (const udp::Layout* l :
+       {delta_layout_.get(), varint_delta_layout_.get(),
+        snappy_layout_.get(), index_huffman_layout_.get(),
+        value_huffman_layout_.get()}) {
+    if (l != nullptr) slots += l->table_size();
+  }
+  return slots;
+}
+
+}  // namespace recode::udpprog

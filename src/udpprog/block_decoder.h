@@ -1,0 +1,83 @@
+// Runs the full per-block decompression pipeline on the UDP lane
+// simulator: Huffman decode -> Snappy decode -> inverse delta, as a
+// series of steps in a single lane (§V-A: "run as a series of steps in a
+// single lane of the UDP", intermediate buffers in the lane scratchpad).
+//
+// Outputs are produced entirely by the simulated programs; the software
+// codecs are used only by callers to cross-validate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "codec/pipeline.h"
+#include "udp/accelerator.h"
+#include "udp/effclip.h"
+#include "udp/lane.h"
+
+namespace recode::udpprog {
+
+struct StageCycles {
+  std::uint64_t huffman = 0;
+  std::uint64_t snappy = 0;
+  std::uint64_t delta = 0;
+
+  std::uint64_t total() const { return huffman + snappy + delta; }
+};
+
+struct BlockResult {
+  std::vector<sparse::index_t> indices;
+  std::vector<double> values;
+  StageCycles index_cycles;
+  StageCycles value_cycles;
+
+  // One block is decoded start-to-finish on one lane.
+  std::uint64_t lane_cycles() const {
+    return index_cycles.total() + value_cycles.total();
+  }
+};
+
+class UdpPipelineDecoder {
+ public:
+  // Builds and lays out the stage programs for this matrix (the Huffman
+  // programs are specialized to its trained tables).
+  explicit UdpPipelineDecoder(const codec::CompressedMatrix& cm,
+                              udp::LaneConfig lane_config = {});
+
+  // Decodes block b on the simulator. Throws recode::Error if the stream
+  // is malformed or the decoded sizes disagree with the blocking plan.
+  BlockResult decode_block(std::size_t b);
+
+  // Dispatch-memory packing achieved by EffCLiP across all stage programs
+  // (min over layouts) — tests assert near-perfect density.
+  double min_layout_density() const;
+
+  // Total dispatch-memory slots across the stage programs (the lane's
+  // program footprint).
+  std::size_t total_table_slots() const;
+
+ private:
+  // Runs `layout` over `input`, returns the scratch bytes [0, R5).
+  codec::Bytes run_stage(const udp::Layout& layout, codec::ByteSpan input,
+                         std::uint64_t init_count, std::uint64_t& cycles);
+
+  codec::Bytes decode_stream(codec::ByteSpan data, codec::Transform transform,
+                             const udp::Layout* huffman_layout,
+                             std::size_t expect_bytes, StageCycles& cycles);
+
+  const codec::CompressedMatrix* cm_;
+  udp::Program delta_program_;
+  udp::Program varint_delta_program_;
+  udp::Program snappy_program_;
+  udp::Program index_huffman_program_;
+  udp::Program value_huffman_program_;
+  std::unique_ptr<udp::Layout> delta_layout_;
+  std::unique_ptr<udp::Layout> varint_delta_layout_;
+  std::unique_ptr<udp::Layout> snappy_layout_;
+  std::unique_ptr<udp::Layout> index_huffman_layout_;
+  std::unique_ptr<udp::Layout> value_huffman_layout_;
+  udp::LaneConfig lane_config_;
+};
+
+}  // namespace recode::udpprog

@@ -1,0 +1,66 @@
+#include "udpprog/delta_prog.h"
+
+namespace recode::udpprog {
+
+using namespace udp;         // NOLINT: program builders read better unqualified
+using udp::Operand;
+
+udp::Program build_delta_decode_program() {
+  Program p;
+
+  // Registers: R1 count, R2 accumulator, R3 zigzag word, R4 tmp, R5 out.
+  constexpr int kR1 = kDeltaCountReg;
+  constexpr int kR2 = 2;
+  constexpr int kR3 = 3;
+  constexpr int kR4 = 4;
+  constexpr int kR5 = kDeltaOutReg;
+
+  DispatchSpec loop_spec;
+  loop_spec.kind = DispatchKind::kRegisterBool;
+  loop_spec.reg = kR1;
+  const StateId loop = p.add_state("loop", loop_spec);
+
+  DispatchSpec sign_spec;
+  sign_spec.kind = DispatchKind::kRegister;
+  sign_spec.reg = kR3;
+  sign_spec.shift = 0;
+  sign_spec.mask = 1;
+  const StateId sign = p.add_state("sign", sign_spec);
+
+  DispatchSpec halt_spec;
+  halt_spec.kind = DispatchKind::kHalt;
+  const StateId halt = p.add_state("halt", halt_spec);
+
+  // loop: count == 0 -> halt; else fetch the next zigzag word.
+  p.add_arc(loop, 0, {}, halt);
+  p.add_arc(loop, 1, {act::stream_read_le(kR3, 4)}, sign);
+
+  // sign 0 (even zigzag): delta = z >> 1.
+  p.add_arc(sign, 0,
+            {
+                act::shr(kR4, kR3, Operand::immediate(1)),
+                act::add(kR2, kR2, Operand::r(kR4)),
+                act::store_le(kR2, kR5, 0, 4),  // store truncates mod 2^32
+                act::add(kR5, kR5, Operand::immediate(4)),
+                act::sub(kR1, kR1, Operand::immediate(1)),
+            },
+            loop);
+
+  // sign 1 (odd zigzag): delta = -(z >> 1) - 1 == ~(z >> 1).
+  p.add_arc(sign, 1,
+            {
+                act::shr(kR4, kR3, Operand::immediate(1)),
+                act::not_(kR4, kR4),
+                act::add(kR2, kR2, Operand::r(kR4)),
+                act::store_le(kR2, kR5, 0, 4),
+                act::add(kR5, kR5, Operand::immediate(4)),
+                act::sub(kR1, kR1, Operand::immediate(1)),
+            },
+            loop);
+
+  p.set_entry(loop);
+  p.validate();
+  return p;
+}
+
+}  // namespace recode::udpprog

@@ -1,0 +1,25 @@
+// Inverse-delta (prefix sum of zigzag deltas) as a UDP program.
+//
+// Mirrors codec::DeltaCodec::decode over 32-bit little-endian words.
+// Register convention:
+//   R1 (in)  word count
+//   R5 (in)  scratchpad output base; (out) one past the last byte written
+// Input stream: the delta-encoded bytes. Output: decoded LE32 words at the
+// output base.
+//
+// Structure: a two-state loop. `loop` tests the remaining count; `sign`
+// multi-way dispatches on the zigzag parity bit so the even/odd arcs do
+// the add/complement without any comparison — branch-free in exactly the
+// way the UDP's dispatch makes cheap.
+#pragma once
+
+#include "udp/program.h"
+
+namespace recode::udpprog {
+
+inline constexpr int kDeltaCountReg = 1;
+inline constexpr int kDeltaOutReg = 5;
+
+udp::Program build_delta_decode_program();
+
+}  // namespace recode::udpprog

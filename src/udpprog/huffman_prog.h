@@ -1,0 +1,27 @@
+// Canonical Huffman decode as a UDP program, specialized per table.
+//
+// This is the showcase for multi-way dispatch: the first level consumes
+// 8 stream bits and dispatches 256 ways; prefixes that fully determine a
+// (length <= 8) code emit their symbol directly, rewinding the over-read
+// bits; longer codes fall through to a per-prefix second-level state that
+// dispatches on 7 more bits (kMaxCodeLen = 15). Each emitted symbol loops
+// through a count-check state. No comparisons, no branch prediction —
+// dictionary decode as table walk, which is the workload the UDP was
+// built for (§III-E: "80% cycle waste" on CPUs from dispatch branches).
+//
+// Stream format matches codec::HuffmanCodec: varint(symbol count), then
+// the MSB-first bit stream. The varint is parsed in-program.
+// Register convention:
+//   R5 (in)  scratchpad output base; (out) one past the last byte written
+#pragma once
+
+#include "codec/huffman.h"
+#include "udp/program.h"
+
+namespace recode::udpprog {
+
+inline constexpr int kHuffmanOutReg = 5;
+
+udp::Program build_huffman_decode_program(const codec::HuffmanTable& table);
+
+}  // namespace recode::udpprog

@@ -1,0 +1,59 @@
+// Matrix-level UDP decompression simulation.
+//
+// Drives UdpPipelineDecoder over a compressed matrix's blocks, schedules
+// the per-block lane cycles on the 64-lane Accelerator model, and reports
+// the throughput/latency numbers the paper's Figs 12/13 plot. For large
+// matrices a deterministic sample of blocks is simulated and the
+// remainder is extrapolated from the sample mean (the same methodology
+// the paper uses for Huffman training, §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "codec/pipeline.h"
+#include "udp/accelerator.h"
+
+namespace recode::udpprog {
+
+struct MatrixDecodeOptions {
+  udp::AcceleratorConfig accelerator;
+  // Max blocks to run through the cycle simulator; the rest extrapolate
+  // from the sampled mean. 0 = simulate every block.
+  std::size_t max_sampled_blocks = 64;
+  std::uint64_t sample_seed = 7;
+  // Cross-check every simulated block against the software codecs.
+  bool validate = true;
+};
+
+struct MatrixDecodeResult {
+  std::size_t total_blocks = 0;
+  std::size_t simulated_blocks = 0;
+  bool validated = false;
+
+  // Mean one-lane latency to fully decode one block (the paper reports a
+  // geomean of ~21.7 us per 8 KB block).
+  double mean_block_micros = 0.0;
+
+  // Accelerator completion time for the whole matrix (extrapolated when
+  // sampled) and the resulting decompressed-data throughput.
+  double accelerator_seconds = 0.0;
+  double throughput_bytes_per_sec = 0.0;
+
+  // Energy spent by the accelerator for the whole matrix.
+  double energy_joules = 0.0;
+
+  // Mean cycles per block, split by pipeline stage (for ablations).
+  double mean_huffman_cycles = 0.0;
+  double mean_snappy_cycles = 0.0;
+  double mean_delta_cycles = 0.0;
+};
+
+// Simulates decompressing `cm` on the UDP. When `reference` is non-null
+// and options.validate is set, every simulated block's output is compared
+// against the reference CSR streams; a mismatch throws recode::Error.
+MatrixDecodeResult simulate_matrix_decode(
+    const codec::CompressedMatrix& cm, const sparse::Csr* reference,
+    const MatrixDecodeOptions& options = {});
+
+}  // namespace recode::udpprog

@@ -1,0 +1,293 @@
+#include "udpprog/snappy_encode_prog.h"
+
+namespace recode::udpprog {
+
+using namespace udp;  // NOLINT: program builders read better unqualified
+
+namespace {
+
+DispatchSpec direct() { return DispatchSpec{}; }
+
+DispatchSpec halt_spec() {
+  DispatchSpec d;
+  d.kind = DispatchKind::kHalt;
+  return d;
+}
+
+DispatchSpec reg_bool(int reg) {
+  DispatchSpec d;
+  d.kind = DispatchKind::kRegisterBool;
+  d.reg = reg;
+  return d;
+}
+
+// Dispatch on a register's sign bit (two's complement compare result).
+DispatchSpec sign_of(int reg) {
+  DispatchSpec d;
+  d.kind = DispatchKind::kRegister;
+  d.reg = reg;
+  d.shift = 63;
+  d.mask = 1;
+  return d;
+}
+
+}  // namespace
+
+udp::Program build_snappy_encode_program() {
+  Program p;
+
+  // Registers: R1 n, R2 pos, R3 literal start, R4 current 4-byte window,
+  // R5 out cursor, R6 hash slot, R7 candidate, R8/R9/R12/R14 tmps,
+  // R10 match length, R11 offset, R13 literal-continuation selector,
+  // R15 zero (staging base).
+  constexpr int kN = kSnappyEncCountReg;
+  constexpr int kPos = 2, kLit = 3, kCur = 4, kOut = kSnappyEncOutReg,
+                kHash = 6, kCand = 7, kT1 = 8, kT2 = 9, kLen = 10,
+                kOff = 11, kT3 = 12, kRet = 13, kT4 = 14, kZero = 15;
+
+  const StateId init = p.add_state("init", direct());
+  const StateId vloop = p.add_state("vloop", direct());
+  const StateId vtest = p.add_state("vtest", reg_bool(kT1));
+  const StateId copyin = p.add_state("copyin", reg_bool(kN));
+  const StateId main_check = p.add_state("main_check", direct());
+  const StateId main_test = p.add_state("main_test", sign_of(kT2));
+  const StateId hash = p.add_state("hash", direct());
+  const StateId cand_test = p.add_state("cand_test", reg_bool(kCand));
+  const StateId match_test = p.add_state("match_test", reg_bool(kT2));
+  const StateId lit_check = p.add_state("lit_check", reg_bool(kT4));
+  const StateId lit_ret = p.add_state("lit_ret", reg_bool(kRet));
+  const StateId lit_size1 = p.add_state("lit_size1", direct());
+  const StateId lit_size1t = p.add_state("lit_size1t", sign_of(kT1));
+  const StateId lit_small = p.add_state("lit_small", direct());
+  const StateId lit_size2 = p.add_state("lit_size2", direct());
+  const StateId lit_size2t = p.add_state("lit_size2t", sign_of(kT1));
+  const StateId lit_med = p.add_state("lit_med", direct());
+  const StateId lit_large = p.add_state("lit_large", direct());
+  const StateId extend_init = p.add_state("extend_init", direct());
+  const StateId extend_check = p.add_state("extend_check", direct());
+  const StateId extend_check_t =
+      p.add_state("extend_check_t", reg_bool(kT2));
+  const StateId extend_cmp = p.add_state("extend_cmp", direct());
+  const StateId extend_cmp_t = p.add_state("extend_cmp_t", reg_bool(kT3));
+  const StateId match_done = p.add_state("match_done", direct());
+  const StateId emit_copy_check = p.add_state("emit_copy_check", direct());
+  const StateId emit_copy_t = p.add_state("emit_copy_t", sign_of(kT1));
+  const StateId emit_mid_check = p.add_state("emit_mid_check", direct());
+  const StateId emit_mid_t = p.add_state("emit_mid_t", sign_of(kT1));
+  const StateId emit_final = p.add_state("emit_final", direct());
+  const StateId advance = p.add_state("advance", direct());
+  const StateId tail_lit = p.add_state("tail_lit", direct());
+  const StateId halt = p.add_state("halt", halt_spec());
+
+  // --- preamble: out cursor, varint(n) ---
+  p.add_arc(init, 0,
+            {
+                act::set_imm(kOut, kSnappyEncOutBase),
+                act::set_imm(kZero, 0),
+                act::move(kT4, kN),
+            },
+            vloop);
+  p.add_arc(vloop, 0, {act::shr(kT1, kT4, Operand::immediate(7))}, vtest);
+  p.add_arc(vtest, 1,
+            {
+                act::and_(kT2, kT4, Operand::immediate(0x7F)),
+                act::or_(kT2, kT2, Operand::immediate(0x80)),
+                act::store_le(kT2, kOut, 0, 1),
+                act::add(kOut, kOut, Operand::immediate(1)),
+                act::move(kT4, kT1),
+            },
+            vloop);
+  p.add_arc(vtest, 0,
+            {
+                act::store_le(kT4, kOut, 0, 1),
+                act::add(kOut, kOut, Operand::immediate(1)),
+            },
+            copyin);
+
+  // --- stage the input block into the scratchpad ---
+  p.add_arc(copyin, 0, {}, halt);  // empty input: preamble only
+  p.add_arc(copyin, 1, {act::stream_copy(kZero, Operand::r(kN))},
+            main_check);
+
+  // --- main loop: does a 4-byte window fit at pos? ---
+  p.add_arc(main_check, 0,
+            {
+                act::add(kT1, kPos, Operand::immediate(4)),
+                act::sub(kT2, kT1, Operand::r(kN)),
+                act::sub(kT2, kT2, Operand::immediate(1)),
+            },
+            main_test);
+  p.add_arc(main_test, 1, {}, hash);      // pos + 4 <= n
+  p.add_arc(main_test, 0, {}, tail_lit);  // flush the tail literal
+
+  // --- hash the window, probe and update the table ---
+  p.add_arc(hash, 0,
+            {
+                act::load_le(kCur, kPos, 0, 4),
+                act::mul(kHash, kCur, Operand::immediate(0x1E35A7BDull)),
+                act::and_(kHash, kHash, Operand::immediate(0xFFFFFFFFull)),
+                act::shr(kHash, kHash, Operand::immediate(20)),  // 12-bit slot
+                act::shl(kHash, kHash, Operand::immediate(2)),
+                act::load_le(kCand, kHash, kSnappyEncHashBase, 4),
+                act::add(kT1, kPos, Operand::immediate(1)),
+                act::store_le(kT1, kHash, kSnappyEncHashBase, 4),
+            },
+            cand_test);
+  p.add_arc(cand_test, 0, {}, advance);  // empty slot
+  p.add_arc(cand_test, 1,
+            {
+                act::sub(kCand, kCand, Operand::immediate(1)),
+                act::load_le(kT1, kCand, 0, 4),
+                act::xor_(kT2, kT1, Operand::r(kCur)),
+            },
+            match_test);
+  p.add_arc(match_test, 1, {}, advance);  // hash collision, no match
+  p.add_arc(match_test, 0,
+            {
+                act::sub(kOff, kPos, Operand::r(kCand)),
+                act::sub(kT4, kPos, Operand::r(kLit)),  // pending literal
+                act::set_imm(kRet, 0),                  // return to extend
+            },
+            lit_check);
+
+  // --- literal emission (length kT4, source kLit), shared by both the
+  // --- pre-match flush and the tail flush via the kRet selector ---
+  p.add_arc(lit_check, 0, {}, lit_ret);
+  p.add_arc(lit_check, 1, {}, lit_size1);
+  p.add_arc(lit_ret, 0, {}, extend_init);
+  p.add_arc(lit_ret, 1, {}, halt);
+  p.add_arc(lit_size1, 0, {act::sub(kT1, kT4, Operand::immediate(60))},
+            lit_size1t);
+  p.add_arc(lit_size1t, 1, {}, lit_small);  // len < 60: inline length
+  p.add_arc(lit_size1t, 0, {}, lit_size2);
+  p.add_arc(lit_small, 0,
+            {
+                act::sub(kT2, kT4, Operand::immediate(1)),
+                act::shl(kT2, kT2, Operand::immediate(2)),
+                act::store_le(kT2, kOut, 0, 1),
+                act::add(kOut, kOut, Operand::immediate(1)),
+                act::scratch_copy(kOut, kLit, Operand::r(kT4)),
+                act::add(kOut, kOut, Operand::r(kT4)),
+                act::move(kLit, kPos),
+            },
+            lit_ret);
+  p.add_arc(lit_size2, 0, {act::sub(kT1, kT4, Operand::immediate(257))},
+            lit_size2t);
+  p.add_arc(lit_size2t, 1, {}, lit_med);  // len <= 256: 1 length byte
+  p.add_arc(lit_size2t, 0, {}, lit_large);
+  p.add_arc(lit_med, 0,
+            {
+                act::set_imm(kT2, 60u << 2),
+                act::store_le(kT2, kOut, 0, 1),
+                act::sub(kT2, kT4, Operand::immediate(1)),
+                act::store_le(kT2, kOut, 1, 1),
+                act::add(kOut, kOut, Operand::immediate(2)),
+                act::scratch_copy(kOut, kLit, Operand::r(kT4)),
+                act::add(kOut, kOut, Operand::r(kT4)),
+                act::move(kLit, kPos),
+            },
+            lit_ret);
+  p.add_arc(lit_large, 0,
+            {
+                act::set_imm(kT2, 61u << 2),
+                act::store_le(kT2, kOut, 0, 1),
+                act::sub(kT2, kT4, Operand::immediate(1)),
+                act::store_le(kT2, kOut, 1, 2),
+                act::add(kOut, kOut, Operand::immediate(3)),
+                act::scratch_copy(kOut, kLit, Operand::r(kT4)),
+                act::add(kOut, kOut, Operand::r(kT4)),
+                act::move(kLit, kPos),
+            },
+            lit_ret);
+
+  // --- match extension, byte at a time ---
+  p.add_arc(extend_init, 0, {act::set_imm(kLen, 4)}, extend_check);
+  p.add_arc(extend_check, 0,
+            {
+                act::add(kT1, kPos, Operand::r(kLen)),
+                act::sub(kT2, kT1, Operand::r(kN)),
+            },
+            extend_check_t);
+  p.add_arc(extend_check_t, 0, {}, match_done);  // reached end of input
+  p.add_arc(extend_check_t, 1,
+            {
+                act::add(kT1, kCand, Operand::r(kLen)),
+                act::load_le(kT3, kT1, 0, 1),
+                act::add(kT1, kPos, Operand::r(kLen)),
+                act::load_le(kT4, kT1, 0, 1),
+                act::xor_(kT3, kT3, Operand::r(kT4)),
+            },
+            extend_cmp);
+  p.add_arc(extend_cmp, 0, {}, extend_cmp_t);
+  p.add_arc(extend_cmp_t, 1, {}, match_done);  // bytes differ
+  p.add_arc(extend_cmp_t, 0, {act::add(kLen, kLen, Operand::immediate(1))},
+            extend_check);
+
+  // --- advance past the match, then emit copy elements ---
+  p.add_arc(match_done, 0,
+            {
+                act::add(kPos, kPos, Operand::r(kLen)),
+                act::move(kLit, kPos),
+            },
+            emit_copy_check);
+  p.add_arc(emit_copy_check, 0,
+            {act::sub(kT1, kLen, Operand::immediate(68))}, emit_copy_t);
+  p.add_arc(emit_copy_t, 0,  // len >= 68: peel a 64-byte copy
+            {
+                act::set_imm(kT2, ((64u - 1) << 2) | 2),
+                act::store_le(kT2, kOut, 0, 1),
+                act::and_(kT2, kOff, Operand::immediate(0xFF)),
+                act::store_le(kT2, kOut, 1, 1),
+                act::shr(kT2, kOff, Operand::immediate(8)),
+                act::store_le(kT2, kOut, 2, 1),
+                act::add(kOut, kOut, Operand::immediate(3)),
+                act::sub(kLen, kLen, Operand::immediate(64)),
+            },
+            emit_copy_check);
+  p.add_arc(emit_copy_t, 1, {}, emit_mid_check);
+  p.add_arc(emit_mid_check, 0,
+            {act::sub(kT1, kLen, Operand::immediate(65))}, emit_mid_t);
+  p.add_arc(emit_mid_t, 0,  // len in 65..67: peel 60 so the rest stays >= 4
+            {
+                act::set_imm(kT2, ((60u - 1) << 2) | 2),
+                act::store_le(kT2, kOut, 0, 1),
+                act::and_(kT2, kOff, Operand::immediate(0xFF)),
+                act::store_le(kT2, kOut, 1, 1),
+                act::shr(kT2, kOff, Operand::immediate(8)),
+                act::store_le(kT2, kOut, 2, 1),
+                act::add(kOut, kOut, Operand::immediate(3)),
+                act::sub(kLen, kLen, Operand::immediate(60)),
+            },
+            emit_final);
+  p.add_arc(emit_mid_t, 1, {}, emit_final);
+  p.add_arc(emit_final, 0,
+            {
+                act::sub(kT2, kLen, Operand::immediate(1)),
+                act::shl(kT2, kT2, Operand::immediate(2)),
+                act::or_(kT2, kT2, Operand::immediate(2)),
+                act::store_le(kT2, kOut, 0, 1),
+                act::and_(kT2, kOff, Operand::immediate(0xFF)),
+                act::store_le(kT2, kOut, 1, 1),
+                act::shr(kT2, kOff, Operand::immediate(8)),
+                act::store_le(kT2, kOut, 2, 1),
+                act::add(kOut, kOut, Operand::immediate(3)),
+            },
+            main_check);
+
+  p.add_arc(advance, 0, {act::add(kPos, kPos, Operand::immediate(1))},
+            main_check);
+
+  // --- tail literal, then halt via the kRet selector ---
+  p.add_arc(tail_lit, 0,
+            {
+                act::sub(kT4, kN, Operand::r(kLit)),
+                act::set_imm(kRet, 1),
+            },
+            lit_check);
+
+  p.set_entry(init);
+  p.validate();
+  return p;
+}
+
+}  // namespace recode::udpprog

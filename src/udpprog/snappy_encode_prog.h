@@ -1,0 +1,35 @@
+// Snappy-format *compression* as a UDP program — the UDP as a
+// programmable compression accelerator (§VI-D compares it against
+// Microsoft Xpress FPGAs, Intel QuickAssist, and IBM PowerEN; the UDP's
+// advantages are programmability and memory-system integration).
+//
+// The program implements the standard greedy hash matcher entirely in
+// the lane: the input block is staged into the scratchpad, a 4096-entry
+// hash table (multiply-shift over 4-byte windows) lives beside it, and
+// literals/copies are emitted in the format of codec::SnappyCodec. The
+// output is decodable by both the software decoder and the snappy decode
+// UDP program.
+//
+// Scratchpad layout (64 KB lane budget):
+//   [0, 16 KB)        staged input (max block 16 KB)
+//   [16 KB, 32 KB)    hash table, 4096 x 4 B (position + 1; 0 = empty)
+//   [32 KB, ...)      output stream
+//
+// Register convention:
+//   R1 (in)  input byte count (<= 16 KB)
+//   R5 (out) one past the last output byte (output starts at 32 KB)
+#pragma once
+
+#include "udp/program.h"
+
+namespace recode::udpprog {
+
+inline constexpr int kSnappyEncCountReg = 1;
+inline constexpr int kSnappyEncOutReg = 5;
+inline constexpr std::uint64_t kSnappyEncMaxInput = 16 * 1024;
+inline constexpr std::uint64_t kSnappyEncHashBase = 16 * 1024;
+inline constexpr std::uint64_t kSnappyEncOutBase = 32 * 1024;
+
+udp::Program build_snappy_encode_program();
+
+}  // namespace recode::udpprog

@@ -1,0 +1,135 @@
+#include "udpprog/snappy_prog.h"
+
+namespace recode::udpprog {
+
+using namespace udp;  // NOLINT: program builders read better unqualified
+
+udp::Program build_snappy_decode_program() {
+  Program p;
+
+  // Registers: R1 varint acc / decoded length, R2 varint byte, R3 length,
+  // R4 offset, R5 out cursor, R6 varint shift, R7 tmp, R8 copy source,
+  // R9 out base, R10 end pointer.
+  constexpr int kR1 = 1, kR2 = 2, kR3 = 3, kR4 = 4, kR5 = kSnappyOutReg,
+                kR6 = 6, kR7 = 7, kR8 = 8, kR9 = kSnappyBaseReg, kR10 = 10;
+
+  DispatchSpec direct;
+  direct.kind = DispatchKind::kDirect;
+
+  DispatchSpec halt_spec;
+  halt_spec.kind = DispatchKind::kHalt;
+
+  const StateId vint = p.add_state("vint", direct);
+
+  DispatchSpec vint_test_spec;
+  vint_test_spec.kind = DispatchKind::kRegister;
+  vint_test_spec.reg = kR2;
+  vint_test_spec.shift = 7;
+  vint_test_spec.mask = 1;
+  const StateId vint_test = p.add_state("vint_test", vint_test_spec);
+
+  // end_check computes remaining = end - cursor, then rem_test branches.
+  const StateId end_check = p.add_state("end_check", direct);
+  DispatchSpec rem_spec;
+  rem_spec.kind = DispatchKind::kRegisterBool;
+  rem_spec.reg = kR7;
+  const StateId rem_test = p.add_state("rem_test", rem_spec);
+
+  DispatchSpec tag_spec;
+  tag_spec.kind = DispatchKind::kStreamBits;
+  tag_spec.bits = 8;
+  const StateId tag = p.add_state("tag", tag_spec);
+
+  const StateId halt = p.add_state("halt", halt_spec);
+
+  // --- varint(decoded length) ---
+  p.add_arc(vint, 0, {act::stream_read_le(kR2, 1)}, vint_test);
+  p.add_arc(vint_test, 1,
+            {
+                act::and_(kR7, kR2, Operand::immediate(0x7F)),
+                act::shl(kR7, kR7, Operand::r(kR6)),
+                act::or_(kR1, kR1, Operand::r(kR7)),
+                act::add(kR6, kR6, Operand::immediate(7)),
+            },
+            vint);
+  p.add_arc(vint_test, 0,
+            {
+                act::and_(kR7, kR2, Operand::immediate(0x7F)),
+                act::shl(kR7, kR7, Operand::r(kR6)),
+                act::or_(kR1, kR1, Operand::r(kR7)),
+                act::add(kR10, kR9, Operand::r(kR1)),  // end = base + len
+            },
+            end_check);
+
+  // --- termination test: cursor == end ---
+  p.add_arc(end_check, 0, {act::sub(kR7, kR10, Operand::r(kR5))}, rem_test);
+  p.add_arc(rem_test, 0, {}, halt);
+  p.add_arc(rem_test, 1, {}, tag);
+
+  // --- 256-way tag dispatch ---
+  for (std::uint32_t t = 0; t < 256; ++t) {
+    const std::uint32_t kind = t & 3;
+    std::vector<Action> actions;
+    if (kind == 0) {  // literal
+      const std::uint32_t len_code = t >> 2;
+      if (len_code < 60) {
+        const std::uint64_t len = len_code + 1;
+        actions = {
+            act::stream_copy(kR5, Operand::immediate(len)),
+            act::add(kR5, kR5, Operand::immediate(len)),
+        };
+      } else {
+        // 1-4 extra little-endian length bytes.
+        const int extra = static_cast<int>(len_code - 59);
+        if (extra == 3) {
+          actions = {
+              act::stream_read_le(kR3, 2),
+              act::stream_read_le(kR7, 1),
+              act::shl(kR7, kR7, Operand::immediate(16)),
+              act::or_(kR3, kR3, Operand::r(kR7)),
+          };
+        } else {
+          actions = {act::stream_read_le(kR3, extra)};
+        }
+        actions.push_back(act::add(kR3, kR3, Operand::immediate(1)));
+        actions.push_back(act::stream_copy(kR5, Operand::r(kR3)));
+        actions.push_back(act::add(kR5, kR5, Operand::r(kR3)));
+      }
+    } else if (kind == 1) {  // copy, 1-byte offset
+      const std::uint64_t len = ((t >> 2) & 0x7) + 4;
+      const std::uint64_t off_high = static_cast<std::uint64_t>(t >> 5) << 8;
+      actions = {
+          act::stream_read_le(kR4, 1),
+      };
+      if (off_high != 0) {
+        actions.push_back(act::or_(kR4, kR4, Operand::immediate(off_high)));
+      }
+      actions.push_back(act::sub(kR8, kR5, Operand::r(kR4)));
+      actions.push_back(act::scratch_copy(kR5, kR8, Operand::immediate(len)));
+      actions.push_back(act::add(kR5, kR5, Operand::immediate(len)));
+    } else if (kind == 2) {  // copy, 2-byte offset
+      const std::uint64_t len = (t >> 2) + 1;
+      actions = {
+          act::stream_read_le(kR4, 2),
+          act::sub(kR8, kR5, Operand::r(kR4)),
+          act::scratch_copy(kR5, kR8, Operand::immediate(len)),
+          act::add(kR5, kR5, Operand::immediate(len)),
+      };
+    } else {  // copy, 4-byte offset
+      const std::uint64_t len = (t >> 2) + 1;
+      actions = {
+          act::stream_read_le(kR4, 4),
+          act::sub(kR8, kR5, Operand::r(kR4)),
+          act::scratch_copy(kR5, kR8, Operand::immediate(len)),
+          act::add(kR5, kR5, Operand::immediate(len)),
+      };
+    }
+    p.add_arc(tag, t, std::move(actions), end_check);
+  }
+
+  p.set_entry(vint);
+  p.validate();
+  return p;
+}
+
+}  // namespace recode::udpprog

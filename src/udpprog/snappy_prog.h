@@ -1,0 +1,26 @@
+// Snappy-format decompression as a UDP program.
+//
+// The tag byte drives a 256-way dispatch: every (element type, inline
+// length, offset-high-bits) combination is its own arc with the constants
+// baked in, so there is no length/offset decoding arithmetic on the
+// common path — the dispatch IS the decode. Literal runs use the stream
+// copy engine (8 B/cycle); copies run through the scratchpad port with
+// LZ overlap semantics.
+//
+// Stream format matches codec::SnappyCodec: varint(decoded length) then
+// tagged elements. The varint preamble is parsed in-program.
+// Register convention:
+//   R5 (in)  scratchpad output base; (out) one past the last byte written
+//   R9 (in)  must equal R5 (output base, kept for end-pointer computation)
+#pragma once
+
+#include "udp/program.h"
+
+namespace recode::udpprog {
+
+inline constexpr int kSnappyOutReg = 5;
+inline constexpr int kSnappyBaseReg = 9;
+
+udp::Program build_snappy_decode_program();
+
+}  // namespace recode::udpprog

@@ -1,0 +1,98 @@
+#include "udpprog/varint_delta_prog.h"
+
+namespace recode::udpprog {
+
+using namespace udp;  // NOLINT: program builders read better unqualified
+
+udp::Program build_varint_delta_decode_program() {
+  Program p;
+
+  // Registers: R1 count, R2 accumulator (prefix sum), R3 zigzag value,
+  // R4 tmp, R5 out cursor, R6 varint shift, R7 varint byte.
+  constexpr int kR1 = kVarintDeltaCountReg;
+  constexpr int kR2 = 2;
+  constexpr int kR3 = 3;
+  constexpr int kR4 = 4;
+  constexpr int kR5 = kVarintDeltaOutReg;
+  constexpr int kR6 = 6;
+  constexpr int kR7 = 7;
+
+  DispatchSpec loop_spec;
+  loop_spec.kind = DispatchKind::kRegisterBool;
+  loop_spec.reg = kR1;
+  const StateId loop = p.add_state("loop", loop_spec);
+
+  DispatchSpec byte_spec;
+  byte_spec.kind = DispatchKind::kDirect;
+  const StateId vbyte = p.add_state("vbyte", byte_spec);
+
+  DispatchSpec cont_spec;  // dispatch on the continuation bit
+  cont_spec.kind = DispatchKind::kRegister;
+  cont_spec.reg = kR7;
+  cont_spec.shift = 7;
+  cont_spec.mask = 1;
+  const StateId vtest = p.add_state("vtest", cont_spec);
+
+  DispatchSpec sign_spec;  // dispatch on zigzag parity
+  sign_spec.kind = DispatchKind::kRegister;
+  sign_spec.reg = kR3;
+  sign_spec.shift = 0;
+  sign_spec.mask = 1;
+  const StateId sign = p.add_state("sign", sign_spec);
+
+  DispatchSpec halt_spec;
+  halt_spec.kind = DispatchKind::kHalt;
+  const StateId halt = p.add_state("halt", halt_spec);
+
+  // loop: done, or reset the varint accumulator for the next group.
+  p.add_arc(loop, 0, {}, halt);
+  p.add_arc(loop, 1,
+            {act::set_imm(kR3, 0), act::set_imm(kR6, 0)}, vbyte);
+
+  // vbyte: consume one stream byte.
+  p.add_arc(vbyte, 0, {act::stream_read_le(kR7, 1)}, vtest);
+
+  // vtest: accumulate the 7-bit group; continuation bit selects the arc.
+  p.add_arc(vtest, 1,
+            {
+                act::and_(kR4, kR7, Operand::immediate(0x7F)),
+                act::shl(kR4, kR4, Operand::r(kR6)),
+                act::or_(kR3, kR3, Operand::r(kR4)),
+                act::add(kR6, kR6, Operand::immediate(7)),
+            },
+            vbyte);
+  p.add_arc(vtest, 0,
+            {
+                act::and_(kR4, kR7, Operand::immediate(0x7F)),
+                act::shl(kR4, kR4, Operand::r(kR6)),
+                act::or_(kR3, kR3, Operand::r(kR4)),
+            },
+            sign);
+
+  // sign: unzigzag and emit, exactly as in the fixed-width delta program.
+  p.add_arc(sign, 0,
+            {
+                act::shr(kR4, kR3, Operand::immediate(1)),
+                act::add(kR2, kR2, Operand::r(kR4)),
+                act::store_le(kR2, kR5, 0, 4),
+                act::add(kR5, kR5, Operand::immediate(4)),
+                act::sub(kR1, kR1, Operand::immediate(1)),
+            },
+            loop);
+  p.add_arc(sign, 1,
+            {
+                act::shr(kR4, kR3, Operand::immediate(1)),
+                act::not_(kR4, kR4),
+                act::add(kR2, kR2, Operand::r(kR4)),
+                act::store_le(kR2, kR5, 0, 4),
+                act::add(kR5, kR5, Operand::immediate(4)),
+                act::sub(kR1, kR1, Operand::immediate(1)),
+            },
+            loop);
+
+  p.set_entry(loop);
+  p.validate();
+  return p;
+}
+
+}  // namespace recode::udpprog

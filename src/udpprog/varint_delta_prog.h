@@ -1,0 +1,21 @@
+// Varint-delta index decode as a UDP program — the §VII custom-encoding
+// direction, and the showcase for the lane's *variable-size symbol*
+// support: each LEB128 group is consumed a byte at a time with the
+// continuation bit driving a 2-way dispatch, no length field and no
+// branch prediction anywhere.
+//
+// Register convention (mirrors delta_prog):
+//   R1 (in)  word count
+//   R5 (in)  scratchpad output base; (out) one past the last byte written
+#pragma once
+
+#include "udp/program.h"
+
+namespace recode::udpprog {
+
+inline constexpr int kVarintDeltaCountReg = 1;
+inline constexpr int kVarintDeltaOutReg = 5;
+
+udp::Program build_varint_delta_decode_program();
+
+}  // namespace recode::udpprog

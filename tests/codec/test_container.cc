@@ -1,0 +1,125 @@
+#include "codec/container.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generators.h"
+#include "udpprog/block_decoder.h"
+
+namespace recode::codec {
+namespace {
+
+using sparse::Csr;
+using sparse::ValueModel;
+
+std::string to_string_stream(const CompressedMatrix& cm) {
+  std::ostringstream out(std::ios::binary);
+  write_compressed(out, cm);
+  return out.str();
+}
+
+CompressedMatrix from_string(const std::string& data) {
+  std::istringstream in(data, std::ios::binary);
+  return read_compressed(in);
+}
+
+TEST(Container, RoundTripsDshMatrix) {
+  const Csr csr =
+      sparse::gen_fem_like(3000, 10, 80, ValueModel::kSmoothField, 51);
+  const auto cm = compress(csr, PipelineConfig::udp_dsh());
+  const auto back = from_string(to_string_stream(cm));
+  EXPECT_EQ(back.rows, cm.rows);
+  EXPECT_EQ(back.cols, cm.cols);
+  EXPECT_EQ(back.row_ptr, cm.row_ptr);
+  EXPECT_EQ(back.blocks.size(), cm.blocks.size());
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    EXPECT_EQ(back.blocks[b].index_data, cm.blocks[b].index_data);
+    EXPECT_EQ(back.blocks[b].value_data, cm.blocks[b].value_data);
+  }
+  EXPECT_TRUE(equal(csr, decompress(back)));
+}
+
+class ContainerConfigs : public ::testing::TestWithParam<PipelineConfig> {};
+
+TEST_P(ContainerConfigs, RoundTripsEveryPipeline) {
+  const Csr csr = sparse::gen_banded(2000, 6, 0.8, ValueModel::kFewDistinct, 52);
+  const auto cm = compress(csr, GetParam());
+  const auto back = from_string(to_string_stream(cm));
+  EXPECT_TRUE(equal(csr, decompress(back)));
+  EXPECT_EQ(back.config.index_transform, cm.config.index_transform);
+  EXPECT_EQ(back.config.snappy, cm.config.snappy);
+  EXPECT_EQ(back.config.huffman, cm.config.huffman);
+  EXPECT_EQ(back.config.nnz_per_block, cm.config.nnz_per_block);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pipelines, ContainerConfigs,
+                         ::testing::Values(PipelineConfig::udp_dsh(),
+                                           PipelineConfig::udp_ds(),
+                                           PipelineConfig::cpu_snappy(),
+                                           PipelineConfig::udp_vsh()));
+
+TEST(Container, LoadedMatrixDecodesOnUdpSimulator) {
+  // The deserialized container must be directly consumable by the UDP
+  // pipeline (tables, blocking, streams all intact).
+  const Csr csr = sparse::gen_circuit(2500, 5, ValueModel::kSmoothField, 53);
+  const auto back =
+      from_string(to_string_stream(compress(csr, PipelineConfig::udp_dsh())));
+  udpprog::UdpPipelineDecoder decoder(back);
+  const auto result = decoder.decode_block(0);
+  const auto& range = back.blocking.blocks[0];
+  for (std::size_t i = 0; i < range.count; ++i) {
+    ASSERT_EQ(result.indices[i], csr.col_idx[range.first_nnz + i]);
+    ASSERT_EQ(result.values[i], csr.val[range.first_nnz + i]);
+  }
+}
+
+TEST(Container, FileRoundTrip) {
+  const Csr csr = sparse::gen_stencil2d(40, 40, ValueModel::kStencilCoeffs, 54);
+  const auto cm = compress(csr, PipelineConfig::udp_dsh());
+  const std::string path = ::testing::TempDir() + "/matrix.rcm";
+  write_compressed_file(path, cm);
+  const auto back = read_compressed_file(path);
+  EXPECT_TRUE(equal(csr, decompress(back)));
+}
+
+TEST(Container, RejectsBadMagic) {
+  const Csr csr = sparse::gen_stencil2d(10, 10, ValueModel::kUnit, 55);
+  std::string data = to_string_stream(compress(csr, PipelineConfig::udp_dsh()));
+  data[0] = 'X';
+  EXPECT_THROW(from_string(data), Error);
+}
+
+TEST(Container, RejectsBadVersion) {
+  const Csr csr = sparse::gen_stencil2d(10, 10, ValueModel::kUnit, 55);
+  std::string data = to_string_stream(compress(csr, PipelineConfig::udp_dsh()));
+  data[4] = 99;
+  EXPECT_THROW(from_string(data), Error);
+}
+
+TEST(Container, RejectsTruncation) {
+  const Csr csr = sparse::gen_stencil2d(20, 20, ValueModel::kUnit, 56);
+  const std::string data =
+      to_string_stream(compress(csr, PipelineConfig::udp_dsh()));
+  // Any prefix must fail cleanly, never crash.
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    const auto len = static_cast<std::size_t>(data.size() * frac);
+    EXPECT_THROW(from_string(data.substr(0, len)), Error) << frac;
+  }
+}
+
+TEST(Container, MissingFileThrows) {
+  EXPECT_THROW(read_compressed_file("/nonexistent/matrix.rcm"), Error);
+}
+
+TEST(Container, EmptyMatrixRoundTrips) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = 6;
+  const Csr csr = coo_to_csr(coo);
+  const auto back =
+      from_string(to_string_stream(compress(csr, PipelineConfig::udp_dsh())));
+  EXPECT_TRUE(equal(csr, decompress(back)));
+}
+
+}  // namespace
+}  // namespace recode::codec

@@ -1,0 +1,89 @@
+#include "codec/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace recode::codec {
+namespace {
+
+Bytes int32s_to_bytes(const std::vector<std::int32_t>& v) {
+  Bytes out(v.size() * 4);
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+std::vector<std::int32_t> bytes_to_int32s(const Bytes& b) {
+  std::vector<std::int32_t> out(b.size() / 4);
+  std::memcpy(out.data(), b.data(), b.size());
+  return out;
+}
+
+TEST(Delta, RoundTripsIncreasingSequence) {
+  const DeltaCodec codec;
+  const Bytes raw = int32s_to_bytes({0, 3, 7, 7, 100, 1000});
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+TEST(Delta, OutputSizeEqualsInputSize) {
+  // The paper: delta alone provides no size benefit (§IV-B).
+  const DeltaCodec codec;
+  const Bytes raw = int32s_to_bytes({5, 10, 15, 20});
+  EXPECT_EQ(codec.encode(raw).size(), raw.size());
+}
+
+TEST(Delta, ArithmeticSeriesBecomesConstant) {
+  // 10,20,30,... deltas to a repeated word — the property that makes
+  // Snappy effective downstream.
+  const DeltaCodec codec;
+  std::vector<std::int32_t> series;
+  for (int i = 0; i < 64; ++i) series.push_back(10 * i);
+  const Bytes enc = codec.encode(int32s_to_bytes(series));
+  const auto words = bytes_to_int32s(enc);
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    EXPECT_EQ(words[i], words[1]);  // all deltas identical (zigzag of 10)
+  }
+}
+
+TEST(Delta, HandlesNegativeJumps) {
+  const DeltaCodec codec;
+  const Bytes raw = int32s_to_bytes({100, 5, 2000000, -7, 0});
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+TEST(Delta, EmptyInput) {
+  const DeltaCodec codec;
+  EXPECT_TRUE(codec.encode({}).empty());
+  EXPECT_TRUE(codec.decode({}).empty());
+}
+
+TEST(Delta, RejectsMisalignedInput) {
+  const DeltaCodec codec;
+  const Bytes bad(7, 0);
+  EXPECT_THROW(codec.encode(bad), Error);
+  EXPECT_THROW(codec.decode(bad), Error);
+}
+
+TEST(Delta, RoundTripsExtremeValues) {
+  const DeltaCodec codec;
+  const Bytes raw = int32s_to_bytes(
+      {INT32_MIN, INT32_MAX, 0, INT32_MAX, INT32_MIN});
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+TEST(Delta, RandomRoundTripSweep) {
+  const DeltaCodec codec;
+  recode::Prng prng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int32_t> v(prng.next_below(500));
+    for (auto& x : v) x = static_cast<std::int32_t>(prng.next());
+    const Bytes raw = int32s_to_bytes(v);
+    EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+  }
+}
+
+}  // namespace
+}  // namespace recode::codec

@@ -1,0 +1,172 @@
+#include "codec/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace recode::codec {
+namespace {
+
+std::shared_ptr<const HuffmanTable> trained_on(ByteSpan sample) {
+  return std::make_shared<const HuffmanTable>(HuffmanTable::train(sample));
+}
+
+TEST(HuffmanTable, DefaultIsUniformEightBit) {
+  const HuffmanTable t;
+  for (int s = 0; s < 256; ++s) {
+    EXPECT_EQ(t.length(static_cast<std::uint8_t>(s)), 8);
+  }
+}
+
+TEST(HuffmanTable, KraftInequalityHolds) {
+  std::array<std::uint64_t, 256> hist{};
+  hist['a'] = 1000;
+  hist['b'] = 500;
+  hist['c'] = 10;
+  const HuffmanTable t = HuffmanTable::build(hist);
+  double kraft = 0.0;
+  for (int s = 0; s < 256; ++s) {
+    kraft += std::pow(2.0, -static_cast<double>(t.length(static_cast<std::uint8_t>(s))));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(HuffmanTable, FrequentSymbolsGetShorterCodes) {
+  std::array<std::uint64_t, 256> hist{};
+  hist['x'] = 100000;
+  hist['y'] = 10;
+  const HuffmanTable t = HuffmanTable::build(hist);
+  EXPECT_LT(t.length('x'), t.length('y'));
+}
+
+TEST(HuffmanTable, LengthsRespectCap) {
+  // Fibonacci-like frequencies force deep trees; cap must hold.
+  std::array<std::uint64_t, 256> hist{};
+  std::uint64_t a = 1, b = 1;
+  for (int s = 0; s < 60; ++s) {
+    hist[static_cast<std::size_t>(s)] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const HuffmanTable t = HuffmanTable::build(hist);
+  for (int s = 0; s < 256; ++s) {
+    EXPECT_LE(t.length(static_cast<std::uint8_t>(s)), kMaxCodeLen);
+    EXPECT_GE(t.length(static_cast<std::uint8_t>(s)), 1);
+  }
+}
+
+TEST(HuffmanTable, SerializeDeserializeRoundTrip) {
+  Bytes sample;
+  recode::Prng prng(3);
+  for (int i = 0; i < 5000; ++i) {
+    sample.push_back(static_cast<std::uint8_t>(prng.next_below(40)));
+  }
+  const HuffmanTable t = HuffmanTable::train(sample);
+  const HuffmanTable back = HuffmanTable::deserialize(t.serialize());
+  EXPECT_TRUE(t == back);
+}
+
+TEST(HuffmanTable, DeserializeRejectsBadSize) {
+  EXPECT_THROW(HuffmanTable::deserialize(Bytes(64)), Error);
+}
+
+TEST(HuffmanTable, DeserializeRejectsZeroLength) {
+  Bytes data(128, 0x88);
+  data[0] = 0x08;  // symbol 0 gets length 0
+  EXPECT_THROW(HuffmanTable::deserialize(data), Error);
+}
+
+TEST(HuffmanTable, ExpectedBitsBelowEightForSkewedData) {
+  std::array<std::uint64_t, 256> hist{};
+  hist[0] = 90000;
+  hist[1] = 9000;
+  hist[2] = 900;
+  const HuffmanTable t = HuffmanTable::build(hist);
+  EXPECT_LT(t.expected_bits(hist), 2.0);
+}
+
+TEST(HuffmanCodec, RoundTripsSkewedData) {
+  Bytes raw;
+  recode::Prng prng(11);
+  for (int i = 0; i < 20000; ++i) {
+    // Zipf-ish skew over 16 symbols.
+    const auto r = prng.next_below(100);
+    raw.push_back(static_cast<std::uint8_t>(r < 60 ? 0 : r < 85 ? 1 : r % 16));
+  }
+  const HuffmanCodec codec(trained_on(raw));
+  const Bytes enc = codec.encode(raw);
+  EXPECT_EQ(codec.decode(enc), raw);
+  EXPECT_LT(enc.size(), raw.size() / 3);  // strong skew compresses hard
+}
+
+TEST(HuffmanCodec, RoundTripsAllByteValues) {
+  Bytes raw(256);
+  std::iota(raw.begin(), raw.end(), 0);
+  const HuffmanCodec codec(trained_on(raw));
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+TEST(HuffmanCodec, EmptyInput) {
+  const HuffmanCodec codec(std::make_shared<const HuffmanTable>());
+  const Bytes enc = codec.encode({});
+  EXPECT_TRUE(codec.decode(enc).empty());
+}
+
+TEST(HuffmanCodec, SymbolsOutsideTrainingSampleStillDecode) {
+  // Train on 'a' only; encode data containing other bytes — add-one
+  // smoothing must keep them encodable.
+  Bytes train(1000, 'a');
+  const HuffmanCodec codec(trained_on(train));
+  Bytes raw = {'a', 'z', 0, 255, 'a'};
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+TEST(HuffmanCodec, RejectsTruncatedStream) {
+  Bytes raw(1000, 'q');
+  const HuffmanCodec codec(trained_on(raw));
+  Bytes enc = codec.encode(raw);
+  enc.resize(enc.size() / 2);
+  EXPECT_THROW(codec.decode(enc), Error);
+}
+
+TEST(HuffmanCodec, CrossTableDecodeDiffersOrThrows) {
+  // Decoding with the wrong table must not silently return the input.
+  Bytes raw;
+  recode::Prng prng(7);
+  for (int i = 0; i < 4000; ++i) {
+    raw.push_back(static_cast<std::uint8_t>(prng.next_below(8)));
+  }
+  const HuffmanCodec enc_codec(trained_on(raw));
+  Bytes other(4000);
+  for (auto& b : other) b = static_cast<std::uint8_t>(prng.next());
+  const HuffmanCodec dec_codec(trained_on(other));
+  const Bytes enc = enc_codec.encode(raw);
+  try {
+    EXPECT_NE(dec_codec.decode(enc), raw);
+  } catch (const recode::Error&) {
+    SUCCEED();
+  }
+}
+
+class HuffmanFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HuffmanFuzz, RandomAlphabetRoundTrip) {
+  recode::Prng prng(GetParam());
+  const std::size_t alphabet = 1 + prng.next_below(256);
+  Bytes raw(1 + prng.next_below(30000));
+  for (auto& b : raw) b = static_cast<std::uint8_t>(prng.next_below(alphabet));
+  const HuffmanCodec codec(trained_on(raw));
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanFuzz,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace recode::codec

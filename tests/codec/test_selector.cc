@@ -1,0 +1,58 @@
+#include "codec/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+
+namespace recode::codec {
+namespace {
+
+using sparse::ValueModel;
+
+TEST(Selector, TightBandedMatrixGetsVarintDeltas) {
+  const auto csr =
+      sparse::gen_banded(20000, 8, 0.9, ValueModel::kStencilCoeffs, 1);
+  const PipelineConfig cfg = select_pipeline(csr);
+  EXPECT_EQ(cfg.index_transform, Transform::kVarintDelta);
+  EXPECT_TRUE(cfg.snappy && cfg.huffman);
+}
+
+TEST(Selector, UnstructuredMatrixKeepsFixedDelta) {
+  const auto csr =
+      sparse::gen_random(3000, 3000, 40000, ValueModel::kRandom, 2);
+  const PipelineConfig cfg = select_pipeline(csr);
+  EXPECT_EQ(cfg.index_transform, Transform::kDelta32);
+}
+
+TEST(Selector, SelectedPipelineRoundTrips) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto banded =
+        sparse::gen_banded(5000, 6, 0.8, ValueModel::kSmoothField, seed);
+    const auto cm = compress(banded, select_pipeline(banded));
+    EXPECT_TRUE(equal(banded, decompress(cm)));
+  }
+}
+
+TEST(Selector, VarintChoiceBeatsFixedDeltaOnItsTargets) {
+  // The selector's whole point: on the matrices it picks varint for, the
+  // compressed size must be at least as good as the paper's default.
+  const auto csr = sparse::gen_multi_diagonal(
+      30000, {-32, -1, 0, 1, 32}, ValueModel::kStencilCoeffs, 4);
+  const PipelineConfig chosen = select_pipeline(csr);
+  ASSERT_EQ(chosen.index_transform, Transform::kVarintDelta);
+  const double chosen_idx_bytes = static_cast<double>(
+      compress(csr, chosen).index_stages.after_huffman);
+  const double default_idx_bytes = static_cast<double>(
+      compress(csr, PipelineConfig::udp_dsh()).index_stages.after_huffman);
+  EXPECT_LE(chosen_idx_bytes, default_idx_bytes * 1.05);
+}
+
+TEST(Selector, StatsOverloadMatchesCsrOverload) {
+  const auto csr = sparse::gen_banded(8000, 10, 0.7, ValueModel::kUnit, 5);
+  const auto a = select_pipeline(csr);
+  const auto b = select_pipeline(sparse::compute_stats(csr));
+  EXPECT_EQ(a.index_transform, b.index_transform);
+}
+
+}  // namespace
+}  // namespace recode::codec

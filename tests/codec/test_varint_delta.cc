@@ -1,0 +1,101 @@
+#include "codec/varint_delta.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec/delta.h"
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace recode::codec {
+namespace {
+
+Bytes int32s_to_bytes(const std::vector<std::int32_t>& v) {
+  Bytes out(v.size() * 4);
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+TEST(VarintDelta, RoundTripsSimpleSeries) {
+  const VarintDeltaCodec codec;
+  const Bytes raw = int32s_to_bytes({0, 3, 7, 7, 100, 1000, 950});
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+TEST(VarintDelta, ShrinksTightIndexStreams) {
+  // Unlike the fixed-width delta, small gaps compress by themselves:
+  // one byte per index instead of four.
+  const VarintDeltaCodec codec;
+  std::vector<std::int32_t> cols;
+  for (int i = 0; i < 1024; ++i) cols.push_back(i * 3);  // gaps of 3
+  const Bytes raw = int32s_to_bytes(cols);
+  const Bytes enc = codec.encode(raw);
+  EXPECT_EQ(enc.size(), cols.size());  // 1 B per element
+  EXPECT_EQ(codec.decode(enc), raw);
+}
+
+TEST(VarintDelta, ExpandsOnHugeJumps) {
+  // Worst case: +/- 2^30 swings keep the mod-2^32 delta large (note that
+  // INT32_MAX <-> INT32_MIN jumps wrap to tiny deltas), so varints need
+  // 5 bytes per word.
+  const VarintDeltaCodec codec;
+  std::vector<std::int32_t> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 2 ? (1 << 30) : 0);
+  const Bytes raw = int32s_to_bytes(v);
+  const Bytes enc = codec.encode(raw);
+  EXPECT_GT(enc.size(), raw.size());
+  EXPECT_EQ(codec.decode(enc), raw);
+}
+
+TEST(VarintDelta, EmptyInput) {
+  const VarintDeltaCodec codec;
+  EXPECT_TRUE(codec.encode({}).empty());
+  EXPECT_TRUE(codec.decode({}).empty());
+}
+
+TEST(VarintDelta, RejectsMisalignedEncode) {
+  const VarintDeltaCodec codec;
+  EXPECT_THROW(codec.encode(Bytes(6)), Error);
+}
+
+TEST(VarintDelta, RejectsTruncatedDecode) {
+  const VarintDeltaCodec codec;
+  Bytes enc = codec.encode(int32s_to_bytes({1 << 20}));
+  enc.pop_back();
+  EXPECT_THROW(codec.decode(enc), Error);
+}
+
+TEST(VarintDelta, AgreesWithFixedDeltaSemantics) {
+  // Both transforms are zigzag first differences; decoding either must
+  // recover the same words.
+  const VarintDeltaCodec varint;
+  const DeltaCodec fixed;
+  recode::Prng prng(4);
+  std::vector<std::int32_t> v(500);
+  for (auto& x : v) x = static_cast<std::int32_t>(prng.next());
+  const Bytes raw = int32s_to_bytes(v);
+  EXPECT_EQ(varint.decode(varint.encode(raw)), fixed.decode(fixed.encode(raw)));
+}
+
+class VarintDeltaFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintDeltaFuzz, RandomRoundTrip) {
+  const VarintDeltaCodec codec;
+  recode::Prng prng(GetParam());
+  std::vector<std::int32_t> v(prng.next_below(3000));
+  for (auto& x : v) {
+    // Mix of small gaps and random jumps.
+    x = prng.next_below(4) == 0
+            ? static_cast<std::int32_t>(prng.next())
+            : static_cast<std::int32_t>(prng.next_below(200));
+  }
+  const Bytes raw = int32s_to_bytes(v);
+  EXPECT_EQ(codec.decode(codec.encode(raw)), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintDeltaFuzz,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace recode::codec

@@ -1,0 +1,88 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace recode {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsWhenFlagAbsent) {
+  Cli cli = make_cli({});
+  EXPECT_EQ(cli.get_int("count", 42, "n"), 42);
+  EXPECT_EQ(cli.get_string("name", "abc", "s"), "abc");
+  EXPECT_TRUE(cli.get_bool("flag", true, "b"));
+  cli.done();
+}
+
+TEST(Cli, ParsesEqualsSyntax) {
+  Cli cli = make_cli({"--count=7", "--name=xyz"});
+  EXPECT_EQ(cli.get_int("count", 0, ""), 7);
+  EXPECT_EQ(cli.get_string("name", "", ""), "xyz");
+  cli.done();
+}
+
+TEST(Cli, ParsesSpaceSyntax) {
+  Cli cli = make_cli({"--count", "9"});
+  EXPECT_EQ(cli.get_int("count", 0, ""), 9);
+  cli.done();
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  Cli cli = make_cli({"--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false, ""));
+  cli.done();
+}
+
+TEST(Cli, SmallDoubleDefaultSurvives) {
+  // Regression: defaults must not round-trip through to_string, which
+  // truncates 1e-7 to "0.000000".
+  Cli cli = make_cli({});
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 1e-7, ""), 1e-7);
+  EXPECT_DOUBLE_EQ(cli.get_double("big", 2.5e12, ""), 2.5e12);
+  cli.done();
+}
+
+TEST(Cli, ParsesScientificNotation) {
+  Cli cli = make_cli({"--tol=5e-9"});
+  EXPECT_DOUBLE_EQ(cli.get_double("tol", 1e-7, ""), 5e-9);
+  cli.done();
+}
+
+TEST(Cli, ParsesDouble) {
+  Cli cli = make_cli({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0, ""), 0.25);
+  cli.done();
+}
+
+TEST(Cli, UnknownFlagThrowsOnDone) {
+  Cli cli = make_cli({"--bogus=1"});
+  EXPECT_THROW(cli.done(), Error);
+}
+
+TEST(Cli, BadIntegerThrows) {
+  Cli cli = make_cli({"--count=abc"});
+  EXPECT_THROW(cli.get_int("count", 0, ""), Error);
+}
+
+TEST(Cli, BadBooleanThrows) {
+  Cli cli = make_cli({"--flag=maybe"});
+  EXPECT_THROW(cli.get_bool("flag", false, ""), Error);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  EXPECT_THROW(make_cli({"positional"}), Error);
+}
+
+}  // namespace
+}  // namespace recode

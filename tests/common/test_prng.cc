@@ -1,0 +1,67 @@
+#include "common/prng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace recode {
+namespace {
+
+TEST(Prng, DeterministicFromSeed) {
+  Prng a(123);
+  Prng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, NextBelowStaysInRange) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(prng.next_below(17), 17u);
+  }
+}
+
+TEST(Prng, NextBelowCoversRange) {
+  Prng prng(11);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 8000; ++i) ++seen[prng.next_below(8)];
+  for (int count : seen) EXPECT_GT(count, 800);  // ~1000 expected per bucket
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng prng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = prng.next_double();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, NormalHasUnitVariance) {
+  Prng prng(5);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = prng.next_normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace recode

@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace recode {
+namespace {
+
+TEST(Geomean, MatchesClosedForm) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, EmptyIsZero) {
+  EXPECT_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Geomean, NonPositiveValueYieldsZero) {
+  const std::vector<double> v = {1.0, 0.0, 4.0};
+  EXPECT_EQ(geomean(v), 0.0);
+}
+
+TEST(Mean, SimpleAverage) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Median, OddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Median, EvenCountAveragesMiddle) {
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  const std::vector<double> v = {2.0, 8.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 8.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_NEAR(s.geomean, 4.0, 1e-12);
+}
+
+TEST(StreamingStats, MatchesBatchStats) {
+  const std::vector<double> v = {0.5, 2.0, 3.5, 7.0, 11.0};
+  StreamingStats ss;
+  for (double x : v) ss.add(x);
+  const Summary s = summarize(v);
+  EXPECT_EQ(ss.count(), s.count);
+  EXPECT_DOUBLE_EQ(ss.min(), s.min);
+  EXPECT_DOUBLE_EQ(ss.max(), s.max);
+  EXPECT_NEAR(ss.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(ss.geomean(), s.geomean, 1e-12);
+}
+
+TEST(StreamingStats, GeomeanZeroWhenNonPositiveSeen) {
+  StreamingStats ss;
+  ss.add(2.0);
+  ss.add(-1.0);
+  EXPECT_EQ(ss.geomean(), 0.0);
+  EXPECT_DOUBLE_EQ(ss.mean(), 0.5);
+}
+
+}  // namespace
+}  // namespace recode

@@ -1,0 +1,47 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace recode {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string s = t.to_string();
+  // Both data rows must place their second column at the same offset.
+  const auto line1 = s.find("a ");
+  const auto line2 = s.find("longer-name");
+  ASSERT_NE(line1, std::string::npos);
+  ASSERT_NE(line2, std::string::npos);
+  const auto row1 = s.substr(line1, s.find('\n', line1) - line1);
+  const auto row2 = s.substr(line2, s.find('\n', line2) - line2);
+  EXPECT_EQ(row1.rfind('1'), row2.rfind('2') - 1);
+}
+
+TEST(Table, HeaderRuleSpansWidth) {
+  Table t({"ab", "cd"});
+  t.add_row({"x", "y"});
+  const std::string s = t.to_string();
+  const auto first_nl = s.find('\n');
+  const auto second_nl = s.find('\n', first_nl + 1);
+  const std::string rule = s.substr(first_nl + 1, second_nl - first_nl - 1);
+  EXPECT_EQ(rule, std::string(rule.size(), '-'));
+  EXPECT_EQ(rule.size(), first_nl);
+}
+
+TEST(Table, MissingCellsAreBlank) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string().find("1"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(1.5, 3), "1.500");
+}
+
+}  // namespace
+}  // namespace recode

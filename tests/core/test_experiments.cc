@@ -1,0 +1,50 @@
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace recode::core {
+namespace {
+
+TEST(CsvRecorder, EmitsHeaderAndRows) {
+  CsvRecorder rec("fig10", {"matrix", "bpn"});
+  rec.add_row({"copter2", "4.36"});
+  rec.add_row({"shipsec1", "1.90"});
+  EXPECT_EQ(rec.to_csv(), "matrix,bpn\ncopter2,4.36\nshipsec1,1.90\n");
+  EXPECT_EQ(rec.row_count(), 2u);
+}
+
+TEST(CsvRecorder, QuotesSpecialCharacters) {
+  CsvRecorder rec("x", {"a", "b"});
+  rec.add_row({"has,comma", "has\"quote"});
+  EXPECT_EQ(rec.to_csv(), "a,b\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(CsvRecorder, PadsShortRows) {
+  CsvRecorder rec("x", {"a", "b", "c"});
+  rec.add_row({"1"});
+  EXPECT_EQ(rec.to_csv(), "a,b,c\n1,,\n");
+}
+
+TEST(CsvRecorder, WritesFile) {
+  CsvRecorder rec("test_experiment", {"k", "v"});
+  rec.add_row({"alpha", "1"});
+  const std::string dir = ::testing::TempDir();
+  rec.write(dir);
+  std::ifstream in(dir + "/test_experiment.csv");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "k,v\nalpha,1\n");
+}
+
+TEST(CsvRecorder, WriteToBadDirectoryThrows) {
+  CsvRecorder rec("x", {"a"});
+  EXPECT_THROW(rec.write("/nonexistent-dir-xyz"), Error);
+}
+
+}  // namespace
+}  // namespace recode::core

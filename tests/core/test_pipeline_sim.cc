@@ -1,0 +1,118 @@
+#include "core/pipeline_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+
+namespace recode::core {
+namespace {
+
+using codec::PipelineConfig;
+using sparse::ValueModel;
+
+codec::CompressedMatrix test_matrix(std::uint64_t seed = 31) {
+  const auto csr =
+      sparse::gen_fem_like(20000, 12, 200, ValueModel::kSmoothField, seed);
+  return codec::compress(csr, PipelineConfig::udp_dsh());
+}
+
+std::vector<std::uint64_t> uniform_cycles(const codec::CompressedMatrix& cm,
+                                          std::uint64_t cycles) {
+  return std::vector<std::uint64_t>(cm.blocks.size(), cycles);
+}
+
+TEST(PipelineSim, ConvergesToMemoryBoundWhenUdpIsFast) {
+  const auto cm = test_matrix();
+  // Trivially fast decode: the memory interface is the bottleneck, so
+  // the makespan approaches total-compressed-bytes / bandwidth.
+  PipelineSimConfig cfg;
+  cfg.dma_overhead_s = 0.0;
+  const auto r = simulate_pipeline(cm, uniform_cycles(cm, 1), cfg);
+  std::uint64_t bytes = 0;
+  for (const auto& b : cm.blocks) bytes += b.bytes();
+  const double bound = static_cast<double>(bytes) / 100e9;
+  EXPECT_NEAR(r.makespan_s, bound, bound * 0.02);
+  EXPECT_GT(r.dram_utilization, 0.95);
+}
+
+TEST(PipelineSim, ConvergesToUdpBoundWhenLanesAreFew) {
+  const auto cm = test_matrix();
+  PipelineSimConfig cfg;
+  cfg.udp_lanes = 1;
+  const std::uint64_t cycles = 40000;  // ~25 us per block on one lane
+  const auto r = simulate_pipeline(cm, uniform_cycles(cm, cycles), cfg);
+  const double bound = static_cast<double>(cm.blocks.size()) *
+                       static_cast<double>(cycles) / 1.6e9;
+  EXPECT_NEAR(r.makespan_s, bound, bound * 0.05);
+  EXPECT_GT(r.udp_utilization, 0.9);
+}
+
+TEST(PipelineSim, MatchesAnalyticRateBalanceWithinTolerance) {
+  // With 64 lanes and deep staging, the DES should land within ~10% of
+  // min(memory rate, UDP rate) — validating the closed-form model used
+  // by Figs 14/15.
+  const auto cm = test_matrix();
+  const std::uint64_t cycles = 35000;
+  PipelineSimConfig cfg;
+  const auto r = simulate_pipeline(cm, uniform_cycles(cm, cycles), cfg);
+
+  std::uint64_t bytes = 0;
+  for (const auto& b : cm.blocks) bytes += b.bytes();
+  const double mem_time = static_cast<double>(bytes) / 100e9 +
+                          cm.blocks.size() * cfg.dma_overhead_s;
+  const double udp_time = static_cast<double>(cm.blocks.size()) *
+                          static_cast<double>(cycles) / 1.6e9 / 64.0;
+  // The DES adds the pipeline fill/drain tail the closed form hides:
+  // roughly one block decode latency after the last transfer.
+  const double drain = static_cast<double>(cycles) / 1.6e9;
+  const double analytic = std::max(mem_time, udp_time) + drain;
+  EXPECT_NEAR(r.makespan_s, analytic, analytic * 0.10);
+  EXPECT_GT(r.makespan_s, std::max(mem_time, udp_time));  // never below bound
+}
+
+TEST(PipelineSim, SlowCpuBecomesTheBottleneck) {
+  const auto cm = test_matrix();
+  PipelineSimConfig cfg;
+  cfg.cpu_nnz_per_sec = 1e9;  // deliberately slow consumer
+  const auto r = simulate_pipeline(cm, uniform_cycles(cm, 1000), cfg);
+  const double bound = static_cast<double>(cm.nnz()) / 1e9;
+  EXPECT_NEAR(r.makespan_s, bound, bound * 0.05);
+  EXPECT_LT(r.dram_utilization, 0.5);
+}
+
+TEST(PipelineSim, TinyStagingCausesStalls) {
+  const auto cm = test_matrix();
+  PipelineSimConfig tight;
+  tight.staging_slots = 1;
+  tight.udp_lanes = 1;
+  tight.cpu_nnz_per_sec = 1e8;  // CPU slower than everything else
+  const auto r = simulate_pipeline(cm, uniform_cycles(cm, 30000), tight);
+  EXPECT_GT(r.dma_stalls, 0u);
+
+  PipelineSimConfig deep = tight;
+  deep.staging_slots = 1 << 20;
+  const auto r2 = simulate_pipeline(cm, uniform_cycles(cm, 30000), deep);
+  EXPECT_EQ(r2.dma_stalls, 0u);
+  EXPECT_LE(r2.makespan_s, r.makespan_s * 1.001);
+}
+
+TEST(PipelineSim, EmptyMatrix) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = 4;
+  const auto cm =
+      codec::compress(sparse::coo_to_csr(coo), PipelineConfig::udp_dsh());
+  const auto r = simulate_pipeline(cm, {});
+  EXPECT_EQ(r.blocks, 0u);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 0.0);
+}
+
+TEST(PipelineSim, GflopsConsistentWithMakespan) {
+  const auto cm = test_matrix();
+  const auto r = simulate_pipeline(cm, uniform_cycles(cm, 30000));
+  EXPECT_NEAR(r.achieved_gflops,
+              2.0 * static_cast<double>(cm.nnz()) / r.makespan_s / 1e9,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace recode::core

@@ -1,0 +1,72 @@
+#include "cpu/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+
+namespace recode::cpu {
+namespace {
+
+TEST(CpuModel, SpmvIsMemoryBoundAtTwelveBytes) {
+  const CpuModel cpu;
+  const mem::DramModel ddr(mem::DramConfig::ddr4_100gbs());
+  // 100 GB/s / 12 B x 2 flops = 16.7 GFLOP/s (the paper's Fig 3 plateau).
+  EXPECT_NEAR(cpu.spmv_gflops(12.0, ddr), 16.67, 0.05);
+}
+
+TEST(CpuModel, CompressionRaisesSpmvCeiling) {
+  const CpuModel cpu;
+  const mem::DramModel ddr(mem::DramConfig::ddr4_100gbs());
+  const double at12 = cpu.spmv_gflops(12.0, ddr);
+  const double at5 = cpu.spmv_gflops(5.0, ddr);
+  EXPECT_NEAR(at5 / at12, 12.0 / 5.0, 1e-9);  // the paper's 2.4x
+}
+
+TEST(CpuModel, HbmTenTimesDdr) {
+  const CpuModel cpu;
+  const mem::DramModel ddr(mem::DramConfig::ddr4_100gbs());
+  const mem::DramModel hbm(mem::DramConfig::hbm2_1tbs());
+  EXPECT_NEAR(cpu.spmv_gflops(12.0, hbm) / cpu.spmv_gflops(12.0, ddr), 10.0,
+              1e-6);
+}
+
+TEST(CpuModel, ComputeRooflineCaps) {
+  CpuConfig cfg;
+  cfg.peak_gflops = 10.0;
+  const CpuModel cpu(cfg);
+  const mem::DramModel hbm(mem::DramConfig::hbm2_1tbs());
+  EXPECT_DOUBLE_EQ(cpu.spmv_gflops(1.0, hbm), 10.0);
+}
+
+TEST(CpuModel, DecodeThroughputScalesWithThreads) {
+  CpuConfig one;
+  one.threads = 1;
+  one.parallel_efficiency = 1.0;
+  CpuConfig many = one;
+  many.threads = 32;
+  many.parallel_efficiency = 0.85;
+  const CpuModel a(one);
+  const CpuModel b(many);
+  EXPECT_NEAR(b.snappy_decode_bps() / a.snappy_decode_bps(), 32 * 0.85,
+              1e-9);
+  EXPECT_NEAR(b.dsh_decode_bps() / a.dsh_decode_bps(), 32 * 0.85, 1e-9);
+}
+
+TEST(CpuModel, DshSlowerThanSnappyAlone) {
+  const CpuModel cpu;
+  EXPECT_LT(cpu.dsh_decode_bps(), cpu.snappy_decode_bps());
+}
+
+TEST(HostMeasurement, ProducesPositiveRates) {
+  const auto csr =
+      sparse::gen_fem_like(3000, 10, 80, sparse::ValueModel::kSmoothField, 5);
+  const HostThroughput t = measure_host_decode_throughput(csr, 0.02);
+  EXPECT_GT(t.snappy_decode_bps, 0.0);
+  EXPECT_GT(t.dsh_decode_bps, 0.0);
+  // The full pipeline cannot be faster than its snappy-only subset by
+  // more than measurement noise.
+  EXPECT_LT(t.dsh_decode_bps, t.snappy_decode_bps * 1.5);
+}
+
+}  // namespace
+}  // namespace recode::cpu

@@ -1,0 +1,117 @@
+// Integration tests: the full pipeline across module boundaries —
+// generate -> compress -> serialize -> deserialize -> UDP-simulated
+// decode -> SpMV -> verify, plus the system-model consistency checks
+// that tie Figs 10-17 together.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codec/container.h"
+#include "codec/selector.h"
+#include "common/prng.h"
+#include "core/system.h"
+#include "sparse/generators.h"
+#include "sparse/suite.h"
+#include "spmv/kernels.h"
+#include "spmv/recoded.h"
+
+namespace recode {
+namespace {
+
+using codec::PipelineConfig;
+
+TEST(EndToEnd, FullLifecycleAcrossFamilies) {
+  sparse::SuiteOptions opts;
+  opts.count = 9;
+  opts.min_nnz = 3000;
+  opts.max_nnz = 9000;
+  sparse::for_each_suite_matrix(opts, [&](int, const sparse::NamedMatrix& m) {
+    // Compress with the structure-selected pipeline.
+    const auto cfg = codec::select_pipeline(m.csr);
+    const auto cm = codec::compress(m.csr, cfg);
+
+    // Serialize and reload.
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    codec::write_compressed(buf, cm);
+    const auto loaded = codec::read_compressed(buf);
+
+    // SpMV through the UDP cycle simulator on the reloaded container.
+    spmv::RecodedSpmv op(loaded, spmv::DecodeEngine::kUdpSimulated);
+    Prng prng(7);
+    std::vector<double> x(static_cast<std::size_t>(m.csr.cols));
+    for (auto& v : x) v = prng.next_double();
+    std::vector<double> y(static_cast<std::size_t>(m.csr.rows));
+    op.multiply(x, y);
+
+    const auto y_ref = sparse::spmv_reference(m.csr, x);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_NEAR(y[i], y_ref[i], 1e-9 * (1.0 + std::abs(y_ref[i])))
+          << m.name << " row " << i;
+    }
+  });
+}
+
+TEST(EndToEnd, SpmvSpeedupEqualsCompressionRatioWhenUdpKeepsUp) {
+  // Model consistency: when the provisioned UDP pool saturates the memory
+  // interface, Fig 14's speedup must equal Fig 10's 12/bytes_per_nnz.
+  const core::HeterogeneousSystem sys;
+  const auto csr = sparse::gen_banded(20000, 10, 0.9,
+                                      sparse::ValueModel::kStencilCoeffs, 3);
+  const auto p = sys.profile("m", csr, PipelineConfig::udp_dsh());
+  const auto perf = sys.analyze_spmv(p);
+  EXPECT_NEAR(perf.speedup(), 12.0 / p.bytes_per_nnz, 0.02);
+}
+
+TEST(EndToEnd, PowerSavingAndSpeedupAreTwoViewsOfOneRatio) {
+  // Figs 14 and 16 are duals: raw power fraction saved == 1 - bpn/12.
+  const core::HeterogeneousSystem sys;
+  const auto csr =
+      sparse::gen_fem_like(10000, 12, 150, sparse::ValueModel::kSmoothField, 4);
+  const auto p = sys.profile("m", csr, PipelineConfig::udp_dsh());
+  const auto power = sys.analyze_power(p);
+  EXPECT_NEAR(power.raw_saving / power.max_memory_power,
+              1.0 - p.bytes_per_nnz / 12.0, 1e-9);
+}
+
+TEST(EndToEnd, UdpAndSoftwareDecodeBitIdentical) {
+  sparse::SuiteOptions opts;
+  opts.count = 5;
+  opts.min_nnz = 4000;
+  opts.max_nnz = 8000;
+  sparse::for_each_suite_matrix(opts, [&](int, const sparse::NamedMatrix& m) {
+    const auto cm = codec::compress(m.csr, PipelineConfig::udp_dsh());
+    Prng prng(9);
+    std::vector<double> x(static_cast<std::size_t>(m.csr.cols));
+    for (auto& v : x) v = prng.next_double();
+    std::vector<double> y_sw(static_cast<std::size_t>(m.csr.rows));
+    std::vector<double> y_udp(y_sw.size());
+    spmv::RecodedSpmv sw(cm, spmv::DecodeEngine::kSoftware);
+    spmv::RecodedSpmv udp(cm, spmv::DecodeEngine::kUdpSimulated);
+    sw.multiply(x, y_sw);
+    udp.multiply(x, y_udp);
+    EXPECT_EQ(y_sw, y_udp) << m.name;  // exact: same decode bytes
+  });
+}
+
+TEST(EndToEnd, HbmAndDdrProfilesShareMatrixProperties) {
+  // Compression ratio and UDP decode rate are matrix properties; only the
+  // memory system changes between Figs 14 and 15.
+  const auto csr =
+      sparse::gen_circuit(8000, 6, sparse::ValueModel::kFewDistinct, 5);
+  core::SystemConfig ddr_cfg;
+  core::SystemConfig hbm_cfg;
+  hbm_cfg.dram = mem::DramConfig::hbm2_1tbs();
+  const core::HeterogeneousSystem ddr(ddr_cfg);
+  const core::HeterogeneousSystem hbm(hbm_cfg);
+  const auto pd = ddr.profile("m", csr, PipelineConfig::udp_dsh());
+  const auto ph = hbm.profile("m", csr, PipelineConfig::udp_dsh());
+  EXPECT_DOUBLE_EQ(pd.bytes_per_nnz, ph.bytes_per_nnz);
+  EXPECT_DOUBLE_EQ(pd.udp_block_micros, ph.udp_block_micros);
+  // Ten-fold bandwidth, same ratio => ~10x the absolute GFLOP/s.
+  const auto fd = ddr.analyze_spmv(pd);
+  const auto fh = hbm.analyze_spmv(ph);
+  EXPECT_NEAR(fh.max_uncompressed / fd.max_uncompressed, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace recode

@@ -1,0 +1,66 @@
+#include "mem/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace recode::mem {
+namespace {
+
+TEST(SharedBus, CapacityIsEfficiencyDerated) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  const SharedBus bus(dram, BusConfig{0.9, 60e-9});
+  EXPECT_NEAR(bus.capacity_bps(), 90e9, 1e-3);
+}
+
+TEST(SharedBus, FeasibleStreamsGetFullDemand) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  SharedBus bus(dram);
+  bus.add_stream(40e9);  // compressed matrix stream
+  bus.add_stream(10e9);  // CPU demand misses
+  EXPECT_TRUE(bus.feasible());
+  EXPECT_DOUBLE_EQ(bus.granted_bps(40e9), 40e9);
+}
+
+TEST(SharedBus, OversubscriptionSharesProportionally) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  SharedBus bus(dram, BusConfig{1.0, 60e-9});
+  bus.add_stream(150e9);
+  bus.add_stream(50e9);
+  EXPECT_FALSE(bus.feasible());
+  EXPECT_NEAR(bus.granted_bps(150e9), 75e9, 1e-3);
+  EXPECT_NEAR(bus.granted_bps(50e9), 25e9, 1e-3);
+}
+
+TEST(SharedBus, LatencyGrowsWithUtilization) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  SharedBus idle(dram);
+  SharedBus busy(dram);
+  busy.add_stream(80e9);
+  EXPECT_GT(busy.mean_latency_s(), idle.mean_latency_s());
+  EXPECT_NEAR(idle.mean_latency_s(), 60e-9, 1e-12);
+}
+
+TEST(SharedBus, CompressionReducesContention) {
+  // The system argument: at the same SpMV rate, the compressed stream
+  // demands ~5/12 the bandwidth, so the latency seen by the CPU's other
+  // traffic drops.
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  SharedBus uncompressed(dram);
+  uncompressed.add_stream(80e9);   // 12 B/nnz stream
+  uncompressed.add_stream(8e9);    // unrelated CPU traffic
+  SharedBus compressed(dram);
+  compressed.add_stream(80e9 * 5.0 / 12.0);
+  compressed.add_stream(8e9);
+  EXPECT_LT(compressed.mean_latency_s(), uncompressed.mean_latency_s());
+  EXPECT_LT(compressed.power_watts(), uncompressed.power_watts());
+}
+
+TEST(SharedBus, ResetClearsDemand) {
+  const DramModel dram(DramConfig::hbm2_1tbs());
+  SharedBus bus(dram);
+  bus.add_stream(500e9);
+  bus.reset();
+  EXPECT_DOUBLE_EQ(bus.demand_bps(), 0.0);
+}
+
+}  // namespace
+}  // namespace recode::mem

@@ -1,0 +1,53 @@
+#include "mem/dma.h"
+
+#include <gtest/gtest.h>
+
+namespace recode::mem {
+namespace {
+
+TEST(Dma, SingleDescriptorTransfer) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  DmaEngine dma(dram);
+  const double t = dma.transfer(8192);
+  // 8 KB at 100 GB/s = 81.92 ns + 200 ns descriptor overhead.
+  EXPECT_NEAR(t, 8192.0 / 100e9 + 200e-9, 1e-12);
+  EXPECT_EQ(dma.total_descriptors(), 1u);
+  EXPECT_EQ(dma.total_bytes(), 8192u);
+}
+
+TEST(Dma, LargeTransfersSplitIntoDescriptors) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  DmaEngine dma(dram);
+  dma.transfer(200 * 1024);  // > 64 KB max descriptor
+  EXPECT_EQ(dma.total_descriptors(), 4u);  // ceil(200/64)
+}
+
+TEST(Dma, ZeroByteTransferIsFree) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  DmaEngine dma(dram);
+  EXPECT_DOUBLE_EQ(dma.transfer(0), 0.0);
+  EXPECT_EQ(dma.total_descriptors(), 0u);
+}
+
+TEST(Dma, AccumulatesAcrossTransfers) {
+  const DramModel dram(DramConfig::hbm2_1tbs());
+  DmaEngine dma(dram);
+  dma.transfer(1000);
+  dma.transfer(2000);
+  EXPECT_EQ(dma.total_bytes(), 3000u);
+  EXPECT_GT(dma.total_seconds(), 0.0);
+  EXPECT_NEAR(dma.total_energy_joules(), dram.energy_joules(3000), 1e-18);
+}
+
+TEST(Dma, ResetClearsCounters) {
+  const DramModel dram(DramConfig::ddr4_100gbs());
+  DmaEngine dma(dram);
+  dma.transfer(4096);
+  dma.reset();
+  EXPECT_EQ(dma.total_bytes(), 0u);
+  EXPECT_EQ(dma.total_descriptors(), 0u);
+  EXPECT_DOUBLE_EQ(dma.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace recode::mem

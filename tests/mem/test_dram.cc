@@ -1,0 +1,48 @@
+#include "mem/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace recode::mem {
+namespace {
+
+TEST(Dram, Ddr4ConfigMatchesPaper) {
+  const DramConfig cfg = DramConfig::ddr4_100gbs();
+  EXPECT_DOUBLE_EQ(cfg.peak_bandwidth_bps, 100e9);
+  EXPECT_DOUBLE_EQ(cfg.energy_pj_per_bit, 100.0);
+  // 100 GB/s x 100 pJ/bit x 8 bits/byte = 80 W (paper §V-B).
+  EXPECT_NEAR(DramModel(cfg).max_power_watts(), 80.0, 1e-9);
+}
+
+TEST(Dram, Hbm2ConfigMatchesPaper) {
+  const DramConfig cfg = DramConfig::hbm2_1tbs();
+  EXPECT_DOUBLE_EQ(cfg.peak_bandwidth_bps, 1000e9);
+  EXPECT_DOUBLE_EQ(cfg.energy_pj_per_bit, 8.0);
+  // 1 TB/s x 8 pJ/bit x 8 bits/byte = 64 W.
+  EXPECT_NEAR(DramModel(cfg).max_power_watts(), 64.0, 1e-9);
+}
+
+TEST(Dram, TransferTimeLinearInBytes) {
+  const DramModel m(DramConfig::ddr4_100gbs());
+  EXPECT_NEAR(m.transfer_seconds(100'000'000'000ull), 1.0, 1e-9);
+  EXPECT_NEAR(m.transfer_seconds(50'000'000'000ull), 0.5, 1e-9);
+}
+
+TEST(Dram, FractionalBandwidthSlowsTransfer) {
+  const DramModel m(DramConfig::ddr4_100gbs());
+  EXPECT_NEAR(m.transfer_seconds(1'000'000'000ull, 0.5), 0.02, 1e-9);
+}
+
+TEST(Dram, PowerScalesWithBandwidthAndClamps) {
+  const DramModel m(DramConfig::ddr4_100gbs());
+  EXPECT_NEAR(m.power_at_bandwidth(50e9), 40.0, 1e-9);
+  EXPECT_NEAR(m.power_at_bandwidth(500e9), 80.0, 1e-9);  // clamped to peak
+}
+
+TEST(Dram, EnergyPerByte) {
+  const DramModel m(DramConfig::hbm2_1tbs());
+  // 1 byte = 8 bits x 8 pJ = 64 pJ.
+  EXPECT_NEAR(m.energy_joules(1), 64e-12, 1e-20);
+}
+
+}  // namespace
+}  // namespace recode::mem

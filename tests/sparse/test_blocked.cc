@@ -1,0 +1,71 @@
+#include "sparse/blocked.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+
+namespace recode::sparse {
+namespace {
+
+TEST(Blocking, CoversAllNonZerosExactly) {
+  const Csr csr = gen_stencil2d(30, 30, ValueModel::kUnit, 1);
+  const Blocking plan = make_blocking(csr, 100);
+  std::size_t covered = 0;
+  for (const auto& b : plan.blocks) {
+    EXPECT_EQ(b.first_nnz, covered);
+    covered += b.count;
+  }
+  EXPECT_EQ(covered, csr.nnz());
+}
+
+TEST(Blocking, BlockCountIsCeiling) {
+  const Csr csr = gen_stencil2d(20, 20, ValueModel::kUnit, 1);
+  const std::size_t nnz = csr.nnz();
+  const Blocking plan = make_blocking(csr, 64);
+  EXPECT_EQ(plan.block_count(), (nnz + 63) / 64);
+}
+
+TEST(Blocking, RowRangesAreConsistent) {
+  const Csr csr = gen_fem_like(500, 10, 40, ValueModel::kUnit, 5);
+  const Blocking plan = make_blocking(csr, 128);
+  for (const auto& b : plan.blocks) {
+    EXPECT_LE(b.first_row, b.last_row);
+    // first_nnz must lie within first_row's nnz span.
+    EXPECT_LE(static_cast<std::size_t>(csr.row_ptr[b.first_row]), b.first_nnz);
+    EXPECT_GT(static_cast<std::size_t>(csr.row_ptr[b.first_row + 1]),
+              b.first_nnz);
+    // Block end must lie within last_row's span.
+    const std::size_t end = b.first_nnz + b.count;
+    EXPECT_LE(end, static_cast<std::size_t>(csr.row_ptr[b.last_row + 1]));
+    EXPECT_GT(end, static_cast<std::size_t>(csr.row_ptr[b.last_row]));
+  }
+}
+
+TEST(Blocking, SingleBlockWhenLarger) {
+  const Csr csr = gen_stencil2d(8, 8, ValueModel::kUnit, 1);
+  const Blocking plan = make_blocking(csr, 1 << 20);
+  ASSERT_EQ(plan.block_count(), 1u);
+  EXPECT_EQ(plan.blocks[0].count, csr.nnz());
+  EXPECT_EQ(plan.blocks[0].first_row, 0);
+  EXPECT_EQ(plan.blocks[0].last_row, csr.rows - 1);
+}
+
+TEST(Blocking, DefaultBlockGivesEightKbValueBlocks) {
+  EXPECT_EQ(kDefaultNnzPerBlock * sizeof(double), 8192u);
+}
+
+TEST(BlockSpans, MatchUnderlyingArrays) {
+  const Csr csr = gen_banded(200, 6, 0.8, ValueModel::kFewDistinct, 3);
+  const Blocking plan = make_blocking(csr, 77);
+  for (const auto& b : plan.blocks) {
+    const auto idx = block_indices(csr, b);
+    const auto val = block_values(csr, b);
+    ASSERT_EQ(idx.size(), b.count);
+    ASSERT_EQ(val.size(), b.count);
+    EXPECT_EQ(idx.data(), csr.col_idx.data() + b.first_nnz);
+    EXPECT_EQ(val.data(), csr.val.data() + b.first_nnz);
+  }
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,117 @@
+#include "sparse/bsr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "sparse/generators.h"
+#include "spmv/kernels.h"
+
+namespace recode::sparse {
+namespace {
+
+TEST(Bsr, RoundTripsBlockAlignedMatrix) {
+  const Csr csr = gen_block_dense(64, 8, 1, 1.0, ValueModel::kFewDistinct, 3);
+  const Bsr bsr = csr_to_bsr(csr, 8);
+  EXPECT_TRUE(equal(csr, bsr_to_csr(bsr)));
+  // Fully dense blocks: no fill-in at all.
+  EXPECT_NEAR(bsr.fill_efficiency(csr.nnz()), 1.0, 1e-12);
+}
+
+TEST(Bsr, RoundTripsArbitraryMatrices) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Csr csr =
+        gen_fem_like(500, 8, 40, ValueModel::kRandom, 10 + seed);
+    for (const index_t b : {1, 2, 3, 4, 8}) {
+      EXPECT_TRUE(equal(csr, bsr_to_csr(csr_to_bsr(csr, b))))
+          << "seed " << seed << " block " << b;
+    }
+  }
+}
+
+TEST(Bsr, BlockSizeOneIsCsr) {
+  const Csr csr = gen_circuit(200, 4, ValueModel::kRandom, 5);
+  const Bsr bsr = csr_to_bsr(csr, 1);
+  EXPECT_EQ(bsr.stored_blocks(), csr.nnz());
+  EXPECT_NEAR(bsr.fill_efficiency(csr.nnz()), 1.0, 1e-12);
+  // 4 B index + 8 B value per element = the CSR 12 B/nnz baseline.
+  EXPECT_NEAR(bsr.bytes_per_nnz(csr.nnz()), 12.0, 1e-12);
+}
+
+TEST(Bsr, AmortizesIndexOnDenseBlocks) {
+  // Dense 8x8 blocks: 4 B index / 64 values + 8 B/value = 8.06 B/nnz.
+  const Csr csr = gen_block_dense(256, 8, 0, 1.0, ValueModel::kUnit, 7);
+  const Bsr bsr = csr_to_bsr(csr, 8);
+  EXPECT_NEAR(bsr.bytes_per_nnz(csr.nnz()), 8.0625, 1e-9);
+}
+
+TEST(Bsr, FillInPenalizesScatteredMatrices) {
+  // Scattered entries: each 8x8 block holds ~1 nnz, so BSR stores ~64x
+  // the values — worse than CSR, which is the paper's argument against
+  // rigid block formats.
+  const Csr csr = gen_random(1000, 1000, 5000, ValueModel::kUnit, 8);
+  const Bsr bsr = csr_to_bsr(csr, 8);
+  EXPECT_LT(bsr.fill_efficiency(csr.nnz()), 0.1);
+  EXPECT_GT(bsr.bytes_per_nnz(csr.nnz()), 100.0);
+}
+
+TEST(Bsr, HandlesNonDivisibleDimensions) {
+  const Csr csr = gen_stencil2d(13, 11, ValueModel::kSmoothField, 9);
+  const Bsr bsr = csr_to_bsr(csr, 4);
+  EXPECT_EQ(bsr.block_rows(), (csr.rows + 3) / 4);
+  EXPECT_TRUE(equal(csr, bsr_to_csr(bsr)));
+}
+
+TEST(Bsr, EmptyMatrix) {
+  Coo coo;
+  coo.rows = coo.cols = 16;
+  const Csr csr = coo_to_csr(coo);
+  const Bsr bsr = csr_to_bsr(csr, 4);
+  EXPECT_EQ(bsr.stored_blocks(), 0u);
+  EXPECT_TRUE(equal(csr, bsr_to_csr(bsr)));
+}
+
+TEST(Bsr, SpmvMatchesReference) {
+  recode::Prng prng(21);
+  for (const index_t block : {1, 2, 4, 8}) {
+    const Csr csr = gen_fem_like(600, 9, 50, ValueModel::kRandom, 20 + block);
+    const Bsr bsr = csr_to_bsr(csr, block);
+    std::vector<double> x(static_cast<std::size_t>(csr.cols));
+    for (auto& v : x) v = prng.next_double() * 2.0 - 1.0;
+    std::vector<double> y(static_cast<std::size_t>(csr.rows));
+    spmv::spmv_bsr(bsr, x, y);
+    const auto y_ref = spmv_reference(csr, x);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      ASSERT_NEAR(y[i], y_ref[i], 1e-9 * (1.0 + std::abs(y_ref[i])))
+          << "block " << block << " row " << i;
+    }
+  }
+}
+
+TEST(Bsr, SpmvHandlesRaggedEdges) {
+  // Dimensions not divisible by the block size exercise the tail guards.
+  const Csr csr = gen_stencil2d(13, 7, ValueModel::kSmoothField, 25);
+  const Bsr bsr = csr_to_bsr(csr, 4);
+  recode::Prng prng(26);
+  std::vector<double> x(static_cast<std::size_t>(csr.cols));
+  for (auto& v : x) v = prng.next_double();
+  std::vector<double> y(static_cast<std::size_t>(csr.rows));
+  spmv::spmv_bsr(bsr, x, y);
+  const auto y_ref = spmv_reference(csr, x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], y_ref[i], 1e-9 * (1.0 + std::abs(y_ref[i])));
+  }
+}
+
+TEST(Bsr, BlockColumnsSortedPerBlockRow) {
+  const Csr csr = gen_fem_like(300, 10, 50, ValueModel::kUnit, 11);
+  const Bsr bsr = csr_to_bsr(csr, 4);
+  for (index_t br = 0; br < bsr.block_rows(); ++br) {
+    for (offset_t k = bsr.block_row_ptr[br] + 1;
+         k < bsr.block_row_ptr[br + 1]; ++k) {
+      EXPECT_LT(bsr.block_col[k - 1], bsr.block_col[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,130 @@
+#include "sparse/formats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "sparse/generators.h"
+
+namespace recode::sparse {
+namespace {
+
+// The paper's Fig 2 example matrix.
+Csr fig2_matrix() {
+  Coo coo;
+  coo.rows = coo.cols = 4;
+  coo.add(0, 0, 1);
+  coo.add(0, 2, 2);
+  coo.add(2, 0, 3);
+  coo.add(2, 2, 4);
+  coo.add(2, 3, 5);
+  coo.add(3, 1, 6);
+  coo.add(3, 3, 7);
+  return coo_to_csr(coo);
+}
+
+TEST(CooToCsr, MatchesPaperFig2) {
+  const Csr csr = fig2_matrix();
+  EXPECT_EQ(csr.row_ptr, (std::vector<offset_t>{0, 2, 2, 5, 7}));
+  EXPECT_EQ(csr.col_idx, (std::vector<index_t>{0, 2, 0, 2, 3, 1, 3}));
+  EXPECT_EQ(csr.val, (std::vector<double>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(CooToCsr, SortsUnorderedInput) {
+  Coo coo;
+  coo.rows = coo.cols = 3;
+  coo.add(2, 1, 5.0);
+  coo.add(0, 2, 1.0);
+  coo.add(0, 0, 2.0);
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.col_idx, (std::vector<index_t>{0, 2, 1}));
+  EXPECT_EQ(csr.val, (std::vector<double>{2.0, 1.0, 5.0}));
+}
+
+TEST(CooToCsr, SumsDuplicates) {
+  Coo coo;
+  coo.rows = coo.cols = 2;
+  coo.add(1, 1, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(0, 0, 1.0);
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), 2u);
+  EXPECT_EQ(csr.val, (std::vector<double>{1.0, 5.0}));
+}
+
+TEST(CooToCsr, EmptyMatrix) {
+  Coo coo;
+  coo.rows = coo.cols = 5;
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_EQ(csr.row_ptr.size(), 6u);
+  EXPECT_NO_THROW(csr.validate());
+}
+
+TEST(CsrToCoo, InverseOfCooToCsr) {
+  const Csr csr = fig2_matrix();
+  const Coo coo = csr_to_coo(csr);
+  const Csr back = coo_to_csr(coo);
+  EXPECT_TRUE(equal(csr, back));
+}
+
+TEST(CsrToCsc, PreservesEntries) {
+  const Csr csr = fig2_matrix();
+  const Csc csc = csr_to_csc(csr);
+  EXPECT_EQ(csc.nnz(), csr.nnz());
+  // Column 0 holds rows {0, 2} with values {1, 3}.
+  EXPECT_EQ(csc.col_ptr[0], 0);
+  EXPECT_EQ(csc.col_ptr[1], 2);
+  EXPECT_EQ(csc.row_idx[0], 0);
+  EXPECT_EQ(csc.row_idx[1], 2);
+  EXPECT_DOUBLE_EQ(csc.val[0], 1.0);
+  EXPECT_DOUBLE_EQ(csc.val[1], 3.0);
+}
+
+TEST(Transpose, TwiceIsIdentity) {
+  const Csr csr = gen_random(40, 60, 300, ValueModel::kRandom, 9);
+  const Csr tt = transpose(transpose(csr));
+  EXPECT_TRUE(equal(csr, tt));
+}
+
+TEST(Transpose, SwapsDimensions) {
+  const Csr csr = gen_random(10, 30, 50, ValueModel::kUnit, 3);
+  const Csr t = transpose(csr);
+  EXPECT_EQ(t.rows, 30);
+  EXPECT_EQ(t.cols, 10);
+  EXPECT_EQ(t.nnz(), csr.nnz());
+}
+
+TEST(Validate, RejectsOutOfRangeColumn) {
+  Csr csr = fig2_matrix();
+  csr.col_idx[0] = 99;
+  EXPECT_THROW(csr.validate(), Error);
+}
+
+TEST(Validate, RejectsNonMonotoneRowPtr) {
+  Csr csr = fig2_matrix();
+  csr.row_ptr[1] = 5;
+  EXPECT_THROW(csr.validate(), Error);
+}
+
+TEST(Validate, RejectsUnsortedColumns) {
+  Csr csr = fig2_matrix();
+  std::swap(csr.col_idx[0], csr.col_idx[1]);
+  EXPECT_THROW(csr.validate(), Error);
+}
+
+TEST(SpmvReference, MatchesHandComputation) {
+  const Csr csr = fig2_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = spmv_reference(csr, x);
+  // Row 0: 1*1 + 2*3 = 7; row 1: 0; row 2: 3*1 + 4*3 + 5*4 = 35;
+  // row 3: 6*2 + 7*4 = 40.
+  EXPECT_EQ(y, (std::vector<double>{7.0, 0.0, 35.0, 40.0}));
+}
+
+TEST(StreamBytes, TwelveBytesPerNonZero) {
+  const Csr csr = fig2_matrix();
+  EXPECT_EQ(csr.stream_bytes(), csr.nnz() * 12);
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,172 @@
+#include "sparse/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace recode::sparse {
+namespace {
+
+TEST(Stencil2d, InteriorRowsHaveFivePoints) {
+  const Csr csr = gen_stencil2d(10, 10, ValueModel::kUnit, 1);
+  EXPECT_EQ(csr.rows, 100);
+  // Interior node (5,5) = row 55 has 5 neighbors.
+  EXPECT_EQ(csr.row_ptr[56] - csr.row_ptr[55], 5);
+  // Corner node 0 has 3.
+  EXPECT_EQ(csr.row_ptr[1] - csr.row_ptr[0], 3);
+  EXPECT_NO_THROW(csr.validate());
+}
+
+TEST(Stencil2d, IsStructurallySymmetric) {
+  const Csr csr = gen_stencil2d(7, 9, ValueModel::kUnit, 1);
+  const Csr t = transpose(csr);
+  EXPECT_EQ(csr.row_ptr, t.row_ptr);
+  EXPECT_EQ(csr.col_idx, t.col_idx);
+}
+
+TEST(Stencil3d, InteriorRowsHaveSevenPoints) {
+  const Csr csr = gen_stencil3d(6, 6, 6, ValueModel::kUnit, 1);
+  EXPECT_EQ(csr.rows, 216);
+  // Node (3,3,3): index (3*6+3)*6+3 = 129.
+  EXPECT_EQ(csr.row_ptr[130] - csr.row_ptr[129], 7);
+  EXPECT_NO_THROW(csr.validate());
+}
+
+TEST(Banded, EntriesWithinBand) {
+  const Csr csr = gen_banded(100, 5, 0.7, ValueModel::kUnit, 2);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    bool has_diag = false;
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      EXPECT_LE(std::abs(csr.col_idx[k] - r), 5);
+      has_diag |= (csr.col_idx[k] == r);
+    }
+    EXPECT_TRUE(has_diag) << "row " << r;
+  }
+}
+
+TEST(MultiDiagonal, ExactDiagonals) {
+  const Csr csr =
+      gen_multi_diagonal(50, {-3, 0, 3}, ValueModel::kUnit, 1);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      const index_t off = csr.col_idx[k] - r;
+      EXPECT_TRUE(off == -3 || off == 0 || off == 3);
+    }
+  }
+  // Interior rows carry all three diagonals.
+  EXPECT_EQ(csr.row_ptr[11] - csr.row_ptr[10], 3);
+}
+
+TEST(FemLike, SymmetricStructureWithDiagonal) {
+  const Csr csr = gen_fem_like(300, 8, 30, ValueModel::kUnit, 4);
+  const Csr t = transpose(csr);
+  EXPECT_EQ(csr.row_ptr, t.row_ptr);
+  EXPECT_EQ(csr.col_idx, t.col_idx);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    bool has_diag = false;
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      has_diag |= (csr.col_idx[k] == r);
+    }
+    EXPECT_TRUE(has_diag);
+  }
+}
+
+TEST(FemLike, RespectsLocalityWindow) {
+  const index_t window = 20;
+  const Csr csr = gen_fem_like(400, 6, window, ValueModel::kUnit, 4);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      EXPECT_LE(std::abs(csr.col_idx[k] - r), window);
+    }
+  }
+}
+
+TEST(Powerlaw, HitsTargetDensityApproximately) {
+  const Csr csr = gen_powerlaw(2000, 10.0, 0.6, ValueModel::kUnit, 8);
+  // Duplicates merge, so realized nnz is below n*deg but within 2x.
+  EXPECT_GT(csr.nnz(), 2000u * 4);
+  EXPECT_LE(csr.nnz(), 2000u * 10);
+}
+
+TEST(Powerlaw, EarlyNodesHaveHigherDegree) {
+  const Csr csr = gen_powerlaw(5000, 8.0, 0.8, ValueModel::kUnit, 8);
+  std::size_t head = 0, tail = 0;
+  for (index_t r = 0; r < 500; ++r) {
+    head += static_cast<std::size_t>(csr.row_ptr[r + 1] - csr.row_ptr[r]);
+  }
+  for (index_t r = 4500; r < 5000; ++r) {
+    tail += static_cast<std::size_t>(csr.row_ptr[r + 1] - csr.row_ptr[r]);
+  }
+  EXPECT_GT(head, tail * 2);
+}
+
+TEST(Circuit, EveryRowHasDiagonal) {
+  const Csr csr = gen_circuit(500, 4, ValueModel::kUnit, 6);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    bool has_diag = false;
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      has_diag |= (csr.col_idx[k] == r);
+    }
+    EXPECT_TRUE(has_diag);
+  }
+}
+
+TEST(Random, ApproximatelyRequestedNnz) {
+  const Csr csr = gen_random(300, 300, 5000, ValueModel::kUnit, 7);
+  // Collisions merge; expect within 10% for this density.
+  EXPECT_GT(csr.nnz(), 4500u);
+  EXPECT_LE(csr.nnz(), 5000u);
+}
+
+TEST(BlockDense, DiagonalBlocksPresent) {
+  const Csr csr = gen_block_dense(64, 8, 0, 1.0, ValueModel::kUnit, 3);
+  // With density 1 and no extra blocks this is exactly block-diagonal.
+  EXPECT_EQ(csr.nnz(), 64u * 8);
+  for (index_t r = 0; r < csr.rows; ++r) {
+    for (offset_t k = csr.row_ptr[r]; k < csr.row_ptr[r + 1]; ++k) {
+      EXPECT_EQ(csr.col_idx[k] / 8, r / 8);
+    }
+  }
+}
+
+TEST(Generators, DeterministicFromSeed) {
+  const Csr a = gen_fem_like(200, 6, 25, ValueModel::kRandom, 42);
+  const Csr b = gen_fem_like(200, 6, 25, ValueModel::kRandom, 42);
+  EXPECT_TRUE(equal(a, b));
+}
+
+TEST(Generators, SeedChangesMatrix) {
+  const Csr a = gen_circuit(200, 4, ValueModel::kRandom, 1);
+  const Csr b = gen_circuit(200, 4, ValueModel::kRandom, 2);
+  EXPECT_FALSE(equal(a, b));
+}
+
+class ValueModelCase : public ::testing::TestWithParam<ValueModel> {};
+
+TEST_P(ValueModelCase, FillsAllValues) {
+  Csr csr = gen_stencil2d(20, 20, GetParam(), 5);
+  fill_values(csr, GetParam(), 5);
+  for (double v : csr.val) EXPECT_TRUE(std::isfinite(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ValueModelCase,
+    ::testing::Values(ValueModel::kStencilCoeffs, ValueModel::kSmoothField,
+                      ValueModel::kFewDistinct, ValueModel::kRandom,
+                      ValueModel::kUnit));
+
+TEST(ValueModels, DistinctCountsOrdered) {
+  auto distinct = [](const Csr& m) {
+    return std::set<double>(m.val.begin(), m.val.end()).size();
+  };
+  Csr unit = gen_stencil2d(30, 30, ValueModel::kUnit, 1);
+  Csr few = gen_stencil2d(30, 30, ValueModel::kFewDistinct, 1);
+  Csr rnd = gen_stencil2d(30, 30, ValueModel::kRandom, 1);
+  EXPECT_EQ(distinct(unit), 1u);
+  EXPECT_LE(distinct(few), 64u);
+  EXPECT_GT(distinct(rnd), few.nnz() / 2);
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,98 @@
+#include "sparse/matrix_market.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generators.h"
+
+namespace recode::sparse {
+namespace {
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 1 2.5\n"
+      "3 4 -1.0\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.rows, 3);
+  EXPECT_EQ(coo.cols, 4);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.row[0], 0);
+  EXPECT_EQ(coo.col[0], 0);
+  EXPECT_DOUBLE_EQ(coo.val[0], 2.5);
+  EXPECT_EQ(coo.row[1], 2);
+  EXPECT_EQ(coo.col[1], 3);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5.0\n"
+      "3 3 7.0\n");
+  const Coo coo = read_matrix_market(in);
+  // Off-diagonal mirrored, diagonal not duplicated.
+  EXPECT_EQ(coo.nnz(), 3u);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetricWithNegation) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const Coo coo = read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.val[0], 3.0);
+  EXPECT_DOUBLE_EQ(coo.val[1], -3.0);
+}
+
+TEST(MatrixMarket, PatternFieldDefaultsToOne) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const Coo coo = read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.val[0], 1.0);
+}
+
+TEST(MatrixMarket, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket whatever\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeEntry) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const Csr original = gen_fem_like(80, 6, 10, ValueModel::kRandom, 17);
+  std::stringstream buf;
+  write_matrix_market(buf, csr_to_coo(original));
+  const Csr back = coo_to_csr(read_matrix_market(buf));
+  EXPECT_TRUE(equal(original, back));
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,95 @@
+#include "sparse/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+
+namespace recode::sparse {
+namespace {
+
+TEST(Stats, BasicCountsOnStencil) {
+  const Csr csr = gen_stencil2d(10, 10, ValueModel::kUnit, 1);
+  const MatrixStats s = compute_stats(csr);
+  EXPECT_EQ(s.rows, 100);
+  EXPECT_EQ(s.nnz, csr.nnz());
+  EXPECT_NEAR(s.density, static_cast<double>(csr.nnz()) / 10000.0, 1e-12);
+  EXPECT_EQ(s.max_row_nnz, 5u);
+  EXPECT_EQ(s.empty_rows, 0u);
+  EXPECT_TRUE(s.structurally_symmetric);
+  EXPECT_TRUE(s.has_full_diagonal);
+  EXPECT_EQ(s.bandwidth, 10);  // +/- nx
+}
+
+TEST(Stats, BandwidthOfMultiDiagonal) {
+  const Csr csr = gen_multi_diagonal(100, {-7, 0, 7}, ValueModel::kUnit, 1);
+  const MatrixStats s = compute_stats(csr);
+  EXPECT_EQ(s.bandwidth, 7);
+  EXPECT_TRUE(s.structurally_symmetric);
+}
+
+TEST(Stats, DetectsAsymmetry) {
+  Coo coo;
+  coo.rows = coo.cols = 4;
+  coo.add(0, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  const MatrixStats s = compute_stats(coo_to_csr(coo));
+  EXPECT_FALSE(s.structurally_symmetric);
+  EXPECT_FALSE(s.has_full_diagonal);
+}
+
+TEST(Stats, EmptyRowsCounted) {
+  Coo coo;
+  coo.rows = coo.cols = 10;
+  coo.add(0, 0, 1.0);
+  coo.add(9, 9, 1.0);
+  const MatrixStats s = compute_stats(coo_to_csr(coo));
+  EXPECT_EQ(s.empty_rows, 8u);
+}
+
+TEST(Stats, UnitGapFractionOnDenseBlocks) {
+  const Csr csr = gen_block_dense(64, 8, 0, 1.0, ValueModel::kUnit, 1);
+  const MatrixStats s = compute_stats(csr);
+  EXPECT_NEAR(s.fraction_unit_gaps, 1.0, 1e-12);  // dense runs inside blocks
+  EXPECT_NEAR(s.mean_intra_row_gap, 1.0, 1e-12);
+}
+
+TEST(Stats, RowSkewShowsInCv) {
+  // One dense row among uniform rows => high coefficient of variation.
+  Coo coo;
+  coo.rows = coo.cols = 1000;
+  for (index_t r = 0; r < 1000; ++r) coo.add(r, r, 1.0);
+  for (index_t c = 0; c < 1000; ++c) coo.add(500, c, 1.0);
+  const MatrixStats skewed = compute_stats(coo_to_csr(coo));
+  const MatrixStats uniform =
+      compute_stats(gen_multi_diagonal(1000, {0}, ValueModel::kUnit, 1));
+  EXPECT_GT(skewed.row_nnz_cv, uniform.row_nnz_cv + 1.0);
+}
+
+TEST(Stats, ShapeClassification) {
+  const MatrixStats diag = compute_stats(
+      gen_multi_diagonal(5000, {-1, 0, 1}, ValueModel::kUnit, 1));
+  EXPECT_EQ(diag.shape, MatrixStats::Shape::kDiagonalish);
+
+  const MatrixStats rand = compute_stats(
+      gen_random(2000, 2000, 20000, ValueModel::kUnit, 2));
+  EXPECT_EQ(rand.shape, MatrixStats::Shape::kUnstructured);
+}
+
+TEST(Stats, ShapeNamesResolve) {
+  EXPECT_STREQ(shape_name(MatrixStats::Shape::kDiagonalish), "diagonal");
+  EXPECT_STREQ(shape_name(MatrixStats::Shape::kBanded), "banded");
+  EXPECT_STREQ(shape_name(MatrixStats::Shape::kBlocky), "blocky");
+  EXPECT_STREQ(shape_name(MatrixStats::Shape::kUnstructured), "unstructured");
+}
+
+TEST(Stats, EmptyMatrix) {
+  Coo coo;
+  coo.rows = coo.cols = 5;
+  const MatrixStats s = compute_stats(coo_to_csr(coo));
+  EXPECT_EQ(s.nnz, 0u);
+  EXPECT_EQ(s.empty_rows, 5u);
+  EXPECT_EQ(s.bandwidth, 0);
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,105 @@
+#include "sparse/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace recode::sparse {
+namespace {
+
+TEST(RepresentativeSuite, HasSevenNamedMatrices) {
+  const auto suite = representative_suite(0.05);
+  ASSERT_EQ(suite.size(), 7u);
+  const std::set<std::string> names = {
+      "copter2",  "g7jac160", "gas_sensor", "m3dc1_a30",
+      "matrix-new_3", "shipsec1", "xenon1"};
+  for (const auto& m : suite) {
+    EXPECT_TRUE(names.count(m.name)) << m.name;
+    EXPECT_NO_THROW(m.csr.validate());
+    EXPECT_GT(m.csr.nnz(), 0u);
+  }
+}
+
+TEST(RepresentativeSuite, ScaleShrinksDimensions) {
+  const auto small = representative_suite(0.02);
+  const auto larger = representative_suite(0.05);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_LT(small[i].csr.rows, larger[i].csr.rows) << small[i].name;
+  }
+}
+
+TEST(RepresentativeSuite, StandInsTrackPublishedDensity) {
+  // nnz/row of each stand-in should be within 2.5x of the published matrix
+  // (structure-class fidelity, DESIGN.md §2).
+  const auto suite = representative_suite(0.05);
+  const auto& specs = representative_specs();
+  ASSERT_EQ(specs.size(), 7u);
+  for (const auto& spec : specs) {
+    const auto it =
+        std::find_if(suite.begin(), suite.end(),
+                     [&](const NamedMatrix& m) { return m.name == spec.name; });
+    ASSERT_NE(it, suite.end()) << spec.name;
+    const double want = static_cast<double>(spec.nnz) / spec.n;
+    const double got =
+        static_cast<double>(it->csr.nnz()) / it->csr.rows;
+    EXPECT_GT(got, want / 2.5) << spec.name;
+    EXPECT_LT(got, want * 2.5) << spec.name;
+  }
+}
+
+TEST(SyntheticCollection, GeneratesRequestedCount) {
+  SuiteOptions opts;
+  opts.count = 12;
+  opts.min_nnz = 2000;
+  opts.max_nnz = 20000;
+  const auto suite = synthetic_collection(opts);
+  ASSERT_EQ(suite.size(), 12u);
+  std::set<std::string> families;
+  for (const auto& m : suite) {
+    EXPECT_NO_THROW(m.csr.validate());
+    families.insert(m.family);
+  }
+  // 12 members cycle through at least 8 distinct structure families.
+  EXPECT_GE(families.size(), 8u);
+}
+
+TEST(SyntheticCollection, NnzWithinConfiguredRange) {
+  SuiteOptions opts;
+  opts.count = 10;
+  opts.min_nnz = 5000;
+  opts.max_nnz = 50000;
+  const auto suite = synthetic_collection(opts);
+  for (const auto& m : suite) {
+    // Generators hit targets approximately; allow a 3x band.
+    EXPECT_GT(m.csr.nnz(), opts.min_nnz / 3) << m.name;
+    EXPECT_LT(m.csr.nnz(), opts.max_nnz * 3) << m.name;
+  }
+}
+
+TEST(SyntheticCollection, DeterministicFromSeed) {
+  SuiteOptions opts;
+  opts.count = 4;
+  opts.min_nnz = 2000;
+  opts.max_nnz = 8000;
+  const auto a = synthetic_collection(opts);
+  const auto b = synthetic_collection(opts);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(equal(a[i].csr, b[i].csr));
+  }
+}
+
+TEST(ForEachSuiteMatrix, StreamsInOrder) {
+  SuiteOptions opts;
+  opts.count = 5;
+  opts.min_nnz = 1000;
+  opts.max_nnz = 4000;
+  int expected = 0;
+  for_each_suite_matrix(opts, [&](int i, const NamedMatrix& m) {
+    EXPECT_EQ(i, expected++);
+    EXPECT_FALSE(m.name.empty());
+  });
+  EXPECT_EQ(expected, 5);
+}
+
+}  // namespace
+}  // namespace recode::sparse

@@ -1,0 +1,145 @@
+#include "spmv/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "sparse/generators.h"
+#include "sparse/suite.h"
+
+namespace recode::spmv {
+namespace {
+
+using sparse::Csr;
+using sparse::ValueModel;
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  recode::Prng prng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = prng.next_double() * 2.0 - 1.0;
+  return v;
+}
+
+void expect_near_vec(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9 * (1.0 + std::abs(a[i]))) << "at " << i;
+  }
+}
+
+TEST(SpmvCsr, MatchesReference) {
+  const Csr a = sparse::gen_fem_like(500, 8, 30, ValueModel::kRandom, 3);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 1);
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  spmv_csr(a, x, y);
+  expect_near_vec(y, sparse::spmv_reference(a, x));
+}
+
+TEST(SpmvCsr, EmptyMatrixGivesZero) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = 8;
+  const Csr a = coo_to_csr(coo);
+  std::vector<double> x(8, 1.0), y(8, 99.0);
+  spmv_csr(a, x, y);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+class KernelAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelAgreement, AllKernelsAgreeAcrossFamilies) {
+  sparse::SuiteOptions opts;
+  opts.count = 9;
+  opts.min_nnz = 2000;
+  opts.max_nnz = 20000;
+  opts.seed = 100 + static_cast<std::uint64_t>(GetParam());
+  ThreadPool pool(static_cast<std::size_t>(1 + GetParam() % 4));
+  sparse::for_each_suite_matrix(opts, [&](int, const sparse::NamedMatrix& m) {
+    const auto x = random_vector(static_cast<std::size_t>(m.csr.cols), 7);
+    std::vector<double> y_ref(static_cast<std::size_t>(m.csr.rows));
+    std::vector<double> y_par(y_ref.size());
+    std::vector<double> y_merge(y_ref.size());
+    spmv_csr(m.csr, x, y_ref);
+    spmv_csr_parallel(m.csr, x, y_par, pool);
+    spmv_csr_merge(m.csr, x, y_merge, pool);
+    expect_near_vec(y_par, y_ref);
+    expect_near_vec(y_merge, y_ref);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, KernelAgreement, ::testing::Range(0, 4));
+
+TEST(SpmmCsr, MatchesColumnByColumnSpmv) {
+  const Csr a = sparse::gen_fem_like(400, 8, 30, ValueModel::kRandom, 19);
+  constexpr int kRhs = 5;
+  const auto n_cols = static_cast<std::size_t>(a.cols);
+  const auto n_rows = static_cast<std::size_t>(a.rows);
+  const auto xs = random_vector(n_cols * kRhs, 23);
+  std::vector<double> ys(n_rows * kRhs);
+  spmm_csr(a, xs, ys, kRhs);
+
+  // Column c of the row-major multi-vector must equal a plain SpMV.
+  std::vector<double> x(n_cols), y_ref(n_rows);
+  for (int c = 0; c < kRhs; ++c) {
+    for (std::size_t j = 0; j < n_cols; ++j) {
+      x[j] = xs[j * kRhs + static_cast<std::size_t>(c)];
+    }
+    spmv_csr(a, x, y_ref);
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      ASSERT_NEAR(ys[i * kRhs + static_cast<std::size_t>(c)], y_ref[i],
+                  1e-9 * (1.0 + std::abs(y_ref[i])))
+          << "rhs " << c << " row " << i;
+    }
+  }
+}
+
+TEST(SpmmCsr, SingleRhsEqualsSpmv) {
+  const Csr a = sparse::gen_circuit(300, 4, ValueModel::kSmoothField, 29);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 31);
+  std::vector<double> y1(static_cast<std::size_t>(a.rows));
+  std::vector<double> y2(y1.size());
+  spmv_csr(a, x, y1);
+  spmm_csr(a, x, y2, 1);
+  expect_near_vec(y2, y1);
+}
+
+TEST(SpmvMerge, HandlesExtremeRowSkew) {
+  // One dense row among thousands of empty ones — the case merge-based
+  // SpMV exists for.
+  sparse::Coo coo;
+  coo.rows = coo.cols = 5000;
+  for (sparse::index_t c = 0; c < 5000; ++c) coo.add(2500, c, 0.5);
+  coo.add(0, 0, 2.0);
+  coo.add(4999, 4999, 3.0);
+  const Csr a = coo_to_csr(coo);
+  const auto x = random_vector(5000, 11);
+  ThreadPool pool(4);
+  std::vector<double> y(5000);
+  spmv_csr_merge(a, x, y, pool);
+  expect_near_vec(y, sparse::spmv_reference(a, x));
+}
+
+TEST(SpmvMerge, EmptyMatrix) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = 16;
+  const Csr a = coo_to_csr(coo);
+  ThreadPool pool(2);
+  std::vector<double> x(16, 1.0), y(16, 5.0);
+  spmv_csr_merge(a, x, y, pool);
+  for (double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(SpmvMerge, SingleRowMatrix) {
+  sparse::Coo coo;
+  coo.rows = 1;
+  coo.cols = 100;
+  for (sparse::index_t c = 0; c < 100; c += 3) coo.add(0, c, 1.0);
+  const Csr a = coo_to_csr(coo);
+  ThreadPool pool(4);
+  const auto x = random_vector(100, 13);
+  std::vector<double> y(1);
+  spmv_csr_merge(a, x, y, pool);
+  expect_near_vec(y, sparse::spmv_reference(a, x));
+}
+
+}  // namespace
+}  // namespace recode::spmv

@@ -1,0 +1,103 @@
+#include "spmv/recoded.h"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+#include "sparse/generators.h"
+#include "spmv/kernels.h"
+
+namespace recode::spmv {
+namespace {
+
+using codec::PipelineConfig;
+using sparse::Csr;
+using sparse::ValueModel;
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  recode::Prng prng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = prng.next_double() * 2.0 - 1.0;
+  return v;
+}
+
+void expect_near_vec(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9 * (1.0 + std::abs(a[i]))) << "at " << i;
+  }
+}
+
+TEST(RecodedSpmv, SoftwareEngineMatchesPlainKernel) {
+  const Csr a = sparse::gen_fem_like(3000, 10, 80, ValueModel::kSmoothField, 8);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  RecodedSpmv recoded(cm);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 2);
+  std::vector<double> y_plain(static_cast<std::size_t>(a.rows));
+  std::vector<double> y_recoded(y_plain.size());
+  spmv_csr(a, x, y_plain);
+  recoded.multiply(x, y_recoded);
+  expect_near_vec(y_recoded, y_plain);
+  EXPECT_EQ(recoded.blocks_decoded(), cm.blocks.size());
+  EXPECT_EQ(recoded.compressed_bytes_streamed(),
+            cm.stream_bytes() - 256);  // minus the two Huffman tables
+}
+
+TEST(RecodedSpmv, UdpSimulatedEngineMatchesPlainKernel) {
+  const Csr a = sparse::gen_banded(2000, 8, 0.7, ValueModel::kFewDistinct, 9);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  RecodedSpmv recoded(cm, DecodeEngine::kUdpSimulated);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 3);
+  std::vector<double> y_plain(static_cast<std::size_t>(a.rows));
+  std::vector<double> y_recoded(y_plain.size());
+  spmv_csr(a, x, y_plain);
+  recoded.multiply(x, y_recoded);
+  expect_near_vec(y_recoded, y_plain);
+  EXPECT_GT(recoded.udp_cycles(), 0u);
+}
+
+TEST(RecodedSpmv, WorksAcrossPipelineConfigs) {
+  const Csr a = sparse::gen_circuit(2500, 5, ValueModel::kRandom, 10);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 4);
+  std::vector<double> y_plain(static_cast<std::size_t>(a.rows));
+  spmv_csr(a, x, y_plain);
+  for (const auto& cfg :
+       {PipelineConfig::udp_dsh(), PipelineConfig::udp_ds(),
+        PipelineConfig::cpu_snappy()}) {
+    const auto cm = codec::compress(a, cfg);
+    RecodedSpmv recoded(cm);
+    std::vector<double> y(y_plain.size());
+    recoded.multiply(x, y);
+    expect_near_vec(y, y_plain);
+  }
+}
+
+TEST(RecodedSpmv, RepeatedMultiplyAccumulatesStats) {
+  const Csr a = sparse::gen_stencil2d(40, 40, ValueModel::kStencilCoeffs, 11);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  RecodedSpmv recoded(cm);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 5);
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+  recoded.multiply(x, y);
+  recoded.multiply(x, y);
+  EXPECT_EQ(recoded.blocks_decoded(), cm.blocks.size() * 2);
+}
+
+TEST(RecodedSpmv, RowsSpanningBlockBoundaries) {
+  // A single dense row spanning many blocks stresses the row-advance walk.
+  sparse::Coo coo;
+  coo.rows = coo.cols = 6000;
+  for (sparse::index_t c = 0; c < 6000; ++c) coo.add(3000, c, 1.0 + c % 7);
+  coo.add(0, 0, 2.0);
+  const Csr a = coo_to_csr(coo);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  ASSERT_GT(cm.blocks.size(), 3u);
+  RecodedSpmv recoded(cm);
+  const auto x = random_vector(6000, 6);
+  std::vector<double> y(6000);
+  recoded.multiply(x, y);
+  expect_near_vec(y, sparse::spmv_reference(a, x));
+}
+
+}  // namespace
+}  // namespace recode::spmv

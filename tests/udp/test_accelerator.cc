@@ -1,0 +1,82 @@
+#include "udp/accelerator.h"
+
+#include <gtest/gtest.h>
+
+namespace recode::udp {
+namespace {
+
+TEST(Accelerator, DefaultsMatchPaperEnvelope) {
+  const Accelerator accel;
+  EXPECT_EQ(accel.config().lanes, 64);
+  EXPECT_DOUBLE_EQ(accel.config().clock_hz, 1.6e9);
+  EXPECT_DOUBLE_EQ(accel.config().power_watts, 0.16);
+}
+
+TEST(Accelerator, SingleJobMakespan) {
+  Accelerator accel;
+  accel.add_job(1600);
+  EXPECT_EQ(accel.makespan_cycles(), 1600u);
+  EXPECT_DOUBLE_EQ(accel.seconds(), 1e-6);  // 1600 cycles @1.6 GHz = 1 us
+}
+
+TEST(Accelerator, JobsSpreadAcrossLanes) {
+  AcceleratorConfig cfg;
+  cfg.lanes = 4;
+  Accelerator accel(cfg);
+  for (int i = 0; i < 4; ++i) accel.add_job(100);
+  EXPECT_EQ(accel.makespan_cycles(), 100u);  // one job per lane
+  accel.add_job(100);
+  EXPECT_EQ(accel.makespan_cycles(), 200u);  // fifth job stacks
+}
+
+TEST(Accelerator, GreedyBalancesUnevenJobs) {
+  AcceleratorConfig cfg;
+  cfg.lanes = 2;
+  Accelerator accel(cfg);
+  accel.add_job(300);
+  accel.add_job(100);
+  accel.add_job(100);  // goes to the lighter lane
+  accel.add_job(100);
+  EXPECT_EQ(accel.makespan_cycles(), 300u);
+  EXPECT_DOUBLE_EQ(accel.utilization(), 1.0);
+}
+
+TEST(Accelerator, UtilizationReflectsImbalance) {
+  AcceleratorConfig cfg;
+  cfg.lanes = 2;
+  Accelerator accel(cfg);
+  accel.add_job(1000);
+  EXPECT_DOUBLE_EQ(accel.utilization(), 0.5);
+}
+
+TEST(Accelerator, EnergyIsPowerTimesMakespan) {
+  Accelerator accel;
+  accel.add_job(16000000);  // 10 ms at 1.6 GHz
+  EXPECT_NEAR(accel.energy_joules(), 0.16 * 0.01, 1e-12);
+}
+
+TEST(Accelerator, ThroughputFromBytes) {
+  Accelerator accel;
+  accel.add_job(1600);  // 1 us
+  EXPECT_NEAR(accel.throughput_bytes_per_sec(8192), 8192e6, 1e-3);
+}
+
+TEST(Accelerator, ResetClearsLoad) {
+  Accelerator accel;
+  accel.add_job(100);
+  accel.reset();
+  EXPECT_EQ(accel.makespan_cycles(), 0u);
+  EXPECT_EQ(accel.job_count(), 0u);
+}
+
+TEST(Accelerator, SixtyFourLanesAbsorbSixtyFourBlocks) {
+  Accelerator accel;
+  for (int i = 0; i < 64; ++i) accel.add_job(34720);  // ~21.7 us blocks
+  EXPECT_EQ(accel.makespan_cycles(), 34720u);
+  // 64 blocks x 8 KB out in one block-latency => > 20 GB/s, the paper's
+  // headline decompression rate.
+  EXPECT_GT(accel.throughput_bytes_per_sec(64 * 8192), 20e9);
+}
+
+}  // namespace
+}  // namespace recode::udp

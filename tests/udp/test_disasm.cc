@@ -1,0 +1,87 @@
+#include "udp/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "codec/huffman.h"
+#include "udpprog/delta_prog.h"
+#include "udpprog/huffman_prog.h"
+#include "udpprog/snappy_prog.h"
+
+namespace recode::udp {
+namespace {
+
+TEST(Disasm, FormatsAluActions) {
+  EXPECT_EQ(format_action(act::add(2, 3, Operand::immediate(7))),
+            "add r2, r3, 7");
+  EXPECT_EQ(format_action(act::xor_(1, 1, Operand::r(4))), "xor r1, r1, r4");
+  EXPECT_EQ(format_action(act::set_imm(5, 0x20000)), "set r5, 0x20000");
+  EXPECT_EQ(format_action(act::not_(3, 6)), "not r3, r6");
+}
+
+TEST(Disasm, FormatsMemoryAndStreamActions) {
+  EXPECT_EQ(format_action(act::load_le(1, 2, 8, 4)), "ldle4 r1, [r2+8]");
+  EXPECT_EQ(format_action(act::store_le(3, 5, 0, 1)), "stle1 [r5+0], r3");
+  EXPECT_EQ(format_action(act::stream_read_le(7, 2)), "srdl2 r7");
+  EXPECT_EQ(format_action(act::stream_copy(5, Operand::r(3))),
+            "scpy [r5], r3");
+  EXPECT_EQ(format_action(act::scratch_copy(5, 8, Operand::immediate(64))),
+            "mcpy [r5], [r8], 64");
+}
+
+TEST(Disasm, FormatsDispatchSpecs) {
+  DispatchSpec stream;
+  stream.kind = DispatchKind::kStreamBits;
+  stream.bits = 8;
+  EXPECT_EQ(format_dispatch(stream), "dispatch stream[8]");
+
+  DispatchSpec rb;
+  rb.kind = DispatchKind::kRegisterBool;
+  rb.reg = 1;
+  EXPECT_EQ(format_dispatch(rb), "dispatch r1 != 0");
+
+  DispatchSpec h;
+  h.kind = DispatchKind::kHalt;
+  EXPECT_EQ(format_dispatch(h), "halt");
+}
+
+TEST(Disasm, ListsEveryStateOfDeltaProgram) {
+  const Program p = udpprog::build_delta_decode_program();
+  const std::string text = disassemble(p);
+  for (std::size_t s = 0; s < p.state_count(); ++s) {
+    EXPECT_NE(text.find(p.state(static_cast<StateId>(s)).name + ":"),
+              std::string::npos);
+  }
+  EXPECT_NE(text.find("-> loop"), std::string::npos);
+}
+
+TEST(Disasm, CollapsesIdenticalArcRuns) {
+  // A Huffman decode program with a dominant 1-bit code covers half the
+  // 256-entry first-level table with identical arcs; the listing must
+  // collapse those into a range instead of printing 128 rows.
+  std::array<std::uint64_t, 256> hist{};
+  hist['a'] = 1u << 20;
+  hist['b'] = 1u << 10;
+  hist['c'] = 4;
+  const codec::HuffmanTable table = codec::HuffmanTable::build(hist);
+  const Program p = udpprog::build_huffman_decode_program(table);
+  const std::string text = disassemble(p);
+  EXPECT_NE(text.find(".."), std::string::npos);
+  EXPECT_LT(std::count(text.begin(), text.end(), '\n'), 600);
+}
+
+TEST(Disasm, SummaryCountsMatchProgram) {
+  const Layout layout(udpprog::build_delta_decode_program());
+  const ProgramSummary s = summarize(layout);
+  EXPECT_EQ(s.states, layout.program().state_count());
+  EXPECT_EQ(s.arcs, layout.program().arc_count());
+  EXPECT_EQ(s.table_slots, layout.table_size());
+  EXPECT_GT(s.actions, 0u);
+  EXPECT_EQ(s.max_fanout, 2u);  // RegisterBool / parity dispatches
+  const std::string line = format_summary("delta", s);
+  EXPECT_NE(line.find("states="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recode::udp

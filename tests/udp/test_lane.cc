@@ -1,0 +1,302 @@
+#include "udp/lane.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace recode::udp {
+namespace {
+
+DispatchSpec direct() { return DispatchSpec{}; }
+
+DispatchSpec halt() {
+  DispatchSpec d;
+  d.kind = DispatchKind::kHalt;
+  return d;
+}
+
+DispatchSpec stream_bits(int bits) {
+  DispatchSpec d;
+  d.kind = DispatchKind::kStreamBits;
+  d.bits = bits;
+  return d;
+}
+
+DispatchSpec reg_bool(int reg) {
+  DispatchSpec d;
+  d.kind = DispatchKind::kRegisterBool;
+  d.reg = reg;
+  return d;
+}
+
+// One direct state that runs `actions` then halts.
+std::pair<Program, StateId> single_shot(std::vector<Action> actions) {
+  Program p;
+  const StateId a = p.add_state("a", direct());
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(a, 0, std::move(actions), h);
+  p.set_entry(a);
+  return {std::move(p), a};
+}
+
+TEST(Lane, AluBasics) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 10),
+      act::set_imm(2, 3),
+      act::add(3, 1, Operand::r(2)),        // 13
+      act::sub(4, 1, Operand::immediate(4)), // 6
+      act::shl(5, 2, Operand::immediate(2)), // 12
+      act::xor_(6, 3, Operand::r(4)),        // 13 ^ 6 = 11
+      act::not_(7, 2),                       // ~3
+      act::sar(8, 7, Operand::immediate(1)), // arithmetic shift keeps sign
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  lane.run({});
+  EXPECT_EQ(lane.reg(3), 13u);
+  EXPECT_EQ(lane.reg(4), 6u);
+  EXPECT_EQ(lane.reg(5), 12u);
+  EXPECT_EQ(lane.reg(6), 11u);
+  EXPECT_EQ(lane.reg(7), ~std::uint64_t{3});
+  EXPECT_EQ(lane.reg(8), ~std::uint64_t{1});  // (-4) >> 1 == -2
+}
+
+TEST(Lane, ScratchLoadStoreWidths) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 0x1122334455667788ull),
+      act::set_imm(2, 0),                // address register
+      act::store_le(1, 2, 0, 8),
+      act::load_le(3, 2, 0, 1),
+      act::load_le(4, 2, 0, 2),
+      act::load_le(5, 2, 0, 4),
+      act::load_le(6, 2, 0, 8),
+      act::load_le(7, 2, 4, 4),          // offset addressing
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  lane.run({});
+  EXPECT_EQ(lane.reg(3), 0x88u);
+  EXPECT_EQ(lane.reg(4), 0x7788u);
+  EXPECT_EQ(lane.reg(5), 0x55667788u);
+  EXPECT_EQ(lane.reg(6), 0x1122334455667788ull);
+  EXPECT_EQ(lane.reg(7), 0x11223344u);
+}
+
+TEST(Lane, StreamBitReadsMsbFirst) {
+  auto [p, _] = single_shot({
+      act::stream_read_bits(1, Operand::immediate(4)),
+      act::stream_read_bits(2, Operand::immediate(4)),
+      act::stream_peek_bits(3, Operand::immediate(8)),
+      act::stream_read_bits(4, Operand::immediate(8)),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {0xAB, 0xCD};
+  lane.run(input);
+  EXPECT_EQ(lane.reg(1), 0xAu);
+  EXPECT_EQ(lane.reg(2), 0xBu);
+  EXPECT_EQ(lane.reg(3), 0xCDu);  // peek did not consume
+  EXPECT_EQ(lane.reg(4), 0xCDu);
+}
+
+TEST(Lane, StreamRewind) {
+  auto [p, _] = single_shot({
+      act::stream_read_bits(1, Operand::immediate(8)),
+      act::stream_rewind_bits(Operand::immediate(4)),
+      act::stream_read_bits(2, Operand::immediate(4)),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {0x5C};
+  lane.run(input);
+  EXPECT_EQ(lane.reg(1), 0x5Cu);
+  EXPECT_EQ(lane.reg(2), 0xCu);
+}
+
+TEST(Lane, StreamReadLeAndCopy) {
+  auto [p, _] = single_shot({
+      act::stream_read_le(1, 4),
+      act::set_imm(2, 100),
+      act::stream_copy(2, Operand::immediate(3)),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {0x78, 0x56, 0x34, 0x12, 'x', 'y', 'z'};
+  lane.run(input);
+  EXPECT_EQ(lane.reg(1), 0x12345678u);
+  EXPECT_EQ(lane.scratch()[100], 'x');
+  EXPECT_EQ(lane.scratch()[102], 'z');
+}
+
+TEST(Lane, ScratchCopyOverlappingReplicates) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 0xAA),
+      act::set_imm(2, 0),
+      act::store_le(1, 2, 0, 1),
+      act::set_imm(3, 1),   // dst = 1
+      act::set_imm(4, 0),   // src = 0
+      act::scratch_copy(3, 4, Operand::immediate(7)),  // offset 1 run fill
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  lane.run({});
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(lane.scratch()[i], 0xAA);
+}
+
+TEST(Lane, MultiWayStreamDispatchSelectsArc) {
+  Program p;
+  const StateId s = p.add_state("s", stream_bits(2));
+  const StateId h = p.add_state("h", halt());
+  for (std::uint32_t sym = 0; sym < 4; ++sym) {
+    p.add_arc(s, sym, {act::set_imm(1, 100 + sym)}, h);
+  }
+  p.set_entry(s);
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {0b10000000};
+  lane.run(input);
+  EXPECT_EQ(lane.reg(1), 102u);
+}
+
+TEST(Lane, RegisterBoolLoopCountsDown) {
+  Program p;
+  const StateId loop = p.add_state("loop", reg_bool(1));
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(loop, 0, {}, h);
+  p.add_arc(loop, 1,
+            {act::sub(1, 1, Operand::immediate(1)),
+             act::add(2, 2, Operand::immediate(3))},
+            loop);
+  p.set_entry(loop);
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::pair<int, std::uint64_t> init[] = {{1, 5}};
+  lane.run({}, init);
+  EXPECT_EQ(lane.reg(2), 15u);
+  // 5 iterations (2 actions => 2 cycles) + final check (1 cycle).
+  EXPECT_EQ(lane.counters().cycles, 5u * 2 + 1);
+  EXPECT_EQ(lane.counters().transitions, 6u);
+}
+
+TEST(Lane, CycleModelChargesCopies) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 0),
+      act::stream_copy(1, Operand::immediate(64)),  // 64 B at 8 B/cycle
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  std::vector<std::uint8_t> input(64, 7);
+  lane.run(input);
+  // 1 dispatch+first action, +1 second action, +7 extra copy beats.
+  EXPECT_EQ(lane.counters().cycles, 1u + 1 + 7);
+}
+
+TEST(Lane, ThrowsOnStreamExhaustion) {
+  auto [p, _] = single_shot({act::stream_read_le(1, 4)});
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {1, 2};
+  EXPECT_THROW(lane.run(input), Error);
+}
+
+TEST(Lane, ThrowsOnScratchOverrun) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 0xFFFFFFFF),
+      act::store_le(2, 1, 0, 8),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  EXPECT_THROW(lane.run({}), Error);
+}
+
+TEST(Lane, ThrowsOnInvalidDispatchSymbol) {
+  Program p;
+  const StateId s = p.add_state("s", stream_bits(2));
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(s, 0, {}, h);  // symbols 1-3 undefined
+  p.set_entry(s);
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {0b01000000};
+  EXPECT_THROW(lane.run(input), Error);
+}
+
+TEST(Lane, ThrowsOnCycleBudget) {
+  Program p;
+  const StateId s = p.add_state("s", direct());
+  p.add_arc(s, 0, {}, s);  // infinite loop
+  p.set_entry(s);
+  const Layout layout(p);
+  LaneConfig cfg;
+  cfg.max_cycles = 1000;
+  Lane lane(layout, cfg);
+  EXPECT_THROW(lane.run({}), Error);
+}
+
+TEST(Lane, MulOpForHashFunctions) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 0x12345678),
+      act::mul(2, 1, Operand::immediate(0x1E35A7BDull)),
+      act::and_(3, 2, Operand::immediate(0xFFFFFFFFull)),
+      act::shr(3, 3, Operand::immediate(20)),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  lane.run({});
+  EXPECT_EQ(lane.reg(2), 0x12345678ull * 0x1E35A7BDull);
+  EXPECT_LT(lane.reg(3), 1u << 12);  // a 12-bit hash slot
+}
+
+TEST(Lane, RegisterDispatchWithShiftAndMask) {
+  Program p;
+  DispatchSpec d;
+  d.kind = DispatchKind::kRegister;
+  d.reg = 1;
+  d.shift = 4;
+  d.mask = 0x3;
+  const StateId s = p.add_state("s", d);
+  const StateId h = p.add_state("h", halt());
+  for (std::uint32_t sym = 0; sym < 4; ++sym) {
+    p.add_arc(s, sym, {act::set_imm(2, 10 + sym)}, h);
+  }
+  p.set_entry(s);
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::pair<int, std::uint64_t> init[] = {{1, 0b100000}};  // bits 5:4=10
+  lane.run({}, init);
+  EXPECT_EQ(lane.reg(2), 12u);
+}
+
+TEST(Lane, CountersTrackActivity) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 7),
+      act::set_imm(2, 0),
+      act::store_le(1, 2, 0, 4),
+      act::load_le(3, 2, 0, 4),
+      act::stream_read_le(4, 2),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  const std::uint8_t input[] = {1, 2};
+  const auto& c = lane.run(input);
+  EXPECT_EQ(c.transitions, 1u);
+  EXPECT_EQ(c.actions, 5u);
+  EXPECT_EQ(c.stream_bits_consumed, 16u);
+  EXPECT_EQ(c.scratch_bytes_written, 4u);
+  EXPECT_EQ(c.scratch_bytes_read, 4u);
+}
+
+TEST(Lane, RunResetsState) {
+  auto [p, _] = single_shot({
+      act::set_imm(1, 1),
+      act::add(2, 2, Operand::r(1)),
+  });
+  const Layout layout(p);
+  Lane lane(layout);
+  lane.run({});
+  lane.run({});
+  EXPECT_EQ(lane.reg(2), 1u);  // not accumulated across runs
+}
+
+}  // namespace
+}  // namespace recode::udp

@@ -1,0 +1,129 @@
+#include "udp/program.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace recode::udp {
+namespace {
+
+DispatchSpec direct() { return DispatchSpec{}; }
+
+DispatchSpec halt() {
+  DispatchSpec d;
+  d.kind = DispatchKind::kHalt;
+  return d;
+}
+
+DispatchSpec stream_bits(int bits) {
+  DispatchSpec d;
+  d.kind = DispatchKind::kStreamBits;
+  d.bits = bits;
+  return d;
+}
+
+TEST(Program, MinimalValidProgram) {
+  Program p;
+  const StateId a = p.add_state("a", direct());
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(a, 0, {}, h);
+  p.set_entry(a);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.arc_count(), 1u);
+}
+
+TEST(Program, RejectsMissingEntry) {
+  Program p;
+  p.add_state("h", halt());
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsSymbolBeyondFanout) {
+  Program p;
+  const StateId a = p.add_state("a", stream_bits(2));  // fanout 4
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(a, 4, {}, h);
+  p.set_entry(a);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsDuplicateSymbol) {
+  Program p;
+  const StateId a = p.add_state("a", stream_bits(1));
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(a, 0, {}, h);
+  p.add_arc(a, 0, {}, h);
+  p.set_entry(a);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsArcFromHaltState) {
+  Program p;
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(h, 0, {}, h);
+  p.set_entry(h);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsStateWithNoArcs) {
+  Program p;
+  p.add_state("a", direct());
+  p.set_entry(0);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsDanglingNextState) {
+  Program p;
+  const StateId a = p.add_state("a", direct());
+  p.add_arc(a, 0, {}, 99);
+  p.set_entry(a);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsBadRegisterInAction) {
+  Program p;
+  const StateId a = p.add_state("a", direct());
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(a, 0, {act::move(99, 0)}, h);
+  p.set_entry(a);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, RejectsNonContiguousRegisterMask) {
+  Program p;
+  DispatchSpec d;
+  d.kind = DispatchKind::kRegister;
+  d.reg = 1;
+  d.mask = 0b101;  // not 2^k - 1
+  const StateId a = p.add_state("a", d);
+  const StateId h = p.add_state("h", halt());
+  p.add_arc(a, 0, {}, h);
+  p.set_entry(a);
+  EXPECT_THROW(p.validate(), Error);
+}
+
+TEST(Program, AddArcRangeCoversAllSymbols) {
+  Program p;
+  const StateId a = p.add_state("a", stream_bits(8));
+  const StateId h = p.add_state("h", halt());
+  p.add_arc_range(a, 0, 255, {}, h);
+  p.set_entry(a);
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.arc_count(), 256u);
+}
+
+TEST(DispatchSpec, FanoutByKind) {
+  EXPECT_EQ(direct().fanout(), 1u);
+  EXPECT_EQ(stream_bits(8).fanout(), 256u);
+  EXPECT_EQ(halt().fanout(), 0u);
+  DispatchSpec b;
+  b.kind = DispatchKind::kRegisterBool;
+  EXPECT_EQ(b.fanout(), 2u);
+  DispatchSpec r;
+  r.kind = DispatchKind::kRegister;
+  r.mask = 0xF;
+  EXPECT_EQ(r.fanout(), 16u);
+}
+
+}  // namespace
+}  // namespace recode::udp

@@ -1,0 +1,104 @@
+#include "udpprog/block_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.h"
+
+namespace recode::udpprog {
+namespace {
+
+using codec::CompressedMatrix;
+using codec::PipelineConfig;
+using sparse::Csr;
+using sparse::ValueModel;
+
+void expect_blocks_match(const Csr& csr, const CompressedMatrix& cm) {
+  UdpPipelineDecoder decoder(cm);
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    const BlockResult result = decoder.decode_block(b);
+    const auto& range = cm.blocking.blocks[b];
+    ASSERT_EQ(result.indices.size(), range.count);
+    ASSERT_EQ(result.values.size(), range.count);
+    for (std::size_t i = 0; i < range.count; ++i) {
+      ASSERT_EQ(result.indices[i], csr.col_idx[range.first_nnz + i])
+          << "block " << b << " elem " << i;
+      ASSERT_EQ(result.values[i], csr.val[range.first_nnz + i])
+          << "block " << b << " elem " << i;
+    }
+    EXPECT_GT(result.lane_cycles(), 0u);
+  }
+}
+
+TEST(UdpPipelineDecoder, FullDshPipelineMatchesSource) {
+  const Csr csr =
+      sparse::gen_fem_like(3000, 10, 80, ValueModel::kSmoothField, 31);
+  expect_blocks_match(csr, codec::compress(csr, PipelineConfig::udp_dsh()));
+}
+
+TEST(UdpPipelineDecoder, DeltaSnappyConfig) {
+  const Csr csr = sparse::gen_banded(4000, 6, 0.8, ValueModel::kFewDistinct, 32);
+  expect_blocks_match(csr, codec::compress(csr, PipelineConfig::udp_ds()));
+}
+
+TEST(UdpPipelineDecoder, CpuSnappyConfigThirtyTwoKbBlocks) {
+  const Csr csr = sparse::gen_stencil2d(80, 80, ValueModel::kStencilCoeffs, 33);
+  expect_blocks_match(csr, codec::compress(csr, PipelineConfig::cpu_snappy()));
+}
+
+TEST(UdpPipelineDecoder, RandomValuesIncompressiblePath) {
+  const Csr csr = sparse::gen_random(1500, 1500, 20000, ValueModel::kRandom, 34);
+  expect_blocks_match(csr, codec::compress(csr, PipelineConfig::udp_dsh()));
+}
+
+TEST(UdpPipelineDecoder, StageCyclesPopulatedPerConfig) {
+  const Csr csr = sparse::gen_circuit(2000, 5, ValueModel::kSmoothField, 35);
+  const auto cm = codec::compress(csr, PipelineConfig::udp_dsh());
+  UdpPipelineDecoder decoder(cm);
+  const BlockResult r = decoder.decode_block(0);
+  EXPECT_GT(r.index_cycles.huffman, 0u);
+  EXPECT_GT(r.index_cycles.snappy, 0u);
+  EXPECT_GT(r.index_cycles.delta, 0u);
+  EXPECT_GT(r.value_cycles.huffman, 0u);
+  EXPECT_GT(r.value_cycles.snappy, 0u);
+  EXPECT_EQ(r.value_cycles.delta, 0u);  // values are not delta-coded
+}
+
+TEST(UdpPipelineDecoder, EightKbBlockDecodesInPaperLatencyBand) {
+  // The paper reports a geomean of ~21.7 us to decompress one 8 KB block
+  // on one lane at 1.6 GHz (~35k cycles). Check we land in the same
+  // order of magnitude: 2k..200k cycles per block.
+  const Csr csr =
+      sparse::gen_fem_like(20000, 14, 200, ValueModel::kSmoothField, 36);
+  const auto cm = codec::compress(csr, PipelineConfig::udp_dsh());
+  UdpPipelineDecoder decoder(cm);
+  const BlockResult r = decoder.decode_block(cm.blocks.size() / 2);
+  EXPECT_GT(r.lane_cycles(), 2000u);
+  EXPECT_LT(r.lane_cycles(), 200000u);
+}
+
+TEST(UdpPipelineDecoder, AllLayoutsDense) {
+  const Csr csr = sparse::gen_fem_like(2000, 10, 60, ValueModel::kFewDistinct, 37);
+  const auto cm = codec::compress(csr, PipelineConfig::udp_dsh());
+  UdpPipelineDecoder decoder(cm);
+  EXPECT_GT(decoder.min_layout_density(), 0.9);
+  EXPECT_GT(decoder.total_table_slots(), 0u);
+}
+
+TEST(UdpPipelineDecoder, RejectsOutOfRangeBlock) {
+  const Csr csr = sparse::gen_stencil2d(30, 30, ValueModel::kUnit, 38);
+  const auto cm = codec::compress(csr, PipelineConfig::udp_dsh());
+  UdpPipelineDecoder decoder(cm);
+  EXPECT_DEATH(decoder.decode_block(cm.blocks.size()), "");
+}
+
+TEST(UdpPipelineDecoder, CorruptStreamThrows) {
+  const Csr csr = sparse::gen_stencil2d(50, 50, ValueModel::kUnit, 39);
+  auto cm = codec::compress(csr, PipelineConfig::udp_dsh());
+  // Truncate one block's index stream.
+  cm.blocks[0].index_data.resize(cm.blocks[0].index_data.size() / 2);
+  UdpPipelineDecoder decoder(cm);
+  EXPECT_THROW(decoder.decode_block(0), Error);
+}
+
+}  // namespace
+}  // namespace recode::udpprog

@@ -1,0 +1,89 @@
+#include "udpprog/delta_prog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec/delta.h"
+#include "common/prng.h"
+#include "udp/lane.h"
+
+namespace recode::udpprog {
+namespace {
+
+codec::Bytes run_udp_delta(const codec::Bytes& encoded) {
+  const udp::Program program = build_delta_decode_program();
+  const udp::Layout layout(program);
+  udp::Lane lane(layout);
+  const std::pair<int, std::uint64_t> init[] = {
+      {kDeltaCountReg, encoded.size() / 4},
+      {kDeltaOutReg, 0},
+  };
+  lane.run(encoded, init);
+  const auto out_len = lane.reg(kDeltaOutReg);
+  const auto scratch = lane.scratch();
+  return codec::Bytes(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+TEST(DeltaProg, MatchesSoftwareDecoderOnSimpleSeries) {
+  const codec::DeltaCodec sw;
+  std::vector<std::int32_t> series = {0, 5, 10, 15, 14, 100, -3};
+  codec::Bytes raw(series.size() * 4);
+  std::memcpy(raw.data(), series.data(), raw.size());
+  const codec::Bytes encoded = sw.encode(raw);
+  EXPECT_EQ(run_udp_delta(encoded), raw);
+}
+
+TEST(DeltaProg, EmptyInput) {
+  EXPECT_TRUE(run_udp_delta({}).empty());
+}
+
+class DeltaProgFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaProgFuzz, MatchesSoftwareDecoder) {
+  recode::Prng prng(GetParam());
+  const codec::DeltaCodec sw;
+  std::vector<std::int32_t> v(1 + prng.next_below(2000));
+  for (auto& x : v) x = static_cast<std::int32_t>(prng.next());
+  codec::Bytes raw(v.size() * 4);
+  std::memcpy(raw.data(), v.data(), raw.size());
+  const codec::Bytes encoded = sw.encode(raw);
+  EXPECT_EQ(run_udp_delta(encoded), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaProgFuzz,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(DeltaProg, CycleCostIsLinearInWords) {
+  const codec::DeltaCodec sw;
+  const udp::Program program = build_delta_decode_program();
+  const udp::Layout layout(program);
+
+  auto cycles_for = [&](std::size_t words) {
+    codec::Bytes raw(words * 4, 0);
+    const codec::Bytes encoded = sw.encode(raw);
+    udp::Lane lane(layout);
+    const std::pair<int, std::uint64_t> init[] = {
+        {kDeltaCountReg, words}, {kDeltaOutReg, 0}};
+    return lane.run(encoded, init).cycles;
+  };
+
+  const auto c100 = cycles_for(100);
+  const auto c200 = cycles_for(200);
+  const double per_word_100 = static_cast<double>(c100) / 100.0;
+  const double per_word_200 = static_cast<double>(c200) / 200.0;
+  EXPECT_NEAR(per_word_100, per_word_200, 0.5);
+  // A word costs a handful of cycles (fetch + zigzag + store + count).
+  EXPECT_LT(per_word_200, 10.0);
+  EXPECT_GE(per_word_200, 3.0);
+}
+
+TEST(DeltaProg, LayoutIsDense) {
+  const udp::Program program = build_delta_decode_program();
+  const udp::Layout layout(program);
+  EXPECT_GT(layout.density(), 0.9);
+}
+
+}  // namespace
+}  // namespace recode::udpprog

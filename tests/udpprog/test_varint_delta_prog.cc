@@ -1,0 +1,93 @@
+#include "udpprog/varint_delta_prog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec/varint_delta.h"
+#include "common/prng.h"
+#include "udp/lane.h"
+
+namespace recode::udpprog {
+namespace {
+
+codec::Bytes run_udp(const codec::Bytes& encoded, std::size_t words,
+                     udp::LaneCounters* counters = nullptr) {
+  const udp::Program program = build_varint_delta_decode_program();
+  const udp::Layout layout(program);
+  udp::Lane lane(layout);
+  const std::pair<int, std::uint64_t> init[] = {
+      {kVarintDeltaCountReg, words}, {kVarintDeltaOutReg, 0}};
+  lane.run(encoded, init);
+  if (counters != nullptr) *counters = lane.counters();
+  const auto out_len = lane.reg(kVarintDeltaOutReg);
+  const auto scratch = lane.scratch();
+  return codec::Bytes(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+codec::Bytes int32s_to_bytes(const std::vector<std::int32_t>& v) {
+  codec::Bytes out(v.size() * 4);
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+TEST(VarintDeltaProg, MatchesSoftwareDecoder) {
+  const codec::VarintDeltaCodec sw;
+  const codec::Bytes raw = int32s_to_bytes({0, 5, 6, 130, 128, 4000, -20});
+  const codec::Bytes enc = sw.encode(raw);
+  EXPECT_EQ(run_udp(enc, 7), raw);
+}
+
+TEST(VarintDeltaProg, EmptyInput) {
+  EXPECT_TRUE(run_udp({}, 0).empty());
+}
+
+TEST(VarintDeltaProg, MultiByteVarints) {
+  const codec::VarintDeltaCodec sw;
+  const codec::Bytes raw =
+      int32s_to_bytes({1 << 20, -(1 << 25), INT32_MAX, INT32_MIN});
+  EXPECT_EQ(run_udp(sw.encode(raw), 4), raw);
+}
+
+class VarintDeltaProgFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintDeltaProgFuzz, MatchesSoftwareDecoder) {
+  recode::Prng prng(GetParam());
+  const codec::VarintDeltaCodec sw;
+  std::vector<std::int32_t> v(1 + prng.next_below(1500));
+  for (auto& x : v) {
+    x = prng.next_below(3) == 0
+            ? static_cast<std::int32_t>(prng.next())
+            : static_cast<std::int32_t>(prng.next_below(100));
+  }
+  const codec::Bytes raw = int32s_to_bytes(v);
+  EXPECT_EQ(run_udp(sw.encode(raw), v.size()), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintDeltaProgFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(VarintDeltaProg, OneByteGroupsCostFewCyclesPerWord) {
+  // Tight index gaps => one varint byte per word => the variable-size
+  // symbol path costs about as much as the fixed-width delta program.
+  const codec::VarintDeltaCodec sw;
+  std::vector<std::int32_t> v;
+  for (int i = 0; i < 2048; ++i) v.push_back(i * 2);
+  const codec::Bytes enc = sw.encode(int32s_to_bytes(v));
+  udp::LaneCounters counters;
+  run_udp(enc, v.size(), &counters);
+  const double per_word =
+      static_cast<double>(counters.cycles) / static_cast<double>(v.size());
+  EXPECT_LT(per_word, 14.0);
+  EXPECT_GE(per_word, 5.0);
+}
+
+TEST(VarintDeltaProg, LayoutIsDense) {
+  const udp::Program program = build_varint_delta_decode_program();
+  const udp::Layout layout(program);
+  EXPECT_GT(layout.density(), 0.85);
+}
+
+}  // namespace
+}  // namespace recode::udpprog
