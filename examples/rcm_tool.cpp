@@ -123,9 +123,16 @@ int main(int argc, char** argv) {
       cli.get_bool("udp", false, "also verify on the UDP simulator");
   cli.done();
 
-  if (mode == "compress") return mode_compress(mtx, out, pipeline);
-  if (mode == "info") return mode_info(rcm);
-  if (mode == "verify") return mode_verify(rcm, udp);
-  if (mode == "decompress") return mode_decompress(rcm, out);
-  fail("unknown --mode: " + mode);
+  try {
+    if (mode == "compress") return mode_compress(mtx, out, pipeline);
+    if (mode == "info") return mode_info(rcm);
+    if (mode == "verify") return mode_verify(rcm, udp);
+    if (mode == "decompress") return mode_decompress(rcm, out);
+    fail("unknown --mode: " + mode);
+  } catch (const Error& e) {
+    // Malformed input (a corrupt or truncated container) must end in a
+    // diagnostic and a failing exit code, not std::terminate.
+    std::fprintf(stderr, "rcm_tool: error: %s\n", e.what());
+    return 1;
+  }
 }

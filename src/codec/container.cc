@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "common/error.h"
@@ -62,8 +63,22 @@ std::uint64_t get_varint(std::istream& in) {
   }
 }
 
+// Bytes left between the stream's read position and its end, or SIZE_MAX
+// when the stream is not seekable. Used to sanity-bound untrusted counts
+// before allocating for them.
+std::size_t remaining_bytes(std::istream& in) {
+  const std::istream::pos_type here = in.tellg();
+  if (here == std::istream::pos_type(-1)) return SIZE_MAX;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(here);
+  if (end == std::istream::pos_type(-1) || end < here) return SIZE_MAX;
+  return static_cast<std::size_t>(end - here);
+}
+
 Bytes get_blob(std::istream& in) {
   const std::uint64_t size = get_varint(in);
+  if (size > remaining_bytes(in)) fail("rcm: blob length exceeds stream");
   Bytes data(size);
   get_bytes(in, data.data(), data.size());
   return data;
@@ -124,6 +139,10 @@ CompressedMatrix read_compressed(std::istream& in) {
   if (cm.rows < 0 || cm.cols < 0) fail("rcm: negative dimensions");
   cm.config.nnz_per_block = get_pod<std::uint64_t>(in);
   if (cm.config.nnz_per_block == 0) fail("rcm: zero block size");
+  // Decoders size per-block scratch buffers from this field; cap it so a
+  // tampered header cannot demand absurd allocations (16M nnz = 128 MB of
+  // values per block, far beyond any real configuration).
+  if (cm.config.nnz_per_block > (1u << 24)) fail("rcm: block size too large");
   const auto it_raw = get_pod<std::uint8_t>(in);
   const auto vt_raw = get_pod<std::uint8_t>(in);
   if (it_raw > 2 || vt_raw > 2) fail("rcm: unknown transform");
@@ -138,10 +157,20 @@ CompressedMatrix read_compressed(std::istream& in) {
   if (row_count != static_cast<std::uint64_t>(cm.rows) + 1) {
     fail("rcm: row_ptr count mismatch");
   }
+  // Every row_ptr delta takes at least one stream byte, so a row count
+  // beyond the remaining stream is corruption — check before resizing.
+  if (row_count > remaining_bytes(in)) {
+    fail("rcm: row_ptr count exceeds stream");
+  }
   cm.row_ptr.resize(row_count);
   sparse::offset_t acc = 0;
   for (auto& p : cm.row_ptr) {
-    acc += static_cast<sparse::offset_t>(get_varint(in));
+    const std::uint64_t delta = get_varint(in);
+    if (delta > static_cast<std::uint64_t>(
+                    std::numeric_limits<sparse::offset_t>::max() - acc)) {
+      fail("rcm: row_ptr overflow");
+    }
+    acc += static_cast<sparse::offset_t>(delta);
     p = acc;
   }
   if (!cm.row_ptr.empty() && cm.row_ptr.front() != 0) {
@@ -159,12 +188,22 @@ CompressedMatrix read_compressed(std::istream& in) {
   }
 
   const std::uint64_t block_count = get_varint(in);
+  // Validate the count arithmetically before make_blocking allocates a
+  // plan sized by it: a tampered row_ptr tail would otherwise drive a
+  // huge reservation. Each block also needs >= 2 stream bytes (two blob
+  // length prefixes), so the count is bounded by the remaining stream.
+  const auto nnz = static_cast<std::uint64_t>(cm.row_ptr.back());
+  const std::uint64_t expected_blocks =
+      (nnz + cm.config.nnz_per_block - 1) / cm.config.nnz_per_block;
+  if (block_count != expected_blocks) {
+    fail("rcm: block count disagrees with row_ptr/nnz_per_block");
+  }
+  if (block_count > remaining_bytes(in)) {
+    fail("rcm: block count exceeds stream");
+  }
   cm.blocking =
       sparse::make_blocking(std::span<const sparse::offset_t>(cm.row_ptr),
                             cm.config.nnz_per_block);
-  if (block_count != cm.blocking.block_count()) {
-    fail("rcm: block count disagrees with row_ptr/nnz_per_block");
-  }
   cm.blocks.resize(block_count);
   for (auto& b : cm.blocks) {
     b.index_data = get_blob(in);

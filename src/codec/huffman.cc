@@ -109,8 +109,17 @@ HuffmanTable HuffmanTable::deserialize(ByteSpan data) {
     t.lengths_[static_cast<std::size_t>(s)] = packed >> 4;
     t.lengths_[static_cast<std::size_t>(s) + 1] = packed & 0xF;
   }
+  std::uint64_t kraft = 0;
   for (auto len : t.lengths_) {
     if (len == 0 || len > kMaxCodeLen) fail("huffman table: bad code length");
+    kraft += 1u << (kMaxCodeLen - len);
+  }
+  // Canonical tables built from a 256-symbol Huffman tree are always
+  // complete prefix codes. Anything else (tampered lengths) would either
+  // overflow the code space or leave undecodable windows in the flat
+  // decode table, so reject it before assigning codes.
+  if (kraft != (1u << kMaxCodeLen)) {
+    fail("huffman table: lengths do not form a complete prefix code");
   }
   t.assign_canonical_codes();
   t.build_decode_table();
@@ -181,6 +190,12 @@ Bytes HuffmanCodec::encode(ByteSpan input) const {
 Bytes HuffmanCodec::decode(ByteSpan input) const {
   std::size_t pos = 0;
   const std::uint64_t count = varint_read(input.data(), input.size(), pos);
+  // Untrusted count: every symbol consumes at least one bit, so a count
+  // beyond the stream's bit capacity is corruption — reject it before the
+  // pre-allocation instead of reserving an attacker-chosen amount.
+  if (count > (static_cast<std::uint64_t>(input.size()) - pos) * 8) {
+    fail("huffman: declared count exceeds stream capacity");
+  }
   Bytes out;
   out.reserve(count);
 

@@ -1,5 +1,6 @@
 #include "codec/pipeline.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "codec/delta.h"
@@ -214,8 +215,14 @@ sparse::Csr decompress(const CompressedMatrix& cm) {
   csr.rows = cm.rows;
   csr.cols = cm.cols;
   csr.row_ptr = cm.row_ptr;
-  csr.col_idx.reserve(cm.nnz());
-  csr.val.reserve(cm.nnz());
+  // The nnz comes from an untrusted row_ptr when cm was parsed from a
+  // container; cap the (purely advisory) pre-allocation so a tampered
+  // count cannot demand the full allocation up front. Oversized claims
+  // then fail in decompress_block's per-block size checks instead.
+  const std::size_t reserve_nnz =
+      std::min(cm.nnz(), static_cast<std::size_t>(1) << 26);
+  csr.col_idx.reserve(reserve_nnz);
+  csr.val.reserve(reserve_nnz);
 
   std::vector<sparse::index_t> indices;
   std::vector<double> values;

@@ -137,6 +137,15 @@ Bytes SnappyCodec::decode(ByteSpan input) const {
   std::size_t pos = 0;
   const std::uint64_t decoded =
       varint_read(input.data(), input.size(), pos);
+  // The length preamble is untrusted: cap it against the format's maximum
+  // expansion before reserving. A copy element emits at most 64 bytes from
+  // 3 stream bytes (~22x); anything above that bound cannot be produced by
+  // the remaining stream, so a huge declared length is corruption, not a
+  // reason to attempt a multi-GB allocation.
+  const std::size_t body = input.size() - pos;
+  if (decoded > static_cast<std::uint64_t>(body) * 24 + 8) {
+    fail("snappy: declared length implausible for stream size");
+  }
   Bytes out;
   out.reserve(decoded);
 
@@ -145,6 +154,13 @@ Bytes SnappyCodec::decode(ByteSpan input) const {
 
   auto need = [&](std::size_t count) {
     if (pos + count > n) fail("snappy: truncated stream");
+  };
+  // Rejects elements that would push the output past the declared length,
+  // so corrupt streams cannot grow the buffer beyond the capped reserve.
+  auto room = [&](std::size_t count) {
+    if (count > decoded - out.size()) {
+      fail("snappy: output exceeds declared length");
+    }
   };
 
   while (pos < n) {
@@ -163,6 +179,7 @@ Bytes SnappyCodec::decode(ByteSpan input) const {
           pos += extra;
         }
         need(len);
+        room(len);
         out.insert(out.end(), p + pos, p + pos + len);
         pos += len;
         break;
@@ -173,6 +190,7 @@ Bytes SnappyCodec::decode(ByteSpan input) const {
         const std::size_t off =
             (static_cast<std::size_t>(tag >> 5) << 8) | p[pos++];
         if (off == 0 || off > out.size()) fail("snappy: bad copy offset");
+        room(len);
         // Byte-by-byte copy: overlapping copies (off < len) are legal and
         // replicate the run, matching the format semantics.
         for (std::size_t i = 0; i < len; ++i) {
@@ -187,6 +205,7 @@ Bytes SnappyCodec::decode(ByteSpan input) const {
                                 (static_cast<std::size_t>(p[pos + 1]) << 8);
         pos += 2;
         if (off == 0 || off > out.size()) fail("snappy: bad copy offset");
+        room(len);
         for (std::size_t i = 0; i < len; ++i) {
           out.push_back(out[out.size() - off]);
         }
@@ -201,6 +220,7 @@ Bytes SnappyCodec::decode(ByteSpan input) const {
         }
         pos += 4;
         if (off == 0 || off > out.size()) fail("snappy: bad copy offset");
+        room(len);
         for (std::size_t i = 0; i < len; ++i) {
           out.push_back(out[out.size() - off]);
         }

@@ -47,4 +47,13 @@ namespace detail {
 // Throws recode::Error with a formatted message for recoverable failures.
 [[noreturn]] inline void fail(const std::string& msg) { throw Error(msg); }
 
+// Input-validation check: throws recode::Error (recoverable) on violation.
+// Use this — not RECODE_CHECK — on any condition reachable from untrusted
+// bytes (compressed streams, containers, UDP program inputs), so corrupt
+// data surfaces as an exception instead of an abort.
+#define RECODE_PARSE_CHECK(expr, msg)        \
+  do {                                       \
+    if (!(expr)) ::recode::fail((msg));      \
+  } while (false)
+
 }  // namespace recode

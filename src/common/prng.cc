@@ -1,8 +1,26 @@
 #include "common/prng.h"
 
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace recode {
+
+std::uint64_t test_seed(std::uint64_t default_seed) {
+  std::uint64_t seed = default_seed;
+  const char* env = std::getenv("RECODE_TEST_SEED");
+  if (env != nullptr && env[0] != '\0') {
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(env, &end, 0);
+    if (end != nullptr && *end == '\0') seed = parsed;
+  }
+  std::fprintf(stderr,
+               "[recode] test seed = %" PRIu64
+               " (set RECODE_TEST_SEED=%" PRIu64 " to reproduce)\n",
+               seed, seed);
+  return seed;
+}
 
 double Prng::next_normal() {
   if (has_cached_normal_) {

@@ -58,4 +58,10 @@ class Prng {
   double cached_normal_ = 0.0;
 };
 
+// Seed for randomized tests and benches: returns the RECODE_TEST_SEED
+// environment variable when set (decimal or 0x-hex), else default_seed,
+// and logs the chosen value to stderr so any failing randomized run can
+// be reproduced with `RECODE_TEST_SEED=<seed>`.
+std::uint64_t test_seed(std::uint64_t default_seed);
+
 }  // namespace recode

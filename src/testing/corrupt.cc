@@ -1,0 +1,103 @@
+#include "testing/corrupt.h"
+
+#include "common/varint.h"
+
+namespace recode::testing {
+
+using codec::Bytes;
+using codec::ByteSpan;
+
+const char* corruption_name(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kTruncate: return "truncate";
+    case CorruptionKind::kBitFlip: return "bit-flip";
+    case CorruptionKind::kMultiBitFlip: return "multi-bit-flip";
+    case CorruptionKind::kLengthTamper: return "length-tamper";
+    case CorruptionKind::kSplice: return "splice";
+  }
+  return "?";
+}
+
+Bytes CorruptionEngine::truncate(ByteSpan in) {
+  if (in.empty()) return {};
+  // Keep [0, size) bytes; dropping everything is a valid truncation too.
+  const std::size_t keep = prng_.next_below(in.size());
+  return Bytes(in.begin(), in.begin() + static_cast<std::ptrdiff_t>(keep));
+}
+
+Bytes CorruptionEngine::bit_flip(ByteSpan in, int flips) {
+  Bytes out(in.begin(), in.end());
+  if (out.empty()) return out;
+  for (int i = 0; i < flips; ++i) {
+    const std::size_t byte = prng_.next_below(out.size());
+    out[byte] ^= static_cast<std::uint8_t>(1u << prng_.next_below(8));
+  }
+  return out;
+}
+
+Bytes CorruptionEngine::tamper_length(ByteSpan in) {
+  // Parse the leading varint so the replacement splices cleanly into the
+  // stream; fall back to head corruption when there is none.
+  std::size_t head = 0;
+  bool valid = false;
+  while (head < in.size() && head < 10) {
+    if ((in[head++] & 0x80) == 0) {
+      valid = true;
+      break;
+    }
+  }
+  if (!valid) return bit_flip(in, 3);
+
+  std::uint64_t tampered = 0;
+  switch (prng_.next_below(4)) {
+    case 0: tampered = UINT64_MAX; break;                  // absurdly huge
+    case 1: tampered = 0; break;                           // claims empty
+    case 2: tampered = prng_.next(); break;                // random 64-bit
+    default:                                               // off-by-a-lot
+      tampered = prng_.next_below(1u << 20) + 1;
+      break;
+  }
+  Bytes out;
+  varint_append(out, tampered);
+  out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(head),
+             in.end());
+  return out;
+}
+
+Bytes CorruptionEngine::splice(ByteSpan a, ByteSpan b) {
+  const std::size_t cut_a = a.empty() ? 0 : prng_.next_below(a.size() + 1);
+  const std::size_t cut_b = b.empty() ? 0 : prng_.next_below(b.size() + 1);
+  Bytes out(a.begin(), a.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  out.insert(out.end(), b.begin() + static_cast<std::ptrdiff_t>(cut_b),
+             b.end());
+  return out;
+}
+
+Bytes CorruptionEngine::apply(CorruptionKind kind, ByteSpan in,
+                              ByteSpan other) {
+  switch (kind) {
+    case CorruptionKind::kTruncate: return truncate(in);
+    case CorruptionKind::kBitFlip: return bit_flip(in, 1);
+    case CorruptionKind::kMultiBitFlip:
+      return bit_flip(in, 2 + static_cast<int>(prng_.next_below(15)));
+    case CorruptionKind::kLengthTamper: return tamper_length(in);
+    case CorruptionKind::kSplice: return splice(in, other);
+  }
+  return Bytes(in.begin(), in.end());
+}
+
+std::vector<Bytes> corruption_variants(ByteSpan clean, ByteSpan other,
+                                       std::uint64_t seed, int per_kind) {
+  CorruptionEngine engine(seed);
+  std::vector<Bytes> variants;
+  variants.reserve(static_cast<std::size_t>(per_kind) *
+                   std::size(kAllCorruptionKinds));
+  for (const CorruptionKind kind : kAllCorruptionKinds) {
+    for (int i = 0; i < per_kind; ++i) {
+      variants.push_back(engine.apply(kind, clean, other));
+    }
+  }
+  return variants;
+}
+
+}  // namespace recode::testing

@@ -1,0 +1,79 @@
+// Deterministic corruption engine for decode-robustness testing.
+//
+// The UDP sits in the memory path: a malformed or truncated compressed
+// block must never crash or corrupt the consumer (ROADMAP north star,
+// DESIGN.md). This engine produces seeded, reproducible corruptions of a
+// clean encoded stream — the adversarial inputs the robustness suites in
+// tests/robustness/ feed to every codec stage and UDP decoder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/prng.h"
+
+namespace recode::testing {
+
+// The corruption model. Each kind targets a failure mode real storage or
+// transport faults produce:
+//   kTruncate     — stream cut short at a random point (partial DMA, EOF)
+//   kBitFlip      — single flipped bit (memory/link error)
+//   kMultiBitFlip — burst of 2..16 flipped bits (burst error)
+//   kLengthTamper — leading varint length field rewritten (header attack)
+//   kSplice       — prefix of one stream glued to the suffix of another
+//                   (torn write / misdirected block)
+enum class CorruptionKind {
+  kTruncate,
+  kBitFlip,
+  kMultiBitFlip,
+  kLengthTamper,
+  kSplice,
+};
+
+inline constexpr CorruptionKind kAllCorruptionKinds[] = {
+    CorruptionKind::kTruncate,     CorruptionKind::kBitFlip,
+    CorruptionKind::kMultiBitFlip, CorruptionKind::kLengthTamper,
+    CorruptionKind::kSplice,
+};
+
+const char* corruption_name(CorruptionKind kind);
+
+// Stateful engine: successive calls draw fresh corruption sites from the
+// seeded PRNG, so one engine yields a deterministic family of variants.
+class CorruptionEngine {
+ public:
+  explicit CorruptionEngine(std::uint64_t seed) : prng_(seed) {}
+
+  // Drops a random non-empty tail (empty input comes back empty).
+  codec::Bytes truncate(codec::ByteSpan in);
+
+  // Flips `flips` random bits (distinct positions not required).
+  codec::Bytes bit_flip(codec::ByteSpan in, int flips);
+
+  // Rewrites the leading LEB128 varint — the length preamble of the
+  // Snappy/Huffman framings — with an adversarial value: huge, zero, or
+  // randomly scaled. Streams without a leading varint just get a
+  // corrupted head, which is equally interesting.
+  codec::Bytes tamper_length(codec::ByteSpan in);
+
+  // Prefix of `a` + suffix of `b` at independent random split points.
+  codec::Bytes splice(codec::ByteSpan a, codec::ByteSpan b);
+
+  // Dispatches on `kind`; `other` is the second stream for kSplice (use
+  // the clean stream itself when no sibling stream exists).
+  codec::Bytes apply(CorruptionKind kind, codec::ByteSpan in,
+                     codec::ByteSpan other);
+
+ private:
+  Prng prng_;
+};
+
+// `per_kind` variants of every corruption kind applied to `clean`,
+// deterministic in `seed`. `other` feeds the splice kind.
+std::vector<codec::Bytes> corruption_variants(codec::ByteSpan clean,
+                                              codec::ByteSpan other,
+                                              std::uint64_t seed,
+                                              int per_kind);
+
+}  // namespace recode::testing

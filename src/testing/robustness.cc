@@ -1,0 +1,62 @@
+#include "testing/robustness.h"
+
+#include <typeinfo>
+
+#include "common/error.h"
+
+namespace recode::testing {
+
+std::string RobustnessReport::summary() const {
+  return std::to_string(total) + " corrupt variants: " +
+         std::to_string(decoded) + " decoded, " + std::to_string(rejected) +
+         " rejected, " + std::to_string(violations.size()) + " violations";
+}
+
+namespace {
+
+// Runs one decode attempt and classifies it against the contract.
+void run_variant(const DecodeFn& decode, codec::ByteSpan input,
+                 const std::string& label, bool corrupt,
+                 RobustnessReport& report) {
+  try {
+    decode(input);
+    if (corrupt) ++report.decoded;
+  } catch (const Error& e) {
+    if (corrupt) {
+      ++report.rejected;
+    } else {
+      report.violations.push_back(label + ": clean input rejected: " +
+                                  e.what());
+    }
+  } catch (const std::exception& e) {
+    report.violations.push_back(label + ": wrong exception type " +
+                                typeid(e).name() + ": " + e.what());
+  } catch (...) {
+    report.violations.push_back(label + ": non-standard exception");
+  }
+}
+
+}  // namespace
+
+RobustnessReport check_decode_robustness(const DecodeFn& decode,
+                                         codec::ByteSpan clean,
+                                         codec::ByteSpan sibling,
+                                         std::uint64_t seed, int per_kind) {
+  RobustnessReport report;
+  run_variant(decode, clean, "clean", /*corrupt=*/false, report);
+
+  CorruptionEngine engine(seed);
+  for (const CorruptionKind kind : kAllCorruptionKinds) {
+    for (int i = 0; i < per_kind; ++i) {
+      const codec::Bytes variant = engine.apply(kind, clean, sibling);
+      ++report.total;
+      run_variant(decode, variant,
+                  std::string(corruption_name(kind)) + " #" +
+                      std::to_string(i) + " seed " + std::to_string(seed),
+                  /*corrupt=*/true, report);
+    }
+  }
+  return report;
+}
+
+}  // namespace recode::testing

@@ -1,0 +1,49 @@
+// Decode-robustness harness.
+//
+// Enforces the decode contract shared by every host codec and UDP decoder
+// in the recode pipeline:
+//   * clean input decodes successfully (and round-trips, where the caller
+//     checks bytes);
+//   * corrupt input either decodes (garbage out is acceptable — e.g. a
+//     bit flip inside a literal run) or throws recode::Error;
+//   * nothing else: no aborts, no std::bad_alloc from attacker-sized
+//     allocations, no out-of-bounds access (the latter enforced by
+//     running the suite under the `sanitize` build, see README).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "testing/corrupt.h"
+
+namespace recode::testing {
+
+// Adapter over any decoder under test. Implementations should decode the
+// bytes and discard the result; throwing recode::Error signals rejection.
+using DecodeFn = std::function<void(codec::ByteSpan)>;
+
+struct RobustnessReport {
+  int total = 0;     // corrupted variants fed to the decoder
+  int decoded = 0;   // decoded without error (acceptable)
+  int rejected = 0;  // threw recode::Error (acceptable)
+  // Contract violations: wrong exception type on corrupt input, or any
+  // exception at all on the clean input. Empty means the decoder honours
+  // the contract on this input family.
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+// Feeds `decode` the clean stream, then `per_kind` seeded variants of
+// every corruption kind (sibling feeds the splice kind; pass `clean`
+// again when no second stream exists).
+RobustnessReport check_decode_robustness(const DecodeFn& decode,
+                                         codec::ByteSpan clean,
+                                         codec::ByteSpan sibling,
+                                         std::uint64_t seed, int per_kind);
+
+}  // namespace recode::testing

@@ -17,7 +17,10 @@ std::uint64_t Lane::reg(int r) const {
 }
 
 std::uint64_t Lane::stream_bits(int nbits, bool consume) {
-  RECODE_CHECK(nbits >= 0 && nbits <= 32);
+  // The width can come from a register (kStreamReadBits with a register
+  // operand), whose value can be derived from untrusted stream bytes — a
+  // corrupt stream must fault the lane, not abort the process.
+  if (nbits < 0 || nbits > 32) fail("udp lane: bad bit-read width");
   const std::uint64_t total_bits = static_cast<std::uint64_t>(input_.size()) * 8;
   if (bit_pos_ >= total_bits && nbits > 0) {
     fail("udp lane: stream exhausted");
@@ -40,6 +43,9 @@ std::uint64_t Lane::stream_bits(int nbits, bool consume) {
 }
 
 void Lane::stream_skip(std::uint64_t nbits) {
+  // Skip counts can be register values decoded from the stream; guard the
+  // position against wrap-around so later bounds checks stay sound.
+  if (nbits > UINT64_MAX - bit_pos_) fail("udp lane: skip overflows stream");
   bit_pos_ += nbits;
   counters_.stream_bits_consumed += nbits;
 }

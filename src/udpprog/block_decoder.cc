@@ -32,7 +32,10 @@ UdpPipelineDecoder::UdpPipelineDecoder(const codec::CompressedMatrix& cm,
     snappy_layout_ = std::make_unique<udp::Layout>(snappy_program_);
   }
   if (cfg.huffman) {
-    RECODE_CHECK(cm.index_table && cm.value_table);
+    // A tampered container can claim Huffman with the tables missing;
+    // that is bad input, not a programming error.
+    RECODE_PARSE_CHECK(cm.index_table && cm.value_table,
+                       "udp decoder: huffman config without tables");
     index_huffman_program_ = build_huffman_decode_program(*cm.index_table);
     index_huffman_layout_ =
         std::make_unique<udp::Layout>(index_huffman_program_);
@@ -46,6 +49,8 @@ UdpPipelineDecoder::UdpPipelineDecoder(const codec::CompressedMatrix& cm,
   // beyond that model a hypothetically larger scratchpad: size it so the
   // largest stage output (a possibly-incompressible value block plus
   // codec framing) always fits.
+  RECODE_PARSE_CHECK(cm.config.nnz_per_block <= (1u << 24),
+                     "udp decoder: block size too large");
   const std::size_t value_block_bytes = cm.config.nnz_per_block * 8;
   lane_config_.scratchpad_bytes =
       std::max(lane_config_.scratchpad_bytes,

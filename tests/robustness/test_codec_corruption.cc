@@ -1,0 +1,199 @@
+// Corruption-injection suite for every host codec stage: Delta,
+// VarintDelta, Snappy, Huffman, the block Pipeline, and the .rcm
+// Container. Contract (src/testing/robustness.h): clean input decodes,
+// corrupt input decodes-or-throws recode::Error — never anything else.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "codec/container.h"
+#include "codec/delta.h"
+#include "codec/huffman.h"
+#include "codec/pipeline.h"
+#include "codec/snappy.h"
+#include "codec/varint_delta.h"
+#include "common/prng.h"
+#include "sparse/generators.h"
+#include "testing/robustness.h"
+
+namespace recode::testing {
+namespace {
+
+using codec::Bytes;
+using codec::ByteSpan;
+
+constexpr int kPerKind = 24;
+
+// Index-like payload: sorted-ish int32 runs, the shape the delta
+// transforms are designed for (and a multiple of 4 bytes).
+Bytes index_payload(Prng& prng, std::size_t words) {
+  Bytes out(words * 4);
+  std::int32_t v = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    v += static_cast<std::int32_t>(prng.next_below(64));
+    std::memcpy(out.data() + i * 4, &v, 4);
+  }
+  return out;
+}
+
+Bytes random_payload(Prng& prng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.next());
+  return out;
+}
+
+void expect_ok(const RobustnessReport& report) {
+  EXPECT_TRUE(report.ok()) << report.summary() << "\nfirst violation: "
+                           << report.violations.front();
+  EXPECT_GT(report.rejected, 0) << "corruption model never tripped the "
+                                   "decoder — suite is not adversarial: "
+                                << report.summary();
+}
+
+TEST(CodecCorruption, DeltaStage) {
+  Prng prng(test_seed(101));
+  const codec::DeltaCodec codec;
+  const Bytes clean = codec.encode(index_payload(prng, 2048));
+  const Bytes sibling = codec.encode(index_payload(prng, 1024));
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) { codec.decode(in); }, clean, sibling, prng.next(),
+      kPerKind));
+}
+
+TEST(CodecCorruption, VarintDeltaStage) {
+  Prng prng(test_seed(102));
+  const codec::VarintDeltaCodec codec;
+  const Bytes clean = codec.encode(index_payload(prng, 2048));
+  const Bytes sibling = codec.encode(index_payload(prng, 512));
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) { codec.decode(in); }, clean, sibling, prng.next(),
+      kPerKind));
+}
+
+TEST(CodecCorruption, SnappyStage) {
+  Prng prng(test_seed(103));
+  const codec::SnappyCodec codec;
+  // Compressible input exercises copy elements; random input literals.
+  Bytes compressible(8192);
+  for (std::size_t i = 0; i < compressible.size(); ++i) {
+    compressible[i] = static_cast<std::uint8_t>((i / 7) & 0xFF);
+  }
+  const Bytes clean = codec.encode(compressible);
+  const Bytes sibling = codec.encode(random_payload(prng, 4096));
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) { codec.decode(in); }, clean, sibling, prng.next(),
+      kPerKind));
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) { codec.decode(in); }, sibling, clean, prng.next(),
+      kPerKind));
+}
+
+TEST(CodecCorruption, SnappyRejectsImplausibleDeclaredLength) {
+  const codec::SnappyCodec codec;
+  // varint(2^40) followed by no body: must throw, not reserve a terabyte.
+  Bytes evil;
+  std::uint64_t huge = 1ull << 40;
+  while (huge >= 0x80) {
+    evil.push_back(static_cast<std::uint8_t>(huge) | 0x80);
+    huge >>= 7;
+  }
+  evil.push_back(static_cast<std::uint8_t>(huge));
+  EXPECT_THROW(codec.decode(evil), Error);
+}
+
+TEST(CodecCorruption, HuffmanStage) {
+  Prng prng(test_seed(104));
+  // Skewed byte distribution so the trained tree has short and long codes.
+  Bytes sample(16384);
+  for (auto& b : sample) {
+    const std::uint64_t r = prng.next_below(100);
+    b = r < 60 ? 0x00 : r < 85 ? 0x7F : static_cast<std::uint8_t>(prng.next());
+  }
+  const auto table =
+      std::make_shared<const codec::HuffmanTable>(codec::HuffmanTable::train(sample));
+  const codec::HuffmanCodec codec(table);
+  const Bytes clean = codec.encode(ByteSpan(sample.data(), 4096));
+  const Bytes sibling = codec.encode(random_payload(prng, 2048));
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) { codec.decode(in); }, clean, sibling, prng.next(),
+      kPerKind));
+}
+
+TEST(CodecCorruption, HuffmanTableDeserialization) {
+  Prng prng(test_seed(105));
+  const codec::HuffmanTable table = codec::HuffmanTable::train(
+      random_payload(prng, 4096));
+  const Bytes clean = table.serialize();
+  // A corrupt 128-byte table must never abort in canonical-code
+  // assignment or write outside the flat decode table.
+  const RobustnessReport report = check_decode_robustness(
+      [&](ByteSpan in) { codec::HuffmanTable::deserialize(in); }, clean,
+      clean, prng.next(), kPerKind);
+  expect_ok(report);
+}
+
+TEST(CodecCorruption, PipelineBlockStage) {
+  Prng prng(test_seed(106));
+  const sparse::Csr csr =
+      sparse::gen_fem_like(800, 8, 64, sparse::ValueModel::kFewDistinct, 7);
+  codec::CompressedMatrix cm =
+      codec::compress(csr, codec::PipelineConfig::udp_dsh());
+  ASSERT_GE(cm.blocks.size(), 2u);
+
+  // Corrupt the index stream of block 0 (value stream of block 1 serves
+  // as the splice sibling), then run the full host-side block decode.
+  std::vector<sparse::index_t> indices;
+  std::vector<double> values;
+  const Bytes clean = cm.blocks[0].index_data;
+  const Bytes sibling = cm.blocks[1].value_data;
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) {
+        cm.blocks[0].index_data.assign(in.begin(), in.end());
+        codec::decompress_block(cm, 0, indices, values);
+      },
+      clean, sibling, prng.next(), kPerKind));
+  cm.blocks[0].index_data = clean;
+
+  const Bytes clean_val = cm.blocks[0].value_data;
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) {
+        cm.blocks[0].value_data.assign(in.begin(), in.end());
+        codec::decompress_block(cm, 0, indices, values);
+      },
+      clean_val, clean, prng.next(), kPerKind));
+}
+
+TEST(CodecCorruption, ContainerStage) {
+  Prng prng(test_seed(107));
+  const sparse::Csr csr =
+      sparse::gen_banded(600, 5, 0.9, sparse::ValueModel::kStencilCoeffs, 9);
+  const codec::CompressedMatrix cm =
+      codec::compress(csr, codec::PipelineConfig::udp_dsh());
+  std::ostringstream out;
+  codec::write_compressed(out, cm);
+  const std::string serialized = out.str();
+  const Bytes clean(serialized.begin(), serialized.end());
+
+  const sparse::Csr csr2 =
+      sparse::gen_random(300, 300, 2000, sparse::ValueModel::kRandom, 11);
+  std::ostringstream out2;
+  codec::write_compressed(out2, codec::compress(csr2,
+                              codec::PipelineConfig::udp_vsh()));
+  const std::string sibling_str = out2.str();
+  const Bytes sibling(sibling_str.begin(), sibling_str.end());
+
+  // Full recode pipeline: parse the container, then decompress every
+  // block back to CSR (which validates structure).
+  expect_ok(check_decode_robustness(
+      [&](ByteSpan in) {
+        std::istringstream stream(
+            std::string(in.begin(), in.end()), std::ios::binary);
+        const codec::CompressedMatrix parsed = codec::read_compressed(stream);
+        codec::decompress(parsed);
+      },
+      clean, sibling, prng.next(), kPerKind));
+}
+
+}  // namespace
+}  // namespace recode::testing
