@@ -65,6 +65,19 @@ inline sparse::SuiteOptions suite_options_from_cli(Cli& cli,
   return opts;
 }
 
+// --threads flag shared by benches with a measured (as opposed to
+// modelled) execution mode. Logged to stderr next to the seed line so a
+// recorded run names both reproduction knobs.
+inline std::size_t threads_from_cli(Cli& cli, std::int64_t def,
+                                    const std::string& help) {
+  const auto threads = cli.get_int("threads", def, help);
+  if (threads > 0) {
+    std::fprintf(stderr, "[recode] --threads=%lld\n",
+                 static_cast<long long>(threads));
+  }
+  return static_cast<std::size_t>(threads < 0 ? 0 : threads);
+}
+
 // Representative-suite scale shared by the 7-matrix benches (Figs 12,
 // 14-17). scale=1 reproduces the published dimensions.
 inline double scale_from_cli(Cli& cli, double default_scale = 0.25) {

@@ -6,9 +6,13 @@ int main(int argc, char** argv) {
   const double scale = recode::bench::scale_from_cli(cli);
   const std::string csv_dir = cli.get_string(
       "csv-dir", "", "directory to also write the series as CSV");
+  const std::size_t threads = recode::bench::threads_from_cli(
+      cli, 0,
+      "decoder workers for the measured CPU-side streaming baseline "
+      "(0 = analytic model only)");
   cli.done();
   recode::bench::run_spmv_figure("Fig 14",
                                  recode::mem::DramConfig::ddr4_100gbs(),
-                                 scale, csv_dir);
+                                 scale, csv_dir, threads);
   return 0;
 }

@@ -6,8 +6,13 @@ int main(int argc, char** argv) {
   const double scale = recode::bench::scale_from_cli(cli);
   const std::string csv_dir = cli.get_string(
       "csv-dir", "", "directory to also write the series as CSV");
+  const std::size_t threads = recode::bench::threads_from_cli(
+      cli, 0,
+      "decoder workers for the measured CPU-side streaming baseline "
+      "(0 = analytic model only)");
   cli.done();
   recode::bench::run_spmv_figure("Fig 15",
-                                 recode::mem::DramConfig::hbm2_1tbs(), scale, csv_dir);
+                                 recode::mem::DramConfig::hbm2_1tbs(), scale,
+                                 csv_dir, threads);
   return 0;
 }

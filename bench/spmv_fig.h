@@ -6,41 +6,74 @@
 #include "bench/bench_util.h"
 #include "core/experiments.h"
 #include "core/system.h"
+#include "spmv/streaming_executor.h"
 
 namespace recode::bench {
 
 // Figs 14/15: per-matrix GFLOP/s for Max Uncompressed, Decomp(CPU)+SpMV,
 // and Decomp(UDP+CPU), plus geomean speedup. When csv_dir is non-empty,
 // the series is also written as <csv_dir>/<figure>.csv.
+//
+// streaming_threads > 0 adds a measured CPU-side baseline: each matrix is
+// actually executed on spmv::StreamingExecutor (software engine, that many
+// decoder workers) and the measured decode/compute overlap efficiency is
+// printed next to the analytic model's columns — the empirical check on
+// the "decode overlaps multiply" assumption those columns encode.
 inline void run_spmv_figure(const std::string& figure,
                             const mem::DramConfig& dram, double scale,
-                            const std::string& csv_dir = "") {
+                            const std::string& csv_dir = "",
+                            std::size_t streaming_threads = 0) {
   print_header(figure, "CPU vs CPU-UDP SpMV performance on " + dram.name);
 
   core::SystemConfig cfg;
   cfg.dram = dram;
   const core::HeterogeneousSystem sys(cfg);
+  const bool measured = streaming_threads > 0;
 
-  Table table({"matrix", "B/nnz", "Max Uncompressed GF/s",
-               "Decomp(CPU)+SpMV GF/s", "Decomp(UDP+CPU) GF/s", "speedup",
-               "UDPs"});
+  std::vector<std::string> headers = {
+      "matrix", "B/nnz", "Max Uncompressed GF/s", "Decomp(CPU)+SpMV GF/s",
+      "Decomp(UDP+CPU) GF/s", "speedup", "UDPs"};
+  if (measured) {
+    headers.push_back("CPU stream x");
+    headers.push_back("overlap eff");
+  }
+  Table table(headers);
   core::CsvRecorder csv(slug(figure), {"matrix", "bytes_per_nnz",
                                  "max_uncompressed_gflops",
                                  "decomp_cpu_gflops",
                                  "decomp_udp_cpu_gflops", "speedup"});
-  StreamingStats speedup, udp_gap;
+  StreamingStats speedup, udp_gap, overlap_eff;
   for (const auto& m : sparse::representative_suite(scale)) {
-    const auto p =
-        sys.profile(m.name, m.csr, codec::PipelineConfig::udp_dsh());
+    const auto cm = codec::compress(m.csr, codec::PipelineConfig::udp_dsh());
+    const auto p = sys.profile_compressed(m.name, &m.csr, cm);
     const auto perf = sys.analyze_spmv(p);
     speedup.add(perf.speedup());
     udp_gap.add(perf.decomp_udp_cpu / perf.decomp_cpu);
-    table.add_row({m.name, Table::num(p.bytes_per_nnz, 2),
-                   Table::num(perf.max_uncompressed, 1),
-                   Table::num(perf.decomp_cpu, 2),
-                   Table::num(perf.decomp_udp_cpu, 1),
-                   Table::num(perf.speedup(), 2),
-                   std::to_string(perf.udp_accelerators)});
+    std::vector<std::string> row = {
+        m.name, Table::num(p.bytes_per_nnz, 2),
+        Table::num(perf.max_uncompressed, 1), Table::num(perf.decomp_cpu, 2),
+        Table::num(perf.decomp_udp_cpu, 1), Table::num(perf.speedup(), 2),
+        std::to_string(perf.udp_accelerators)};
+    if (measured) {
+      spmv::StreamingConfig scfg;
+      scfg.decode_threads = streaming_threads;
+      spmv::StreamingExecutor exec(cm, scfg);
+      std::vector<double> x(static_cast<std::size_t>(m.csr.cols), 1.0);
+      std::vector<double> y(static_cast<std::size_t>(m.csr.rows));
+      exec.multiply(x, y);
+      const auto& st = exec.last_stats();
+      core::OverlapMeasurement om;
+      om.wall_seconds = st.wall_seconds;
+      om.decode_busy_seconds = st.decode_busy_seconds;
+      om.compute_busy_seconds = st.compute_busy_seconds;
+      om.decode_workers = static_cast<int>(st.decode_threads);
+      om.compute_workers = static_cast<int>(st.compute_threads);
+      const auto report = core::analyze_overlap(om);
+      overlap_eff.add(report.measured_efficiency);
+      row.push_back(Table::num(report.overlap_speedup, 2));
+      row.push_back(Table::num(report.measured_efficiency, 2));
+    }
+    table.add_row(row);
     csv.add_row({m.name, Table::num(p.bytes_per_nnz, 4),
                  Table::num(perf.max_uncompressed, 4),
                  Table::num(perf.decomp_cpu, 4),
@@ -53,6 +86,12 @@ inline void run_spmv_figure(const std::string& figure,
               speedup.geomean());
   std::printf("geomean Decomp(UDP+CPU) / Decomp(CPU): %.0fx\n",
               udp_gap.geomean());
+  if (measured) {
+    std::printf(
+        "measured CPU-side streaming (%zu decoders): geomean overlap "
+        "efficiency %.2f (1.0 = multiply fully hidden behind decode)\n",
+        streaming_threads, overlap_eff.geomean());
+  }
   print_expected(
       "Decomp(UDP+CPU) more than doubles Max Uncompressed (2.4x geomean "
       "over the full collection) while Decomp(CPU)+SpMV collapses >30x "

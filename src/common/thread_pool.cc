@@ -43,16 +43,33 @@ void ThreadPool::parallel_for(
   if (begin >= end) return;
   const std::size_t n = end - begin;
   if (workers_.size() == 1 || n < 2) {
+    // Inline path: one chunk on the calling thread. An exception from
+    // `body` propagates directly — the same caller-thread rethrow the
+    // pooled path provides below.
     body(begin, end);
     return;
   }
   const std::size_t chunks = std::min(n, workers_.size() * 3);
   const std::size_t chunk = (n + chunks - 1) / chunks;
-  for (std::size_t b = begin; b < end; b += chunk) {
+  // One slot per chunk so the rethrown exception is deterministically the
+  // first failing chunk in submission order, independent of interleaving.
+  std::vector<std::exception_ptr> errors((n + chunk - 1) / chunk);
+  std::size_t index = 0;
+  for (std::size_t b = begin; b < end; b += chunk, ++index) {
     const std::size_t e = std::min(end, b + chunk);
-    submit([&body, b, e] { body(b, e); });
+    std::exception_ptr* slot = &errors[index];
+    submit([&body, b, e, slot] {
+      try {
+        body(b, e);
+      } catch (...) {
+        *slot = std::current_exception();
+      }
+    });
   }
   wait_idle();
+  for (auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::worker_loop() {

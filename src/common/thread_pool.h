@@ -1,17 +1,23 @@
-// Minimal work-stealing-free thread pool with a parallel_for helper.
+// Minimal work-stealing-free thread pool with a parallel_for helper, plus
+// the bounded queue / cancellation primitives the streaming SpMV executor
+// builds its decode->multiply pipeline on.
 //
-// Used by the threaded SpMV kernels and the CPU-side block decompression
-// baseline. Sized from std::thread::hardware_concurrency() by default but
-// fully functional at any size (including 1, as on the CI host).
+// Used by the threaded SpMV kernels, the CPU-side block decompression
+// baseline, and spmv::StreamingExecutor. Sized from
+// std::thread::hardware_concurrency() by default but fully functional at
+// any size (including 1, as on the CI host).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace recode {
@@ -27,7 +33,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  // Enqueues a task; returns immediately.
+  // Enqueues a task; returns immediately. The task must not throw — an
+  // escaping exception would unwind a worker thread. parallel_for wraps
+  // its chunks accordingly; direct submitters catch their own.
   void submit(std::function<void()> task);
 
   // Blocks until every submitted task has completed.
@@ -36,6 +44,11 @@ class ThreadPool {
   // Splits [begin, end) into ~3x-oversubscribed chunks and runs `body(b, e)`
   // on the pool, blocking until all chunks finish. Runs inline if the pool
   // has one thread or the range is tiny.
+  //
+  // Exception contract (identical on the pooled and inline paths): if any
+  // chunk's `body` throws, every started chunk still runs to completion
+  // (or throws) and the first exception, in chunk submission order, is
+  // rethrown on the calling thread.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& body);
 
@@ -49,6 +62,146 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signals pending_ == 0
   std::size_t pending_ = 0;           // queued + running tasks
   bool stop_ = false;
+};
+
+// Bounded multi-producer multi-consumer FIFO with blocking push/pop and
+// two shutdown modes:
+//
+//  * close()  — no further pushes; pops drain what is already queued and
+//               then fail. The producer-side "end of stream" signal.
+//  * cancel() — both sides fail immediately, queued items are dropped.
+//               The error path: a failing pipeline stage cancels every
+//               queue it touches so no peer can stay blocked.
+//
+// push/pop return false instead of throwing so pipeline workers can exit
+// their loops without exception plumbing; the first real exception travels
+// through the owning executor instead.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  // Blocks while full. Returns false (dropping `item`) once the queue is
+  // closed or cancelled.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return closed_ || cancelled_ || items_.size() < capacity_;
+    });
+    if (closed_ || cancelled_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while empty. Returns false once cancelled, or once the queue is
+  // closed and fully drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock,
+                    [this] { return cancelled_ || closed_ || !items_.empty(); });
+    if (cancelled_ || items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Producer-side end of stream: queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // Error-path shutdown: unblocks both sides immediately and drops any
+  // queued items.
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_ = true;
+      items_.clear();
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cancelled_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+};
+
+// Latch-style completion gate for a fixed set of pipeline workers: the
+// owner arms it with the worker count, each worker signals exactly once
+// (normally or with the exception it died on), and wait() blocks until
+// all have reported, then rethrows the first captured exception on the
+// waiting thread. This is how StreamingExecutor guarantees "drain cleanly,
+// rethrow on the caller thread".
+class WorkerGate {
+ public:
+  explicit WorkerGate(std::size_t workers) : remaining_(workers) {}
+
+  WorkerGate(const WorkerGate&) = delete;
+  WorkerGate& operator=(const WorkerGate&) = delete;
+
+  // Worker finished without error.
+  void arrive() { finish(nullptr); }
+
+  // Worker died on `error`; the first one reported wins.
+  void arrive_with_error(std::exception_ptr error) { finish(std::move(error)); }
+
+  // True once any worker reported an error — pipeline peers poll this to
+  // stop early.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // Blocks until every worker arrived, then rethrows the first error.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  void finish(std::exception_ptr error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error && !first_error_) {
+      first_error_ = std::move(error);
+      failed_.store(true, std::memory_order_release);
+    }
+    if (--remaining_ == 0) done_cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::size_t remaining_;
+  std::exception_ptr first_error_;
+  std::atomic<bool> failed_{false};
 };
 
 }  // namespace recode

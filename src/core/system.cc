@@ -106,4 +106,21 @@ PowerSavings HeterogeneousSystem::analyze_power(const MatrixProfile& p) const {
   return s;
 }
 
+OverlapReport analyze_overlap(const OverlapMeasurement& m) {
+  OverlapReport r;
+  const int dn = m.decode_workers > 0 ? m.decode_workers : 1;
+  const int cn = m.compute_workers > 0 ? m.compute_workers : 1;
+  const double decode_wall = m.decode_busy_seconds / dn;
+  const double compute_wall = m.compute_busy_seconds / cn;
+  r.ideal_wall_seconds = std::max(decode_wall, compute_wall);
+  r.serial_wall_seconds = m.decode_busy_seconds + m.compute_busy_seconds;
+  const double busy = r.serial_wall_seconds;
+  r.decode_fraction = busy > 0 ? m.decode_busy_seconds / busy : 0.0;
+  if (m.wall_seconds > 0) {
+    r.measured_efficiency = r.ideal_wall_seconds / m.wall_seconds;
+    r.overlap_speedup = r.serial_wall_seconds / m.wall_seconds;
+  }
+  return r;
+}
+
 }  // namespace recode::core

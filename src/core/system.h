@@ -82,6 +82,38 @@ struct PowerSavings {
   }
 };
 
+// Measured decode/compute pipeline profile of one streaming SpMV run
+// (filled from spmv::StreamingExecutor::last_stats()). The analytic
+// models above assume the UDP decodes *while* the CPU multiplies; this is
+// the empirical counterpart measured on the host-side executor.
+struct OverlapMeasurement {
+  double wall_seconds = 0.0;          // pipelined wall clock
+  double decode_busy_seconds = 0.0;   // summed over decode workers
+  double compute_busy_seconds = 0.0;  // summed over compute workers
+  int decode_workers = 1;
+  int compute_workers = 1;
+};
+
+struct OverlapReport {
+  // Wall clock a perfectly overlapped pipeline would need: the slower
+  // stage running alone across its workers.
+  double ideal_wall_seconds = 0.0;
+  // Wall clock of the serial chain (decode then multiply, one thread).
+  double serial_wall_seconds = 0.0;
+  // ideal / measured wall: 1.0 means the pipeline fully hides the faster
+  // stage behind the slower one, the assumption Figs 14/15 encode.
+  double measured_efficiency = 0.0;
+  // serial / measured wall: the end-to-end win of overlapping + fan-out.
+  double overlap_speedup = 0.0;
+  // Decode share of total busy time (>= 0.5 means decode-bound, the
+  // regime where the paper's UDP offload pays).
+  double decode_fraction = 0.0;
+};
+
+// Reduces a measured streaming run to the overlap quantities reported
+// alongside the analytic analyze_spmv() numbers (EXPERIMENTS.md).
+OverlapReport analyze_overlap(const OverlapMeasurement& m);
+
 class HeterogeneousSystem {
  public:
   explicit HeterogeneousSystem(SystemConfig config = {});

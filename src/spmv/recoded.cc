@@ -6,6 +6,57 @@
 
 namespace recode::spmv {
 
+const char* decode_engine_name(DecodeEngine engine) {
+  switch (engine) {
+    case DecodeEngine::kSoftware: return "software";
+    case DecodeEngine::kUdpSimulated: return "udp-sim";
+  }
+  return "?";
+}
+
+void accumulate_block(const sparse::BlockRange& range,
+                      std::span<const sparse::offset_t> row_ptr,
+                      std::span<const sparse::index_t> indices,
+                      std::span<const double> values,
+                      std::span<const double> x, std::span<double> y) {
+  // Walk the decoded streams, advancing the row as nnz positions cross
+  // row_ptr boundaries (the Fig 7 inner loop, block-tiled).
+  sparse::index_t row = range.first_row;
+  for (std::size_t i = 0; i < range.count; ++i) {
+    const auto k = static_cast<sparse::offset_t>(range.first_nnz + i);
+    while (k >= row_ptr[static_cast<std::size_t>(row) + 1]) ++row;
+    y[static_cast<std::size_t>(row)] +=
+        values[i] * x[static_cast<std::size_t>(indices[i])];
+  }
+}
+
+void check_block_indices(std::span<const sparse::index_t> indices,
+                         sparse::index_t cols) {
+  for (const sparse::index_t c : indices) {
+    RECODE_PARSE_CHECK(c >= 0 && c < cols,
+                       "decoded column index out of range");
+  }
+}
+
+void accumulate_block_batch(const sparse::BlockRange& range,
+                            std::span<const sparse::offset_t> row_ptr,
+                            std::span<const sparse::index_t> indices,
+                            std::span<const double> values,
+                            std::span<const double> x, std::span<double> y,
+                            int k) {
+  sparse::index_t row = range.first_row;
+  for (std::size_t i = 0; i < range.count; ++i) {
+    const auto pos = static_cast<sparse::offset_t>(range.first_nnz + i);
+    while (pos >= row_ptr[static_cast<std::size_t>(row) + 1]) ++row;
+    const double v = values[i];
+    const double* xr =
+        &x[static_cast<std::size_t>(indices[i]) * static_cast<std::size_t>(k)];
+    double* yr =
+        &y[static_cast<std::size_t>(row) * static_cast<std::size_t>(k)];
+    for (int j = 0; j < k; ++j) yr[j] += v * xr[j];
+  }
+}
+
 RecodedSpmv::RecodedSpmv(const codec::CompressedMatrix& cm,
                          DecodeEngine engine)
     : cm_(&cm), engine_(engine) {
@@ -15,8 +66,16 @@ RecodedSpmv::RecodedSpmv(const codec::CompressedMatrix& cm,
 }
 
 void RecodedSpmv::multiply(std::span<const double> x, std::span<double> y) {
-  RECODE_CHECK(x.size() == static_cast<std::size_t>(cm_->cols));
-  RECODE_CHECK(y.size() == static_cast<std::size_t>(cm_->rows));
+  multiply_batch(x, y, 1);
+}
+
+void RecodedSpmv::multiply_batch(std::span<const double> x,
+                                 std::span<double> y, int k) {
+  RECODE_CHECK(k >= 1);
+  RECODE_CHECK(x.size() ==
+               static_cast<std::size_t>(cm_->cols) * static_cast<std::size_t>(k));
+  RECODE_CHECK(y.size() ==
+               static_cast<std::size_t>(cm_->rows) * static_cast<std::size_t>(k));
   std::fill(y.begin(), y.end(), 0.0);
 
   for (std::size_t b = 0; b < cm_->blocks.size(); ++b) {
@@ -29,17 +88,14 @@ void RecodedSpmv::multiply(std::span<const double> x, std::span<double> y) {
       values_ = std::move(result.values);
       udp_cycles_ += result.lane_cycles();
     }
+    check_block_indices(indices_, cm_->cols);
     ++blocks_decoded_;
     compressed_bytes_streamed_ += cm_->blocks[b].bytes();
 
-    // Walk the decoded streams, advancing the row as nnz positions cross
-    // row_ptr boundaries (the Fig 7 inner loop, block-tiled).
-    sparse::index_t row = range.first_row;
-    for (std::size_t i = 0; i < range.count; ++i) {
-      const auto k = static_cast<sparse::offset_t>(range.first_nnz + i);
-      while (k >= cm_->row_ptr[row + 1]) ++row;
-      y[static_cast<std::size_t>(row)] +=
-          values_[i] * x[static_cast<std::size_t>(indices_[i])];
+    if (k == 1) {
+      accumulate_block(range, cm_->row_ptr, indices_, values_, x, y);
+    } else {
+      accumulate_block_batch(range, cm_->row_ptr, indices_, values_, x, y, k);
     }
   }
 }

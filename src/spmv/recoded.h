@@ -22,6 +22,37 @@ enum class DecodeEngine {
   kUdpSimulated,  // every block through the UDP lane simulator
 };
 
+const char* decode_engine_name(DecodeEngine engine);
+
+// The Fig 7 inner loop over one decoded block: walks the decoded streams,
+// advancing the row as nnz positions cross row_ptr boundaries, and
+// accumulates into y. Defined once (recoded.cc) and shared by the serial
+// engine and spmv::StreamingExecutor so both run the same emitted code —
+// the basis of the streaming engine's bitwise parallel ≡ serial guarantee
+// (identical addition order is not enough if the two loops contract
+// floating-point operations differently).
+void accumulate_block(const sparse::BlockRange& range,
+                      std::span<const sparse::offset_t> row_ptr,
+                      std::span<const sparse::index_t> indices,
+                      std::span<const double> values,
+                      std::span<const double> x, std::span<double> y);
+
+// Throws recode::Error if any decoded column index falls outside
+// [0, cols). A corrupt-but-well-framed index stream must surface as a
+// recoverable error, never as an out-of-bounds gather in the multiply
+// (the PR 1 hardening contract, extended to the SpMV consumers).
+void check_block_indices(std::span<const sparse::index_t> indices,
+                         sparse::index_t cols);
+
+// Multi-RHS variant: X is cols x k row-major, Y is rows x k row-major
+// (the spmm_csr layout). Callers dispatch k == 1 to accumulate_block.
+void accumulate_block_batch(const sparse::BlockRange& range,
+                            std::span<const sparse::offset_t> row_ptr,
+                            std::span<const sparse::index_t> indices,
+                            std::span<const double> values,
+                            std::span<const double> x, std::span<double> y,
+                            int k);
+
 class RecodedSpmv {
  public:
   explicit RecodedSpmv(const codec::CompressedMatrix& cm,
@@ -29,6 +60,12 @@ class RecodedSpmv {
 
   // y = A*x, decompressing block by block. Overwrites y.
   void multiply(std::span<const double> x, std::span<double> y);
+
+  // Y = A*X for k right-hand sides, row-major (X is cols x k, Y is
+  // rows x k). Each block is decoded once and multiplied against all k
+  // vectors, amortizing decode cost — the serial reference for the
+  // streaming executor's SpMM mode. k == 1 is bitwise multiply().
+  void multiply_batch(std::span<const double> x, std::span<double> y, int k);
 
   // Totals across all multiply() calls.
   std::uint64_t blocks_decoded() const { return blocks_decoded_; }

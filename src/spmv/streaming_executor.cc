@@ -1,0 +1,311 @@
+#include "spmv/streaming_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "udpprog/block_decoder.h"
+
+namespace recode::spmv {
+
+std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
+                                    std::size_t target_blocks) {
+  std::vector<RowBand> bands;
+  const auto& blocks = blocking.blocks;
+  if (blocks.empty()) return bands;
+  if (target_blocks == 0) target_blocks = 1;
+
+  std::size_t first = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const bool last = b + 1 == blocks.size();
+    // A cut between b and b+1 is legal only when no row spans the
+    // boundary; rows then partition cleanly between the two bands.
+    const bool row_aligned =
+        last || blocks[b].last_row < blocks[b + 1].first_row;
+    if (row_aligned && (last || b + 1 - first >= target_blocks)) {
+      RowBand band;
+      band.first_block = first;
+      band.block_count = b + 1 - first;
+      band.first_row = blocks[first].first_row;
+      band.end_row = blocks[b].last_row + 1;
+      bands.push_back(band);
+      first = b + 1;
+    }
+  }
+  return bands;
+}
+
+// One decoded block in flight between a decoder and a consumer. Buffers
+// are recycled through the owning decoder's free queue, so after warmup
+// the steady-state path performs no allocation (vectors keep capacity).
+struct StreamingExecutor::Slab {
+  std::vector<sparse::index_t> indices;
+  std::vector<double> values;
+  std::size_t block = 0;
+  std::size_t owner = 0;  // decoder whose pool this slab belongs to
+  std::uint64_t udp_cycles = 0;
+};
+
+struct StreamingExecutor::DecoderState {
+  std::vector<std::unique_ptr<Slab>> slabs;
+  // Lane-simulator instance for kUdpSimulated, built lazily on this
+  // worker's first block so unused workers never pay the layout cost.
+  std::unique_ptr<udpprog::UdpPipelineDecoder> udp;
+};
+
+// Per-call pipeline state. Rebuilt per multiply so a cancelled run leaves
+// no sticky state behind and the executor stays usable after an error.
+struct StreamingExecutor::Run {
+  explicit Run(std::size_t n_bands, std::size_t n_decoders,
+               std::size_t n_workers, std::size_t queue_capacity,
+               std::size_t slabs_per_decoder)
+      : ready_bands(std::max<std::size_t>(1, n_bands)), gate(n_workers) {
+    band_queues.reserve(n_bands);
+    for (std::size_t i = 0; i < n_bands; ++i) {
+      band_queues.push_back(
+          std::make_unique<BoundedQueue<Slab*>>(queue_capacity));
+    }
+    free_queues.reserve(n_decoders);
+    for (std::size_t i = 0; i < n_decoders; ++i) {
+      free_queues.push_back(
+          std::make_unique<BoundedQueue<Slab*>>(slabs_per_decoder));
+    }
+  }
+
+  void cancel_all() {
+    ready_bands.cancel();
+    for (auto& q : band_queues) q->cancel();
+    for (auto& q : free_queues) q->cancel();
+  }
+
+  // Band handles are pushed when a decoder starts the band, so consumers
+  // only ever wait on bands whose slabs are coming.
+  BoundedQueue<std::size_t> ready_bands;
+  std::vector<std::unique_ptr<BoundedQueue<Slab*>>> band_queues;
+  std::vector<std::unique_ptr<BoundedQueue<Slab*>>> free_queues;
+  WorkerGate gate;
+  std::atomic<std::size_t> next_band{0};
+  std::atomic<std::size_t> active_decoders{0};
+  // Stats accumulation (guarded by mu; workers report once at exit).
+  std::mutex mu;
+  double decode_busy = 0.0;
+  double compute_busy = 0.0;
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t udp_cycles = 0;
+};
+
+StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
+                                     StreamingConfig config)
+    : cm_(&cm), config_(config) {
+  if (config_.compute_threads == 0) config_.compute_threads = 1;
+  if (config_.decode_threads == 0) {
+    const std::size_t hw =
+        std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    config_.decode_threads =
+        hw > config_.compute_threads ? hw - config_.compute_threads : 1;
+  }
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.blocks_per_band == 0) config_.blocks_per_band = 1;
+
+  bands_ = make_row_bands(cm_->blocking, config_.blocks_per_band);
+  decoders_.reserve(config_.decode_threads);
+  for (std::size_t d = 0; d < config_.decode_threads; ++d) {
+    auto state = std::make_unique<DecoderState>();
+    for (std::size_t s = 0; s < config_.queue_capacity + 1; ++s) {
+      auto slab = std::make_unique<Slab>();
+      slab->owner = d;
+      state->slabs.push_back(std::move(slab));
+    }
+    decoders_.push_back(std::move(state));
+  }
+  pool_ = std::make_unique<ThreadPool>(config_.decode_threads +
+                                       config_.compute_threads);
+}
+
+StreamingExecutor::~StreamingExecutor() = default;
+
+void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
+  DecoderState& state = *decoders_[worker];
+  Timer busy;
+  double busy_seconds = 0.0;
+  std::uint64_t blocks = 0, bytes = 0, udp_cycles = 0;
+  std::exception_ptr error;
+
+  try {
+    while (!run.gate.failed()) {
+      const std::size_t band_idx =
+          run.next_band.fetch_add(1, std::memory_order_relaxed);
+      if (band_idx >= bands_.size()) break;
+      if (!run.ready_bands.push(band_idx)) break;
+      const RowBand& band = bands_[band_idx];
+      auto& out = *run.band_queues[band_idx];
+      bool cancelled = false;
+      for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
+        Slab* slab = nullptr;
+        if (!run.free_queues[worker]->pop(slab)) {
+          cancelled = true;
+          break;
+        }
+        const std::size_t b = band.first_block + i;
+        busy.reset();
+        if (config_.engine == DecodeEngine::kSoftware) {
+          codec::decompress_block(*cm_, b, slab->indices, slab->values);
+          slab->udp_cycles = 0;
+        } else {
+          if (!state.udp) {
+            state.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+          }
+          udpprog::BlockResult result = state.udp->decode_block(b);
+          slab->indices = std::move(result.indices);
+          slab->values = std::move(result.values);
+          slab->udp_cycles = result.lane_cycles();
+        }
+        check_block_indices(slab->indices, cm_->cols);
+        busy_seconds += busy.seconds();
+        slab->block = b;
+        ++blocks;
+        bytes += cm_->blocks[b].bytes();
+        udp_cycles += slab->udp_cycles;
+        if (!out.push(slab)) cancelled = true;
+      }
+      if (cancelled) break;
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    run.decode_busy += busy_seconds;
+    run.blocks += blocks;
+    run.bytes += bytes;
+    run.udp_cycles += udp_cycles;
+  }
+  // The last decoder out closes the band announcement stream so idle
+  // consumers stop waiting for more work.
+  if (run.active_decoders.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    run.ready_bands.close();
+  }
+  if (error) {
+    run.cancel_all();
+    run.gate.arrive_with_error(std::move(error));
+  } else {
+    run.gate.arrive();
+  }
+}
+
+void StreamingExecutor::compute_worker(Run& run, std::span<const double> x,
+                                       std::span<double> y, int k) {
+  Timer busy;
+  double busy_seconds = 0.0;
+  std::exception_ptr error;
+
+  try {
+    std::size_t band_idx = 0;
+    while (run.ready_bands.pop(band_idx)) {
+      const RowBand& band = bands_[band_idx];
+      auto& in = *run.band_queues[band_idx];
+      bool cancelled = false;
+      // Exactly one consumer owns a band at a time and drains it in
+      // stream order: the accumulation order over this band's (exclusive)
+      // rows matches the serial engine's exactly.
+      for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
+        Slab* slab = nullptr;
+        if (!in.pop(slab)) {
+          cancelled = true;
+          break;
+        }
+        const auto& range = cm_->blocking.blocks[slab->block];
+        busy.reset();
+        if (k == 1) {
+          accumulate_block(range, cm_->row_ptr, slab->indices, slab->values,
+                           x, y);
+        } else {
+          accumulate_block_batch(range, cm_->row_ptr, slab->indices,
+                                 slab->values, x, y, k);
+        }
+        busy_seconds += busy.seconds();
+        if (!run.free_queues[slab->owner]->push(slab)) cancelled = true;
+      }
+      if (cancelled) break;
+    }
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    run.compute_busy += busy_seconds;
+  }
+  if (error) {
+    run.cancel_all();
+    run.gate.arrive_with_error(std::move(error));
+  } else {
+    run.gate.arrive();
+  }
+}
+
+void StreamingExecutor::multiply(std::span<const double> x,
+                                 std::span<double> y) {
+  multiply_batch(x, y, 1);
+}
+
+void StreamingExecutor::multiply_batch(std::span<const double> x,
+                                       std::span<double> y, int k) {
+  RECODE_CHECK(k >= 1);
+  RECODE_CHECK(x.size() ==
+               static_cast<std::size_t>(cm_->cols) * static_cast<std::size_t>(k));
+  RECODE_CHECK(y.size() ==
+               static_cast<std::size_t>(cm_->rows) * static_cast<std::size_t>(k));
+  std::fill(y.begin(), y.end(), 0.0);
+
+  stats_ = OverlapStats{};
+  stats_.decode_threads = config_.decode_threads;
+  stats_.compute_threads = config_.compute_threads;
+  stats_.bands = bands_.size();
+  if (bands_.empty()) return;
+
+  const std::size_t n_workers =
+      config_.decode_threads + config_.compute_threads;
+  Run run(bands_.size(), config_.decode_threads, n_workers,
+          config_.queue_capacity, config_.queue_capacity + 1);
+  run.active_decoders.store(config_.decode_threads,
+                            std::memory_order_relaxed);
+  for (std::size_t d = 0; d < config_.decode_threads; ++d) {
+    for (auto& slab : decoders_[d]->slabs) {
+      run.free_queues[d]->push(slab.get());
+    }
+  }
+
+  Timer wall;
+  for (std::size_t d = 0; d < config_.decode_threads; ++d) {
+    pool_->submit([this, &run, d] { decode_worker(run, d); });
+  }
+  for (std::size_t c = 0; c < config_.compute_threads; ++c) {
+    pool_->submit([this, &run, x, y, k] { compute_worker(run, x, y, k); });
+  }
+
+  // Blocks until every worker has drained, then rethrows the first
+  // pipeline error on this (the caller's) thread.
+  try {
+    run.gate.wait();
+  } catch (...) {
+    stats_.wall_seconds = wall.seconds();
+    total_blocks_decoded_ += run.blocks;
+    total_compressed_bytes_ += run.bytes;
+    throw;
+  }
+  stats_.wall_seconds = wall.seconds();
+  stats_.decode_busy_seconds = run.decode_busy;
+  stats_.compute_busy_seconds = run.compute_busy;
+  stats_.blocks_decoded = run.blocks;
+  stats_.compressed_bytes = run.bytes;
+  stats_.udp_cycles = run.udp_cycles;
+  total_blocks_decoded_ += run.blocks;
+  total_compressed_bytes_ += run.bytes;
+}
+
+}  // namespace recode::spmv

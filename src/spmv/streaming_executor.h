@@ -1,0 +1,128 @@
+// Parallel pipelined decode->SpMV execution engine (the paper's §V-B
+// co-scheduling, host-side): decoder workers stream compressed blocks
+// through the software codecs or the UDP lane simulator while compute
+// workers run the unchanged CSR multiply over the recovered slabs, so the
+// chain is limited by the slower stage instead of their sum — the overlap
+// Figs 14/15 assume for the UDP system.
+//
+// Determinism contract: the matrix is partitioned into *row bands* —
+// maximal runs of consecutive blocks cut only where a block boundary
+// coincides with a row boundary (merged up toward a target band size).
+// Bands therefore own disjoint row ranges, each band's blocks are decoded
+// and accumulated in stream order by exactly one worker at a time, and
+// both stages share the serial engine's accumulate kernels. Output is
+// bitwise-identical to serial RecodedSpmv::multiply for any decoder /
+// compute worker count and any queue capacity.
+//
+// Error contract: a recode::Error thrown mid-stream (corrupt block, lane
+// fault) cancels every queue, lets all workers drain, and is rethrown on
+// the calling thread. The executor stays usable afterwards.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "codec/pipeline.h"
+#include "common/thread_pool.h"
+#include "spmv/recoded.h"
+
+namespace recode::spmv {
+
+struct StreamingConfig {
+  // Decoder workers (the stage the paper offloads to UDP lanes).
+  // 0 = max(1, hardware_concurrency - compute_threads).
+  std::size_t decode_threads = 0;
+  // CSR-multiply consumers. One is usually enough: software decode runs
+  // ~10x slower than the multiply (EXPERIMENTS.md Fig 12), so decode is
+  // the stage that needs the fan-out.
+  std::size_t compute_threads = 1;
+  // Decoded slabs buffered per band queue (>=1). 2 gives the classic
+  // double buffer: one slab in flight to the consumer, one being decoded.
+  std::size_t queue_capacity = 2;
+  // Band granularity target: bands are grown to at least this many blocks
+  // before cutting at the next row-aligned boundary. Small values expose
+  // more parallelism; large values amortize queue traffic.
+  std::size_t blocks_per_band = 8;
+  DecodeEngine engine = DecodeEngine::kSoftware;
+};
+
+// A row band: consecutive blocks [first_block, first_block + block_count)
+// whose rows [first_row, end_row) no other band touches.
+struct RowBand {
+  std::size_t first_block = 0;
+  std::size_t block_count = 0;
+  sparse::index_t first_row = 0;
+  sparse::index_t end_row = 0;  // exclusive
+};
+
+// Cuts the blocking plan into row-aligned bands of >= target_blocks
+// blocks (the final band may be smaller; a long row can force a larger
+// one). Always returns at least one band for a non-empty matrix.
+std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
+                                    std::size_t target_blocks);
+
+// Measured profile of the last multiply()/multiply_batch() call, the
+// input core::analyze_overlap() consumes.
+struct OverlapStats {
+  double wall_seconds = 0.0;
+  double decode_busy_seconds = 0.0;   // summed across decoder workers
+  double compute_busy_seconds = 0.0;  // summed across compute workers
+  std::size_t decode_threads = 0;
+  std::size_t compute_threads = 0;
+  std::size_t bands = 0;
+  std::uint64_t blocks_decoded = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t udp_cycles = 0;  // kUdpSimulated only
+};
+
+class StreamingExecutor {
+ public:
+  explicit StreamingExecutor(const codec::CompressedMatrix& cm,
+                             StreamingConfig config = {});
+  ~StreamingExecutor();
+
+  StreamingExecutor(const StreamingExecutor&) = delete;
+  StreamingExecutor& operator=(const StreamingExecutor&) = delete;
+
+  // y = A*x. Bitwise-identical to serial RecodedSpmv::multiply.
+  void multiply(std::span<const double> x, std::span<double> y);
+
+  // Y = A*X for k right-hand sides, row-major (X is cols x k, Y is
+  // rows x k, the spmm_csr layout). Each block is decoded once and
+  // multiplied against all k vectors — the decode amortization that makes
+  // iterative solvers and batched inference stream-friendly. k == 1 is
+  // exactly multiply().
+  void multiply_batch(std::span<const double> x, std::span<double> y, int k);
+
+  const std::vector<RowBand>& bands() const { return bands_; }
+  const StreamingConfig& config() const { return config_; }
+  const OverlapStats& last_stats() const { return stats_; }
+
+  // Totals across all calls (mirrors RecodedSpmv's counters).
+  std::uint64_t blocks_decoded() const { return total_blocks_decoded_; }
+  std::uint64_t compressed_bytes_streamed() const {
+    return total_compressed_bytes_;
+  }
+
+ private:
+  struct Slab;        // one decoded block in flight
+  struct DecoderState;  // per-decoder slab pool + engine instance
+  struct Run;         // per-call pipeline state (queues, gate, error flag)
+
+  void decode_worker(Run& run, std::size_t worker);
+  void compute_worker(Run& run, std::span<const double> x,
+                      std::span<double> y, int k);
+
+  const codec::CompressedMatrix* cm_;
+  StreamingConfig config_;
+  std::vector<RowBand> bands_;
+  std::vector<std::unique_ptr<DecoderState>> decoders_;
+  std::unique_ptr<ThreadPool> pool_;  // decode_threads + compute_threads
+  OverlapStats stats_;
+  std::uint64_t total_blocks_decoded_ = 0;
+  std::uint64_t total_compressed_bytes_ = 0;
+};
+
+}  // namespace recode::spmv

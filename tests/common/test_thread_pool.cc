@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 namespace recode {
@@ -56,6 +60,199 @@ TEST(ThreadPool, SingleThreadPoolRunsInline) {
   for (std::size_t i = 0; i < data.size(); ++i) {
     EXPECT_EQ(data[i], static_cast<int>(i));
   }
+}
+
+// --- parallel_for exception contract -----------------------------------
+// Both paths — pooled chunks and the tiny-range/one-thread inline path —
+// must surface a `body` exception on the calling thread. The inline path
+// regression: it used to be the only path exercised with throwing bodies,
+// and the pooled path would have unwound a worker thread instead.
+
+TEST(ThreadPool, ParallelForPooledPathRethrowsOnCaller) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(0, 1000, [&](std::size_t b, std::size_t e) {
+      ran.fetch_add(static_cast<int>(e - b));
+      throw std::runtime_error("chunk " + std::to_string(b));
+    });
+    FAIL() << "expected the chunk exception to propagate";
+  } catch (const std::runtime_error& e) {
+    // Deterministically the first failing chunk in submission order.
+    EXPECT_STREQ(e.what(), "chunk 0");
+  }
+  // Every chunk still ran to completion before the rethrow (no chunk is
+  // abandoned mid-range).
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPool, ParallelForInlinePathRethrowsOnCaller) {
+  ThreadPool pool(1);  // one-thread pool always takes the inline path
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("inline");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForTinyRangeRethrowsOnCaller) {
+  ThreadPool pool(4);  // n < 2 takes the inline path even on a real pool
+  EXPECT_THROW(pool.parallel_for(7, 8,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("tiny");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForUsableAfterException) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 64,
+                                   [](std::size_t, std::size_t) {
+                                     throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 64, [&](std::size_t b, std::size_t e) {
+      count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 64);
+  }
+}
+
+// --- BoundedQueue -------------------------------------------------------
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  EXPECT_EQ(q.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopAtCapacityOne) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(q.push(2));
+    second_pushed.store(true);
+  });
+  // The producer must be stuck until we make room.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenFails) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(BoundedQueue, CancelUnblocksBlockedProducerAndDropsItems) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));  // full: the next push must block
+  std::thread blocked_producer([&] { EXPECT_FALSE(q.push(2)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.cancel();
+  blocked_producer.join();
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));  // the queued item 1 was dropped
+  EXPECT_FALSE(q.push(9));
+  EXPECT_TRUE(q.cancelled());
+}
+
+TEST(BoundedQueue, CancelUnblocksBlockedConsumer) {
+  BoundedQueue<int> q(1);  // empty: the next pop must block
+  std::thread blocked_consumer([&] {
+    int out = 0;
+    EXPECT_FALSE(q.pop(out));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.cancel();
+  blocked_consumer.join();
+  EXPECT_TRUE(q.cancelled());
+}
+
+TEST(BoundedQueue, MpmcTransfersEveryItemExactlyOnce) {
+  BoundedQueue<int> q(3);
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 500;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int out = 0;
+      while (q.pop(out)) {
+        sum.fetch_add(out);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const long long n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- WorkerGate ---------------------------------------------------------
+
+TEST(WorkerGate, WaitsForAllWorkersThenRethrowsFirstError) {
+  WorkerGate gate(3);
+  std::atomic<int> arrived{0};
+  std::vector<std::thread> workers;
+  workers.emplace_back([&] {
+    arrived.fetch_add(1);
+    gate.arrive();
+  });
+  workers.emplace_back([&] {
+    arrived.fetch_add(1);
+    gate.arrive_with_error(
+        std::make_exception_ptr(std::runtime_error("first")));
+  });
+  workers.emplace_back([&] {
+    arrived.fetch_add(1);
+    gate.arrive();
+  });
+  EXPECT_THROW(gate.wait(), std::runtime_error);
+  EXPECT_TRUE(gate.failed());
+  EXPECT_EQ(arrived.load(), 3);
+  for (auto& w : workers) w.join();
+}
+
+TEST(WorkerGate, CleanShutdownDoesNotThrow) {
+  WorkerGate gate(2);
+  std::thread a([&] { gate.arrive(); });
+  std::thread b([&] { gate.arrive(); });
+  gate.wait();
+  EXPECT_FALSE(gate.failed());
+  a.join();
+  b.join();
 }
 
 TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {

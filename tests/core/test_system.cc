@@ -100,6 +100,41 @@ TEST(System, SpeedupTracksCompressionRatio) {
   EXPECT_GT(pg.speedup(), pb.speedup());
 }
 
+TEST(System, AnalyzeOverlapPerfectPipeline) {
+  // Decode-bound run whose wall equals the ideal: efficiency 1.0 and the
+  // speedup is the whole serial chain over the decode stage.
+  OverlapMeasurement m;
+  m.decode_busy_seconds = 0.8;
+  m.compute_busy_seconds = 0.2;
+  m.decode_workers = 4;
+  m.compute_workers = 1;
+  m.wall_seconds = 0.2;  // == max(0.8/4, 0.2/1)
+  const OverlapReport r = analyze_overlap(m);
+  EXPECT_DOUBLE_EQ(r.ideal_wall_seconds, 0.2);
+  EXPECT_DOUBLE_EQ(r.serial_wall_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(r.measured_efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(r.overlap_speedup, 5.0);
+  EXPECT_DOUBLE_EQ(r.decode_fraction, 0.8);
+}
+
+TEST(System, AnalyzeOverlapImperfectPipelineAndGuards) {
+  OverlapMeasurement m;
+  m.decode_busy_seconds = 0.6;
+  m.compute_busy_seconds = 0.3;
+  m.decode_workers = 2;
+  m.compute_workers = 1;
+  m.wall_seconds = 0.6;  // stalls: 2x the ideal 0.3
+  const OverlapReport r = analyze_overlap(m);
+  EXPECT_DOUBLE_EQ(r.ideal_wall_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(r.measured_efficiency, 0.5);
+  EXPECT_DOUBLE_EQ(r.overlap_speedup, 1.5);
+
+  // Degenerate inputs must not divide by zero.
+  const OverlapReport zero = analyze_overlap(OverlapMeasurement{});
+  EXPECT_DOUBLE_EQ(zero.measured_efficiency, 0.0);
+  EXPECT_DOUBLE_EQ(zero.overlap_speedup, 0.0);
+}
+
 TEST(System, ProfileCompressedReusesMatrix) {
   const HeterogeneousSystem sys;
   const Csr csr = sparse::gen_stencil2d(60, 60, ValueModel::kSmoothField, 70);

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+
+#include "common/error.h"
 #include "common/prng.h"
 #include "sparse/generators.h"
 #include "spmv/kernels.h"
@@ -81,6 +85,79 @@ TEST(RecodedSpmv, RepeatedMultiplyAccumulatesStats) {
   recoded.multiply(x, y);
   recoded.multiply(x, y);
   EXPECT_EQ(recoded.blocks_decoded(), cm.blocks.size() * 2);
+}
+
+TEST(RecodedSpmv, MultiRhsMatchesIndependentMultiplies) {
+  // SpMM mode against k independent multiply() calls: per column, the
+  // accumulation order is identical, so the only admissible divergence is
+  // FP contraction between the two inner loops — bounded far below 1e-12.
+  const Csr a = sparse::gen_fem_like(2600, 9, 70, ValueModel::kSmoothField, 12);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  const auto rows = static_cast<std::size_t>(a.rows);
+  const auto cols = static_cast<std::size_t>(a.cols);
+  for (const int k : {1, 4, 8}) {
+    const auto ks = static_cast<std::size_t>(k);
+    const auto x = random_vector(cols * ks, 31 + static_cast<std::uint64_t>(k));
+    std::vector<double> y_batch(rows * ks);
+    RecodedSpmv batch(cm);
+    batch.multiply_batch(x, y_batch, k);
+    EXPECT_EQ(batch.blocks_decoded(), cm.blocks.size());  // decoded once
+
+    for (int j = 0; j < k; ++j) {
+      std::vector<double> xj(cols), yj(rows);
+      for (std::size_t i = 0; i < cols; ++i) {
+        xj[i] = x[i * ks + static_cast<std::size_t>(j)];
+      }
+      RecodedSpmv single(cm);
+      single.multiply(xj, yj);
+      for (std::size_t r = 0; r < rows; ++r) {
+        EXPECT_NEAR(y_batch[r * ks + static_cast<std::size_t>(j)], yj[r],
+                    1e-12 * (1.0 + std::abs(yj[r])))
+            << "k=" << k << " rhs=" << j << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST(RecodedSpmv, MultiRhsDegenerateKOneIsBitwiseMultiply) {
+  // k == 1 dispatches to the same accumulate kernel as multiply(): exact.
+  const Csr a = sparse::gen_circuit(2000, 5, ValueModel::kRandom, 13);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 14);
+  std::vector<double> y_multiply(static_cast<std::size_t>(a.rows));
+  std::vector<double> y_batch(y_multiply.size());
+  RecodedSpmv r1(cm), r2(cm);
+  r1.multiply(x, y_multiply);
+  r2.multiply_batch(x, y_batch, 1);
+  EXPECT_EQ(0, std::memcmp(y_batch.data(), y_multiply.data(),
+                           y_batch.size() * sizeof(double)));
+}
+
+TEST(RecodedSpmv, MultiRhsMatchesSpmmKernel) {
+  // Cross-check the recoded SpMM against the plain-CSR spmm_csr kernel.
+  const Csr a = sparse::gen_banded(1500, 9, 0.6, ValueModel::kSmoothField, 15);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  const int k = 4;
+  const auto x = random_vector(
+      static_cast<std::size_t>(a.cols) * static_cast<std::size_t>(k), 16);
+  std::vector<double> y_recoded(static_cast<std::size_t>(a.rows) *
+                                static_cast<std::size_t>(k));
+  std::vector<double> y_plain(y_recoded.size());
+  RecodedSpmv recoded(cm);
+  recoded.multiply_batch(x, y_recoded, k);
+  spmm_csr(a, x, y_plain, k);
+  expect_near_vec(y_recoded, y_plain);
+}
+
+TEST(RecodedSpmv, RejectsOutOfRangeDecodedIndices) {
+  // check_block_indices: the consumer-side guard against corrupt streams
+  // that decode to well-framed but out-of-range column indices.
+  const std::vector<sparse::index_t> good = {0, 3, 7};
+  EXPECT_NO_THROW(check_block_indices(good, 8));
+  const std::vector<sparse::index_t> high = {0, 8};
+  EXPECT_THROW(check_block_indices(high, 8), recode::Error);
+  const std::vector<sparse::index_t> negative = {-1, 2};
+  EXPECT_THROW(check_block_indices(negative, 8), recode::Error);
 }
 
 TEST(RecodedSpmv, RowsSpanningBlockBoundaries) {
