@@ -9,12 +9,16 @@
 #include <cctype>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/prng.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "sparse/suite.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 
 namespace recode::bench {
 
@@ -85,5 +89,94 @@ inline double scale_from_cli(Cli& cli, double default_scale = 0.25) {
       "scale", default_scale,
       "representative-matrix size scale in (0,1]; 1.0 = published dims");
 }
+
+// Machine-readable bench output: registers --json=<path> and
+// --trace=<path> on the Cli (construct before cli.done()), starts the
+// tracer when a trace was requested, collects named results during the
+// run, and on write() emits:
+//
+//   --trace: Chrome trace_event JSON (chrome://tracing / Perfetto),
+//   --json:  {"schema":"recode-bench-v1","experiment":...,
+//             "results":{...},"metrics":<MetricsRegistry snapshot>}.
+//
+// Both default off, so table output and exit codes are unchanged when
+// the flags are absent.
+class BenchReport {
+ public:
+  BenchReport(Cli& cli, std::string experiment)
+      : experiment_(std::move(experiment)),
+        json_path_(cli.get_string(
+            "json", "", "write a recode-bench-v1 results+metrics JSON here")),
+        trace_path_(cli.get_string(
+            "trace", "",
+            "write a Chrome trace_event JSON here (Perfetto-loadable)")) {
+    if (!trace_path_.empty()) telemetry::Tracer::global().start();
+  }
+
+  bool tracing() const { return !trace_path_.empty(); }
+
+  void add_result(const std::string& key, double v) {
+    results_.push_back({key, v, std::string(), true});
+  }
+  void add_result(const std::string& key, const std::string& v) {
+    results_.push_back({key, 0.0, v, false});
+  }
+
+  // Writes whichever outputs were requested. Call once, after the last
+  // measured work; stops the tracer so the trace ends at the bench's end.
+  void write() {
+    if (!trace_path_.empty()) {
+      auto& tracer = telemetry::Tracer::global();
+      tracer.stop();
+      tracer.write_chrome_trace(trace_path_);
+      std::fprintf(stderr, "[recode] wrote Chrome trace (%zu events) to %s\n",
+                   tracer.event_count(), trace_path_.c_str());
+    }
+    if (json_path_.empty()) return;
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "recode-bench-v1");
+    w.kv("experiment", experiment_);
+    w.kv("telemetry_enabled", telemetry::kEnabled);
+    w.key("results");
+    w.begin_object();
+    for (const auto& r : results_) {
+      if (r.is_number) {
+        w.kv(r.key, r.num);
+      } else {
+        w.kv(r.key, std::string_view(r.str));
+      }
+    }
+    w.end_object();
+    w.key("metrics");
+    w.raw(telemetry::MetricsRegistry::global().snapshot().to_json());
+    w.end_object();
+    std::FILE* f = std::fopen(json_path_.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[recode] cannot open --json path %s\n",
+                   json_path_.c_str());
+      return;
+    }
+    const std::string& s = w.str();
+    std::fwrite(s.data(), 1, s.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "[recode] wrote metrics JSON to %s\n",
+                 json_path_.c_str());
+  }
+
+ private:
+  struct Result {
+    std::string key;
+    double num;
+    std::string str;
+    bool is_number;
+  };
+
+  std::string experiment_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::vector<Result> results_;
+};
 
 }  // namespace recode::bench

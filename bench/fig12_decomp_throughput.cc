@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
       "measure-host", false,
       "calibrate the CPU series from a host measurement instead of the "
       "default Xeon-class constants");
+  bench::BenchReport report(cli, "fig12");
   cli.done();
 
   bench::print_header("Fig 12",
@@ -50,10 +51,16 @@ int main(int argc, char** argv) {
                    Table::num(p.udp_throughput_bps / 1e9, 2),
                    Table::num(p.udp_throughput_bps / cpu_bps, 2),
                    Table::num(p.udp_block_micros, 1)});
+    report.add_result("udp_gbps_" + m.name, p.udp_throughput_bps / 1e9);
+    report.add_result("udp_block_micros_" + m.name, p.udp_block_micros);
   }
   table.print();
   std::printf("geomean: cpu %.2f GB/s, udp %.2f GB/s, speedup %.2fx\n",
               cpu_rate.geomean(), udp_rate.geomean(), ratio.geomean());
+  report.add_result("geomean_cpu_gbps", cpu_rate.geomean());
+  report.add_result("geomean_udp_gbps", udp_rate.geomean());
+  report.add_result("geomean_udp_over_cpu", ratio.geomean());
+  report.write();
   std::printf("power: UDP 0.16 W per accelerator vs ~100 W CPU package\n");
   bench::print_expected(
       "UDP decompresses at >20 GB/s on the 7 matrices, 2x-5x over the "

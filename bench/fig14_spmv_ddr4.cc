@@ -10,9 +10,11 @@ int main(int argc, char** argv) {
       cli, 0,
       "decoder workers for the measured CPU-side streaming baseline "
       "(0 = analytic model only)");
+  recode::bench::BenchReport report(cli, "fig14");
   cli.done();
   recode::bench::run_spmv_figure("Fig 14",
                                  recode::mem::DramConfig::ddr4_100gbs(),
-                                 scale, csv_dir, threads);
+                                 scale, csv_dir, threads, &report);
+  report.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "core/system.h"
 #include "sparse/generators.h"
 #include "spmv/streaming_executor.h"
+#include "udpprog/matrix_decoder.h"
 
 namespace recode::bench {
 namespace {
@@ -47,6 +48,7 @@ int run(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int(
       "seed", static_cast<std::int64_t>(env_seed),
       "matrix generator seed (default honors RECODE_TEST_SEED)"));
+  BenchReport report(cli, "micro_streaming");
   cli.done();
   // The seed log line already went to stderr (test_seed); pair the thread
   // count with it so any recorded run names both knobs.
@@ -82,6 +84,12 @@ int run(int argc, char** argv) {
   }
   std::printf("serial RecodedSpmv: %.1f ms/pass (%d rhs)\n",
               serial_best * 1e3, rhs);
+  report.add_result("engine", engine_name);
+  report.add_result("nnz", static_cast<double>(a.nnz()));
+  report.add_result("blocks", static_cast<double>(cm.blocks.size()));
+  report.add_result("bytes_per_nnz", cm.bytes_per_nnz());
+  report.add_result("rhs", static_cast<double>(rhs));
+  report.add_result("serial_ms", serial_best * 1e3);
 
   Table table({"decoders", "consumers", "wall ms", "speedup", "decode s",
                "compute s", "overlap eff", "ideal ms"});
@@ -112,18 +120,50 @@ int run(int argc, char** argv) {
     m.compute_busy_seconds = stats.compute_busy_seconds;
     m.decode_workers = static_cast<int>(stats.decode_threads);
     m.compute_workers = static_cast<int>(stats.compute_threads);
-    const auto report = core::analyze_overlap(m);
+    const auto overlap = core::analyze_overlap(m);
     table.add_row({std::to_string(threads), std::to_string(compute_threads),
                    Table::num(best * 1e3, 1),
                    Table::num(serial_best / best, 2),
                    Table::num(stats.decode_busy_seconds, 3),
                    Table::num(stats.compute_busy_seconds, 3),
-                   Table::num(report.measured_efficiency, 2),
-                   Table::num(report.ideal_wall_seconds * 1e3, 1)});
+                   Table::num(overlap.measured_efficiency, 2),
+                   Table::num(overlap.ideal_wall_seconds * 1e3, 1)});
+    const std::string suffix = "_t" + std::to_string(threads);
+    report.add_result("wall_ms" + suffix, best * 1e3);
+    report.add_result("speedup" + suffix, serial_best / best);
+    report.add_result("overlap_efficiency" + suffix,
+                      overlap.measured_efficiency);
+    report.add_result("queue_high_water" + suffix,
+                      static_cast<double>(stats.band_queue_high_water));
   }
   table.print();
   std::printf("parallel output bitwise == serial: %s\n",
               bitwise_ok ? "yes" : "NO — BUG");
+  report.add_result("bitwise_ok", bitwise_ok ? 1.0 : 0.0);
+
+  // Project the same matrix's decode onto the 64-lane UDP accelerator
+  // model (sampled, unvalidated) so the metrics snapshot pairs the
+  // host-side pipeline counters with per-lane accelerator utilization.
+  {
+    udpprog::MatrixDecodeOptions udp_opts;
+    udp_opts.validate = false;
+    udp_opts.max_sampled_blocks = 16;
+    const auto udp = udpprog::simulate_matrix_decode(cm, nullptr, udp_opts);
+    std::printf("UDP projection: %.1f us/block mean, %.2f GB/s decompressed\n",
+                udp.mean_block_micros, udp.throughput_bytes_per_sec / 1e9);
+    if (telemetry::kEnabled) {
+      std::printf("UDP lane utilization: %.0f%% (udp.accel.* gauges)\n",
+                  telemetry::MetricsRegistry::global()
+                          .gauge("udp.accel.utilization")
+                          .value() *
+                      100.0);
+    }
+    report.add_result("udp_mean_block_micros", udp.mean_block_micros);
+    report.add_result("udp_throughput_gbps",
+                      udp.throughput_bytes_per_sec / 1e9);
+    report.add_result("udp_accelerator_seconds", udp.accelerator_seconds);
+  }
+  report.write();
   print_expected(
       ">= 2x wall-clock speedup at 8 decoder threads (software engine, "
       ">= 1e6 nnz, multi-core host); overlap efficiency near 1.0 means the "

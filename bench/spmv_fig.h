@@ -19,10 +19,14 @@ namespace recode::bench {
 // decoder workers) and the measured decode/compute overlap efficiency is
 // printed next to the analytic model's columns — the empirical check on
 // the "decode overlaps multiply" assumption those columns encode.
+//
+// A non-null `report` collects the per-matrix speedups and geomeans for
+// the bench's --json output (the caller owns write()).
 inline void run_spmv_figure(const std::string& figure,
                             const mem::DramConfig& dram, double scale,
                             const std::string& csv_dir = "",
-                            std::size_t streaming_threads = 0) {
+                            std::size_t streaming_threads = 0,
+                            BenchReport* report = nullptr) {
   print_header(figure, "CPU vs CPU-UDP SpMV performance on " + dram.name);
 
   core::SystemConfig cfg;
@@ -49,6 +53,10 @@ inline void run_spmv_figure(const std::string& figure,
     const auto perf = sys.analyze_spmv(p);
     speedup.add(perf.speedup());
     udp_gap.add(perf.decomp_udp_cpu / perf.decomp_cpu);
+    if (report != nullptr) {
+      report->add_result("speedup_" + m.name, perf.speedup());
+      report->add_result("bytes_per_nnz_" + m.name, p.bytes_per_nnz);
+    }
     std::vector<std::string> row = {
         m.name, Table::num(p.bytes_per_nnz, 2),
         Table::num(perf.max_uncompressed, 1), Table::num(perf.decomp_cpu, 2),
@@ -91,6 +99,15 @@ inline void run_spmv_figure(const std::string& figure,
         "measured CPU-side streaming (%zu decoders): geomean overlap "
         "efficiency %.2f (1.0 = multiply fully hidden behind decode)\n",
         streaming_threads, overlap_eff.geomean());
+  }
+  if (report != nullptr) {
+    report->add_result("geomean_speedup", speedup.geomean());
+    report->add_result("geomean_udp_over_cpu", udp_gap.geomean());
+    if (measured) {
+      report->add_result("geomean_overlap_efficiency", overlap_eff.geomean());
+      report->add_result("streaming_threads",
+                         static_cast<double>(streaming_threads));
+    }
   }
   print_expected(
       "Decomp(UDP+CPU) more than doubles Max Uncompressed (2.4x geomean "

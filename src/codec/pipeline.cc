@@ -7,10 +7,53 @@
 #include "codec/snappy.h"
 #include "codec/varint_delta.h"
 #include "common/prng.h"
+#include "telemetry/telemetry.h"
 
 namespace recode::codec {
 
 namespace {
+
+// Per-stage decode/encode attribution: bytes in/out and nanoseconds per
+// Delta/Snappy/Huffman stage, the measured counterpart of the StageSizes
+// compile-time accounting (gives measured B/nnz and time per stage).
+struct StageMetrics {
+  telemetry::Counter& ns;
+  telemetry::Counter& bytes_in;
+  telemetry::Counter& bytes_out;
+};
+
+struct CodecTelemetry {
+  telemetry::Counter& decode_blocks;
+  StageMetrics decode_huffman;
+  StageMetrics decode_snappy;
+  StageMetrics decode_transform;
+  telemetry::Counter& encode_blocks;
+  StageMetrics encode_transform;
+  StageMetrics encode_snappy;
+  StageMetrics encode_huffman;
+
+  static StageMetrics stage(const std::string& prefix) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    return StageMetrics{reg.counter(prefix + ".ns"),
+                        reg.counter(prefix + ".bytes_in"),
+                        reg.counter(prefix + ".bytes_out")};
+  }
+
+  static CodecTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static CodecTelemetry* t = new CodecTelemetry{
+        reg.counter("codec.decode.blocks"),
+        stage("codec.decode.huffman"),
+        stage("codec.decode.snappy"),
+        stage("codec.decode.transform"),
+        reg.counter("codec.encode.blocks"),
+        stage("codec.encode.transform"),
+        stage("codec.encode.snappy"),
+        stage("codec.encode.huffman"),
+    };
+    return *t;
+  }
+};
 
 Bytes to_bytes(std::span<const sparse::index_t> v) {
   Bytes out(v.size() * sizeof(sparse::index_t));
@@ -112,8 +155,11 @@ CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg) {
   cm.config = cfg;
   cm.blocking = sparse::make_blocking(csr, cfg.nnz_per_block);
 
+  CodecTelemetry& telem = CodecTelemetry::get();
+  RECODE_TRACE_SPAN("codec", "compress");
   const SnappyCodec snappy_codec;
   const std::size_t nblocks = cm.blocking.block_count();
+  telem.encode_blocks.add(nblocks);
 
   // Pass 1: transform + snappy per block; histogram sampled blocks for
   // the per-matrix Huffman tables.
@@ -125,15 +171,31 @@ CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg) {
 
   for (std::size_t b = 0; b < nblocks; ++b) {
     const auto& range = cm.blocking.blocks[b];
-    Bytes idx_raw = apply_transform(
-        cfg.index_transform, to_bytes(sparse::block_indices(csr, range)));
-    Bytes val_raw = apply_transform(
-        cfg.value_transform, to_bytes(sparse::block_values(csr, range)));
+    const std::size_t raw_bytes =
+        range.count * (sizeof(sparse::index_t) + sizeof(double));
+    Bytes idx_raw, val_raw;
+    {
+      telemetry::StageTimer t(telem.encode_transform.ns);
+      idx_raw = apply_transform(
+          cfg.index_transform, to_bytes(sparse::block_indices(csr, range)));
+      val_raw = apply_transform(
+          cfg.value_transform, to_bytes(sparse::block_values(csr, range)));
+    }
+    telem.encode_transform.bytes_in.add(raw_bytes);
+    telem.encode_transform.bytes_out.add(idx_raw.size() + val_raw.size());
     cm.index_stages.raw += range.count * sizeof(sparse::index_t);
     cm.value_stages.raw += range.count * sizeof(double);
 
-    index_mid[b] = cfg.snappy ? snappy_codec.encode(idx_raw) : std::move(idx_raw);
-    value_mid[b] = cfg.snappy ? snappy_codec.encode(val_raw) : std::move(val_raw);
+    telem.encode_snappy.bytes_in.add(idx_raw.size() + val_raw.size());
+    {
+      telemetry::StageTimer t(telem.encode_snappy.ns);
+      index_mid[b] =
+          cfg.snappy ? snappy_codec.encode(idx_raw) : std::move(idx_raw);
+      value_mid[b] =
+          cfg.snappy ? snappy_codec.encode(val_raw) : std::move(val_raw);
+    }
+    telem.encode_snappy.bytes_out.add(index_mid[b].size() +
+                                      value_mid[b].size());
     cm.index_stages.after_snappy += index_mid[b].size();
     cm.value_stages.after_snappy += value_mid[b].size();
 
@@ -177,19 +239,35 @@ void decompress_block(const CompressedMatrix& cm, std::size_t b,
   RECODE_CHECK(b < cm.blocks.size());
   const auto& cfg = cm.config;
   const auto& block = cm.blocks[b];
+  CodecTelemetry& telem = CodecTelemetry::get();
+  telem.decode_blocks.add(1);
+  RECODE_TRACE_SPAN_ARG("codec", "decompress_block", "block", b);
 
   auto decode_stream = [&](ByteSpan data, Transform transform,
                            const std::shared_ptr<const HuffmanTable>& table) {
     Bytes buf(data.begin(), data.end());
     if (cfg.huffman) {
+      telem.decode_huffman.bytes_in.add(buf.size());
+      RECODE_TRACE_SPAN("codec", "huffman_decode");
+      telemetry::StageTimer t(telem.decode_huffman.ns);
       const HuffmanCodec hc(table);
       buf = hc.decode(buf);
+      telem.decode_huffman.bytes_out.add(buf.size());
     }
     if (cfg.snappy) {
+      telem.decode_snappy.bytes_in.add(buf.size());
+      RECODE_TRACE_SPAN("codec", "snappy_decode");
+      telemetry::StageTimer t(telem.decode_snappy.ns);
       const SnappyCodec sc;
       buf = sc.decode(buf);
+      telem.decode_snappy.bytes_out.add(buf.size());
     }
-    return invert_transform(transform, buf);
+    telem.decode_transform.bytes_in.add(buf.size());
+    RECODE_TRACE_SPAN("codec", "transform_decode");
+    telemetry::StageTimer t(telem.decode_transform.ns);
+    Bytes out = invert_transform(transform, buf);
+    telem.decode_transform.bytes_out.add(out.size());
+    return out;
   };
 
   const Bytes idx_bytes =

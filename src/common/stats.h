@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -18,10 +19,15 @@ double mean(std::span<const double> values);
 // Median (average of middle two for even sizes). Returns 0 for empty input.
 double median(std::vector<double> values);
 
+// Empty-input convention (shared with StreamingStats): the aggregates
+// mean/median/geomean are 0.0 for empty input (a benign identity for the
+// summary tables), but the extremes min/max are NaN — a 0.0 there would
+// be indistinguishable from a real observed zero. Check count == 0 to
+// detect the empty case explicitly.
 struct Summary {
   std::size_t count = 0;
-  double min = 0.0;
-  double max = 0.0;
+  double min = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
   double mean = 0.0;
   double median = 0.0;
   double geomean = 0.0;  // 0 if any value is non-positive
@@ -30,13 +36,15 @@ struct Summary {
 Summary summarize(std::span<const double> values);
 
 // Streaming accumulator for mean / min / max / geomean without retaining
-// the sample vector.
+// the sample vector. Follows the Summary empty-input convention:
+// min()/max() are NaN until the first add(); mean()/geomean() are 0.0
+// for an empty accumulator; count() == 0 identifies "no samples".
 class StreamingStats {
  public:
   void add(double v);
   std::size_t count() const { return count_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
+  double min() const { return min_; }  // NaN when count() == 0
+  double max() const { return max_; }  // NaN when count() == 0
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   // Geomean over added values; 0 if any value was non-positive.
   double geomean() const;
@@ -46,8 +54,8 @@ class StreamingStats {
   double sum_ = 0.0;
   double log_sum_ = 0.0;
   bool all_positive_ = true;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 }  // namespace recode

@@ -90,12 +90,22 @@ class BoundedQueue {
   // Blocks while full. Returns false (dropping `item`) once the queue is
   // closed or cancelled.
   bool push(T item) {
+    std::size_t depth;
+    return push(std::move(item), depth);
+  }
+
+  // Same, also reporting the queue depth right after the push — the
+  // occupancy sample the streaming telemetry histograms, taken under the
+  // lock the push already holds (no extra acquisition).
+  bool push(T item, std::size_t& depth_after) {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock, [this] {
       return closed_ || cancelled_ || items_.size() < capacity_;
     });
     if (closed_ || cancelled_) return false;
     items_.push_back(std::move(item));
+    depth_after = items_.size();
+    if (depth_after > high_water_) high_water_ = depth_after;
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -147,12 +157,21 @@ class BoundedQueue {
     return items_.size();
   }
 
+  // Highest depth the queue ever reached. Monotonic: survives pops,
+  // close() and cancel() (cancel drops the items but not the record of
+  // how full the queue got).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
+  std::size_t high_water_ = 0;
   bool closed_ = false;
   bool cancelled_ = false;
 };

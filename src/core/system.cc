@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace recode::core {
 
@@ -119,6 +120,15 @@ OverlapReport analyze_overlap(const OverlapMeasurement& m) {
   if (m.wall_seconds > 0) {
     r.measured_efficiency = r.ideal_wall_seconds / m.wall_seconds;
     r.overlap_speedup = r.serial_wall_seconds / m.wall_seconds;
+  }
+  // Publish the derived overlap figures so a metrics snapshot taken after
+  // a streaming run carries the Fig 14/15 model inputs next to the raw
+  // queue-wait histograms they explain.
+  if constexpr (telemetry::kEnabled) {
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.gauge("core.overlap.measured_efficiency").set(r.measured_efficiency);
+    reg.gauge("core.overlap.overlap_speedup").set(r.overlap_speedup);
+    reg.gauge("core.overlap.decode_fraction").set(r.decode_fraction);
   }
   return r;
 }

@@ -6,9 +6,59 @@
 
 #include "common/error.h"
 #include "common/timer.h"
+#include "telemetry/telemetry.h"
 #include "udpprog/block_decoder.h"
 
 namespace recode::spmv {
+
+namespace {
+
+// Registry handles resolved once (registration locks; the workers only
+// touch the lock-free instruments). All of this is a no-op skeleton when
+// RECODE_TELEMETRY=OFF.
+struct StreamTelemetry {
+  telemetry::Counter& runs;
+  telemetry::Counter& blocks;
+  telemetry::Counter& bytes;
+  telemetry::Counter& udp_cycles;
+  telemetry::Counter& decode_busy_ns;
+  telemetry::Counter& decode_blocked_ns;
+  telemetry::Counter& compute_busy_ns;
+  telemetry::Counter& compute_blocked_ns;
+  telemetry::Histogram& free_pop_wait_us;   // decoder starved of slabs
+  telemetry::Histogram& band_push_wait_us;  // decoder backpressured
+  telemetry::Histogram& ready_pop_wait_us;  // consumer idle between bands
+  telemetry::Histogram& band_pop_wait_us;   // consumer starved mid-band
+  telemetry::Histogram& band_occupancy;     // depth sampled at each push
+  telemetry::Gauge& band_queue_high_water;
+
+  static StreamTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static StreamTelemetry* t = new StreamTelemetry{
+        reg.counter("spmv.stream.runs"),
+        reg.counter("spmv.stream.blocks_decoded"),
+        reg.counter("spmv.stream.compressed_bytes"),
+        reg.counter("spmv.stream.udp_cycles"),
+        reg.counter("spmv.decode.busy_ns"),
+        reg.counter("spmv.decode.blocked_ns"),
+        reg.counter("spmv.compute.busy_ns"),
+        reg.counter("spmv.compute.blocked_ns"),
+        reg.histogram("spmv.free_queue.pop_wait_us"),
+        reg.histogram("spmv.band_queue.push_wait_us"),
+        reg.histogram("spmv.ready_queue.pop_wait_us"),
+        reg.histogram("spmv.band_queue.pop_wait_us"),
+        reg.histogram("spmv.band_queue.occupancy"),
+        reg.gauge("spmv.band_queue.high_water"),
+    };
+    return *t;
+  }
+};
+
+std::uint64_t to_ns(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+}  // namespace
 
 std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
                                     std::size_t target_blocks) {
@@ -92,6 +142,8 @@ struct StreamingExecutor::Run {
   std::mutex mu;
   double decode_busy = 0.0;
   double compute_busy = 0.0;
+  double decode_blocked = 0.0;   // queue-wait time (telemetry probes)
+  double compute_blocked = 0.0;
   std::uint64_t blocks = 0;
   std::uint64_t bytes = 0;
   std::uint64_t udp_cycles = 0;
@@ -129,8 +181,14 @@ StreamingExecutor::~StreamingExecutor() = default;
 
 void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
   DecoderState& state = *decoders_[worker];
+  StreamTelemetry& telem = StreamTelemetry::get();
+  if (telemetry::Tracer::global().enabled()) {
+    telemetry::Tracer::global().set_thread_name("decode-" +
+                                                std::to_string(worker));
+  }
   Timer busy;
   double busy_seconds = 0.0;
+  double blocked_seconds = 0.0;
   std::uint64_t blocks = 0, bytes = 0, udp_cycles = 0;
   std::exception_ptr error;
 
@@ -142,34 +200,54 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
       if (!run.ready_bands.push(band_idx)) break;
       const RowBand& band = bands_[band_idx];
       auto& out = *run.band_queues[band_idx];
+      RECODE_TRACE_SPAN_ARG("spmv", "decode_band", "band", band_idx);
       bool cancelled = false;
       for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
         Slab* slab = nullptr;
-        if (!run.free_queues[worker]->pop(slab)) {
+        bool got_slab;
+        {
+          telemetry::WaitTimer wait(telem.free_pop_wait_us, &blocked_seconds);
+          got_slab = run.free_queues[worker]->pop(slab);
+        }
+        if (!got_slab) {
           cancelled = true;
           break;
         }
         const std::size_t b = band.first_block + i;
-        busy.reset();
-        if (config_.engine == DecodeEngine::kSoftware) {
-          codec::decompress_block(*cm_, b, slab->indices, slab->values);
-          slab->udp_cycles = 0;
-        } else {
-          if (!state.udp) {
-            state.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+        {
+          RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
+          busy.reset();
+          if (config_.engine == DecodeEngine::kSoftware) {
+            codec::decompress_block(*cm_, b, slab->indices, slab->values);
+            slab->udp_cycles = 0;
+          } else {
+            if (!state.udp) {
+              state.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+            }
+            udpprog::BlockResult result = state.udp->decode_block(b);
+            slab->indices = std::move(result.indices);
+            slab->values = std::move(result.values);
+            slab->udp_cycles = result.lane_cycles();
           }
-          udpprog::BlockResult result = state.udp->decode_block(b);
-          slab->indices = std::move(result.indices);
-          slab->values = std::move(result.values);
-          slab->udp_cycles = result.lane_cycles();
+          check_block_indices(slab->indices, cm_->cols);
+          busy_seconds += busy.seconds();
         }
-        check_block_indices(slab->indices, cm_->cols);
-        busy_seconds += busy.seconds();
         slab->block = b;
         ++blocks;
         bytes += cm_->blocks[b].bytes();
         udp_cycles += slab->udp_cycles;
-        if (!out.push(slab)) cancelled = true;
+        std::size_t depth = 0;
+        bool pushed;
+        {
+          telemetry::WaitTimer wait(telem.band_push_wait_us,
+                                    &blocked_seconds);
+          pushed = out.push(slab, depth);
+        }
+        if (pushed) {
+          telem.band_occupancy.observe(static_cast<double>(depth));
+        } else {
+          cancelled = true;
+        }
       }
       if (cancelled) break;
     }
@@ -177,9 +255,15 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
     error = std::current_exception();
   }
 
+  telem.decode_busy_ns.add(to_ns(busy_seconds));
+  telem.decode_blocked_ns.add(to_ns(blocked_seconds));
+  telem.blocks.add(blocks);
+  telem.bytes.add(bytes);
+  telem.udp_cycles.add(udp_cycles);
   {
     std::lock_guard<std::mutex> lock(run.mu);
     run.decode_busy += busy_seconds;
+    run.decode_blocked += blocked_seconds;
     run.blocks += blocks;
     run.bytes += bytes;
     run.udp_cycles += udp_cycles;
@@ -197,37 +281,60 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
   }
 }
 
-void StreamingExecutor::compute_worker(Run& run, std::span<const double> x,
+void StreamingExecutor::compute_worker(Run& run, std::size_t worker,
+                                       std::span<const double> x,
                                        std::span<double> y, int k) {
+  StreamTelemetry& telem = StreamTelemetry::get();
+  if (telemetry::Tracer::global().enabled()) {
+    telemetry::Tracer::global().set_thread_name("compute-" +
+                                                std::to_string(worker));
+  }
   Timer busy;
   double busy_seconds = 0.0;
+  double blocked_seconds = 0.0;
   std::exception_ptr error;
 
   try {
-    std::size_t band_idx = 0;
-    while (run.ready_bands.pop(band_idx)) {
+    for (;;) {
+      std::size_t band_idx = 0;
+      bool got_band;
+      {
+        telemetry::WaitTimer wait(telem.ready_pop_wait_us, &blocked_seconds);
+        got_band = run.ready_bands.pop(band_idx);
+      }
+      if (!got_band) break;
       const RowBand& band = bands_[band_idx];
       auto& in = *run.band_queues[band_idx];
+      RECODE_TRACE_SPAN_ARG("spmv", "accumulate_band", "band", band_idx);
       bool cancelled = false;
       // Exactly one consumer owns a band at a time and drains it in
       // stream order: the accumulation order over this band's (exclusive)
       // rows matches the serial engine's exactly.
       for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
         Slab* slab = nullptr;
-        if (!in.pop(slab)) {
+        bool got_slab;
+        {
+          telemetry::WaitTimer wait(telem.band_pop_wait_us, &blocked_seconds);
+          got_slab = in.pop(slab);
+        }
+        if (!got_slab) {
           cancelled = true;
           break;
         }
         const auto& range = cm_->blocking.blocks[slab->block];
-        busy.reset();
-        if (k == 1) {
-          accumulate_block(range, cm_->row_ptr, slab->indices, slab->values,
-                           x, y);
-        } else {
-          accumulate_block_batch(range, cm_->row_ptr, slab->indices,
-                                 slab->values, x, y, k);
+        {
+          RECODE_TRACE_SPAN_ARG("spmv", "accumulate_block", "block",
+                                slab->block);
+          busy.reset();
+          if (k == 1) {
+            accumulate_block(range, cm_->row_ptr, slab->indices, slab->values,
+                             x, y);
+          } else {
+            accumulate_block_batch(range, cm_->row_ptr, slab->indices,
+                                   slab->values, x, y, k);
+          }
+          busy_seconds += busy.seconds();
         }
-        busy_seconds += busy.seconds();
         if (!run.free_queues[slab->owner]->push(slab)) cancelled = true;
       }
       if (cancelled) break;
@@ -236,9 +343,12 @@ void StreamingExecutor::compute_worker(Run& run, std::span<const double> x,
     error = std::current_exception();
   }
 
+  telem.compute_busy_ns.add(to_ns(busy_seconds));
+  telem.compute_blocked_ns.add(to_ns(blocked_seconds));
   {
     std::lock_guard<std::mutex> lock(run.mu);
     run.compute_busy += busy_seconds;
+    run.compute_blocked += blocked_seconds;
   }
   if (error) {
     run.cancel_all();
@@ -280,12 +390,15 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
     }
   }
 
+  StreamTelemetry& telem = StreamTelemetry::get();
+  RECODE_TRACE_SPAN_ARG("spmv", "multiply_batch", "rhs", k);
   Timer wall;
   for (std::size_t d = 0; d < config_.decode_threads; ++d) {
     pool_->submit([this, &run, d] { decode_worker(run, d); });
   }
   for (std::size_t c = 0; c < config_.compute_threads; ++c) {
-    pool_->submit([this, &run, x, y, k] { compute_worker(run, x, y, k); });
+    pool_->submit(
+        [this, &run, c, x, y, k] { compute_worker(run, c, x, y, k); });
   }
 
   // Blocks until every worker has drained, then rethrows the first
@@ -301,9 +414,18 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
   stats_.wall_seconds = wall.seconds();
   stats_.decode_busy_seconds = run.decode_busy;
   stats_.compute_busy_seconds = run.compute_busy;
+  stats_.decode_blocked_seconds = run.decode_blocked;
+  stats_.compute_blocked_seconds = run.compute_blocked;
   stats_.blocks_decoded = run.blocks;
   stats_.compressed_bytes = run.bytes;
   stats_.udp_cycles = run.udp_cycles;
+  std::size_t high_water = 0;
+  for (const auto& q : run.band_queues) {
+    high_water = std::max(high_water, q->high_water());
+  }
+  stats_.band_queue_high_water = high_water;
+  telem.runs.add(1);
+  telem.band_queue_high_water.set(static_cast<double>(high_water));
   total_blocks_decoded_ += run.blocks;
   total_compressed_bytes_ += run.bytes;
 }

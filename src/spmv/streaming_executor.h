@@ -69,9 +69,17 @@ struct OverlapStats {
   double wall_seconds = 0.0;
   double decode_busy_seconds = 0.0;   // summed across decoder workers
   double compute_busy_seconds = 0.0;  // summed across compute workers
+  // Time workers spent blocked on pipeline queues (decode: waiting for a
+  // free slab or a full band queue; compute: waiting for decoded slabs).
+  // Measured by the telemetry wait probes — 0 when RECODE_TELEMETRY=OFF.
+  double decode_blocked_seconds = 0.0;
+  double compute_blocked_seconds = 0.0;
   std::size_t decode_threads = 0;
   std::size_t compute_threads = 0;
   std::size_t bands = 0;
+  // Deepest any band queue got during the run (its capacity bounds it);
+  // capacity-sized values mean the consumers were the bottleneck.
+  std::size_t band_queue_high_water = 0;
   std::uint64_t blocks_decoded = 0;
   std::uint64_t compressed_bytes = 0;
   std::uint64_t udp_cycles = 0;  // kUdpSimulated only
@@ -112,8 +120,8 @@ class StreamingExecutor {
   struct Run;         // per-call pipeline state (queues, gate, error flag)
 
   void decode_worker(Run& run, std::size_t worker);
-  void compute_worker(Run& run, std::span<const double> x,
-                      std::span<double> y, int k);
+  void compute_worker(Run& run, std::size_t worker,
+                      std::span<const double> x, std::span<double> y, int k);
 
   const codec::CompressedMatrix* cm_;
   StreamingConfig config_;

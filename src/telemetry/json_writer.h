@@ -1,0 +1,135 @@
+// Minimal JSON emission helper shared by the metrics snapshot, the
+// Chrome-trace exporter, and the bench --json reports.
+//
+// Emission-only (no parsing): callers drive begin/end pairs and the
+// writer handles comma placement, string escaping, and the non-finite
+// double -> null convention (JSON has no NaN/Inf literals).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recode::telemetry {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  // Object key; the next value (or container) attaches to it.
+  void key(std::string_view k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    after_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    append_string(s);
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+  void value(double d) {
+    comma();
+    if (!std::isfinite(d)) {
+      out_ += "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    out_ += buf;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    out_ += buf;
+  }
+  void value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out_ += buf;
+  }
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  // Splices pre-serialized JSON in value position (e.g. a
+  // MetricsSnapshot::to_json() object inside a bench report). The caller
+  // vouches that `json` is a complete, valid JSON value.
+  void raw(std::string_view json) {
+    comma();
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void open(char c) {
+    comma();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+
+  void close(char c) {
+    out_ += c;
+    need_comma_.pop_back();
+  }
+
+  // Inserts the separator before a value/key in the current container.
+  void comma() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace recode::telemetry

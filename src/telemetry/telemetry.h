@@ -1,0 +1,13 @@
+// Umbrella header for the telemetry subsystem: the process-wide
+// MetricsRegistry (counters / gauges / log2 histograms) and the
+// scoped-span Tracer with Chrome trace_event export.
+//
+// Build knob: the RECODE_TELEMETRY CMake option (default ON) defines
+// RECODE_TELEMETRY_ENABLED=0/1 on every target linking recode_telemetry.
+// When OFF, all hot-path operations compile to empty inline bodies and
+// the span macros expand to nothing measurable — pipeline results are
+// bitwise-identical either way (tests/telemetry/test_telemetry_pipeline).
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"

@@ -1,0 +1,128 @@
+#include "telemetry/trace.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "telemetry/json_writer.h"
+
+namespace recode::telemetry {
+
+Tracer& Tracer::global() {
+  static Tracer* tracer = new Tracer();  // never dies: threads may outlive main
+  return *tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // One buffer per (thread, tracer-lifetime); owned by the tracer so a
+  // worker exiting between start() and export never invalidates events.
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(std::move(owned));
+  }
+  return *buffer;
+}
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::stop() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::set_thread_name(const std::string& name) {
+  ThreadBuffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.name = name;
+}
+
+void Tracer::record(const TraceEvent& e) {
+  ThreadBuffer& b = local_buffer();
+  std::lock_guard<std::mutex> lock(b.mu);
+  b.events.push_back(e);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", std::uint64_t{1});
+  w.kv("tid", std::uint64_t{0});
+  w.key("args");
+  w.begin_object();
+  w.kv("name", "recode");
+  w.end_object();
+  w.end_object();
+
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    if (!b->name.empty()) {
+      w.begin_object();
+      w.kv("name", "thread_name");
+      w.kv("ph", "M");
+      w.kv("pid", std::uint64_t{1});
+      w.kv("tid", std::uint64_t{b->tid});
+      w.key("args");
+      w.begin_object();
+      w.kv("name", b->name);
+      w.end_object();
+      w.end_object();
+    }
+    for (const auto& e : b->events) {
+      w.begin_object();
+      w.kv("name", e.name);
+      w.kv("cat", e.cat);
+      w.kv("ph", "X");
+      w.kv("pid", std::uint64_t{1});
+      w.kv("tid", std::uint64_t{b->tid});
+      // trace_event timestamps are microseconds.
+      w.kv("ts", static_cast<double>(e.ts_ns) / 1e3);
+      w.kv("dur", static_cast<double>(e.dur_ns) / 1e3);
+      if (e.arg_name != nullptr) {
+        w.key("args");
+        w.begin_object();
+        w.kv(e.arg_name, e.arg_value);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return w.take();
+}
+
+void Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("tracer: cannot open " + path + " for writing");
+  const std::string json = chrome_trace_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) fail("tracer: failed writing " + path);
+}
+
+}  // namespace recode::telemetry

@@ -1,0 +1,168 @@
+// Scoped-span tracing with Chrome trace_event export.
+//
+// A Span (or the RECODE_TRACE_SPAN macro) records one complete event —
+// category, name, start, duration, thread — into a per-thread buffer
+// owned by the process-wide Tracer. Buffers are merged on export into
+// Chrome's trace_event JSON array format, loadable in chrome://tracing
+// or Perfetto (ui.perfetto.dev).
+//
+// Cost model: recording is off until Tracer::start(); a span on a
+// stopped tracer is one relaxed atomic load. With RECODE_TELEMETRY=OFF
+// the Span type is empty and the macros compile away entirely.
+//
+// Export is meant for quiesced pipelines (workers joined); per-buffer
+// locks make a mid-flight export safe, just not necessarily complete.
+#pragma once
+
+#ifndef RECODE_TELEMETRY_ENABLED
+#define RECODE_TELEMETRY_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace recode::telemetry {
+
+struct TraceEvent {
+  const char* cat = "";   // static string (category filter in the viewer)
+  const char* name = "";  // static string
+  std::uint64_t ts_ns = 0;   // start, relative to the tracer epoch
+  std::uint64_t dur_ns = 0;
+  const char* arg_name = nullptr;  // optional single integer argument
+  std::uint64_t arg_value = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  // Drops previously recorded events, restarts the epoch, and enables
+  // recording.
+  void start();
+  void stop();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Labels the calling thread in the exported trace ("decode-0"). Cheap
+  // to call repeatedly; the last name wins.
+  void set_thread_name(const std::string& name);
+
+  // Nanoseconds since the current epoch.
+  std::uint64_t now_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // Appends `e` to the calling thread's buffer (recording must be on).
+  void record(const TraceEvent& e);
+
+  std::size_t event_count() const;
+
+  // Chrome trace_event JSON: {"traceEvents":[...],"displayTimeUnit":"ms"}
+  // with one "X" (complete) event per span plus thread_name metadata.
+  std::string chrome_trace_json() const;
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::uint32_t tid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;  // guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 1;
+};
+
+// RAII scope recording one complete trace event on destruction. Empty
+// when telemetry is compiled off.
+class Span {
+ public:
+  Span(const char* cat, const char* name)
+      : Span(cat, name, nullptr, 0) {}
+
+  Span(const char* cat, const char* name, const char* arg_name,
+       std::uint64_t arg_value)
+#if RECODE_TELEMETRY_ENABLED
+      : active_(Tracer::global().enabled()) {
+    if (active_) {
+      cat_ = cat;
+      name_ = name;
+      arg_name_ = arg_name;
+      arg_value_ = arg_value;
+      start_ns_ = Tracer::global().now_ns();
+    }
+  }
+  ~Span() {
+    if (!active_) return;
+    Tracer& t = Tracer::global();
+    if (!t.enabled()) return;  // tracer stopped mid-span
+    TraceEvent e;
+    e.cat = cat_;
+    e.name = name_;
+    e.ts_ns = start_ns_;
+    e.dur_ns = t.now_ns() - start_ns_;
+    e.arg_name = arg_name_;
+    e.arg_value = arg_value_;
+    t.record(e);
+  }
+#else
+  {
+    static_cast<void>(cat);
+    static_cast<void>(name);
+    static_cast<void>(arg_name);
+    static_cast<void>(arg_value);
+  }
+  ~Span() = default;
+#endif
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+#if RECODE_TELEMETRY_ENABLED
+ private:
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_value_ = 0;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+#endif
+};
+
+#define RECODE_TELEMETRY_CAT2_(a, b) a##b
+#define RECODE_TELEMETRY_CAT_(a, b) RECODE_TELEMETRY_CAT2_(a, b)
+
+// Scoped span covering the rest of the enclosing block. Category and
+// name must be string literals (stored by pointer, not copied).
+#define RECODE_TRACE_SPAN(category, name)                           \
+  [[maybe_unused]] ::recode::telemetry::Span RECODE_TELEMETRY_CAT_( \
+      recode_trace_span_, __LINE__) {                               \
+    (category), (name)                                              \
+  }
+
+// Same, with one integer argument shown in the viewer's detail pane.
+#define RECODE_TRACE_SPAN_ARG(category, name, arg_key, arg_value)   \
+  [[maybe_unused]] ::recode::telemetry::Span RECODE_TELEMETRY_CAT_( \
+      recode_trace_span_, __LINE__) {                               \
+    (category), (name), (arg_key),                                  \
+        static_cast<std::uint64_t>(arg_value)                       \
+  }
+
+}  // namespace recode::telemetry

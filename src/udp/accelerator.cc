@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "common/stats.h"
+#include "telemetry/telemetry.h"
 
 namespace recode::udp {
+
+namespace {
+
+struct AccelTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& jobs = reg.counter("udp.accel.jobs");
+  telemetry::Histogram& job_cycles = reg.histogram("udp.accel.job_cycles");
+
+  static AccelTelemetry& get() {
+    static AccelTelemetry* t = new AccelTelemetry();
+    return *t;
+  }
+};
+
+}  // namespace
 
 Accelerator::Accelerator(AcceleratorConfig config) : config_(config) {
   RECODE_CHECK(config_.lanes > 0);
@@ -16,6 +33,11 @@ void Accelerator::add_job(std::uint64_t cycles) {
   auto it = std::min_element(lane_cycles_.begin(), lane_cycles_.end());
   *it += cycles;
   ++jobs_;
+  if constexpr (telemetry::kEnabled) {
+    AccelTelemetry& telem = AccelTelemetry::get();
+    telem.jobs.add(1);
+    telem.job_cycles.observe(static_cast<double>(cycles));
+  }
 }
 
 void Accelerator::reset() {
@@ -52,6 +74,30 @@ double Accelerator::energy_joules() const {
 double Accelerator::throughput_bytes_per_sec(std::uint64_t bytes) const {
   const double s = seconds();
   return s == 0.0 ? 0.0 : static_cast<double>(bytes) / s;
+}
+
+void Accelerator::publish_telemetry() const {
+  if constexpr (!telemetry::kEnabled) return;
+  auto& reg = telemetry::MetricsRegistry::global();
+  auto& lane_busy = reg.histogram("udp.accel.lane_busy_cycles");
+  const std::uint64_t makespan = makespan_cycles();
+  StreamingStats lane_util;
+  for (const std::uint64_t cycles : lane_cycles_) {
+    lane_busy.observe(static_cast<double>(cycles));
+    // An empty schedule counts every lane as perfectly utilized, matching
+    // utilization()'s convention.
+    lane_util.add(makespan == 0 ? 1.0
+                                : static_cast<double>(cycles) /
+                                      static_cast<double>(makespan));
+  }
+  reg.gauge("udp.accel.utilization").set(utilization());
+  reg.gauge("udp.accel.lane_utilization_min").set(lane_util.min());
+  reg.gauge("udp.accel.lane_utilization_max").set(lane_util.max());
+  reg.gauge("udp.accel.lane_utilization_mean").set(lane_util.mean());
+  reg.gauge("udp.accel.makespan_cycles")
+      .set(static_cast<double>(makespan));
+  reg.gauge("udp.accel.busy_cycles_total")
+      .set(static_cast<double>(total_busy_cycles()));
 }
 
 }  // namespace recode::udp

@@ -62,6 +62,13 @@ class Accelerator {
   // Aggregate throughput for `bytes` of output produced by the jobs.
   double throughput_bytes_per_sec(std::uint64_t bytes) const;
 
+  // Mirrors the schedule into the process-wide telemetry registry:
+  // per-lane busy cycles into the `udp.accel.lane_busy_cycles` histogram
+  // and a StreamingStats summary of per-lane utilization (busy/makespan)
+  // into the `udp.accel.*` gauges. Call after the last add_job(); a no-op
+  // when RECODE_TELEMETRY=OFF.
+  void publish_telemetry() const;
+
  private:
   AcceleratorConfig config_;
   std::vector<std::uint64_t> lane_cycles_;

@@ -3,8 +3,35 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace recode::udp {
+
+namespace {
+
+// Registry handles for the lane-level counters, resolved once. Lane::run
+// mirrors its LaneCounters into these on every successful run so the
+// cycle-simulator activity shows up in the process-wide metrics snapshot
+// alongside the streaming-executor and codec counters.
+struct LaneTelemetry {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& runs = reg.counter("udp.lane.runs");
+  telemetry::Counter& cycles = reg.counter("udp.lane.cycles");
+  telemetry::Counter& transitions = reg.counter("udp.lane.transitions");
+  telemetry::Counter& actions = reg.counter("udp.lane.actions");
+  telemetry::Counter& stream_bits = reg.counter("udp.lane.stream_bits");
+  telemetry::Counter& scratch_read =
+      reg.counter("udp.lane.scratch_read_bytes");
+  telemetry::Counter& scratch_written =
+      reg.counter("udp.lane.scratch_written_bytes");
+
+  static LaneTelemetry& get() {
+    static LaneTelemetry* t = new LaneTelemetry();
+    return *t;
+  }
+};
+
+}  // namespace
 
 Lane::Lane(const Layout& layout, LaneConfig config)
     : layout_(&layout), config_(config) {
@@ -256,6 +283,19 @@ const LaneCounters& Lane::run(
       fail("udp lane: cycle budget exceeded (runaway program?)");
     }
     state = slot.arc->next;
+  }
+
+  // Faulted runs throw above and publish nothing; a half-run's counters
+  // would skew the per-run averages the snapshot implies.
+  if constexpr (telemetry::kEnabled) {
+    LaneTelemetry& telem = LaneTelemetry::get();
+    telem.runs.add(1);
+    telem.cycles.add(counters_.cycles);
+    telem.transitions.add(counters_.transitions);
+    telem.actions.add(counters_.actions);
+    telem.stream_bits.add(counters_.stream_bits_consumed);
+    telem.scratch_read.add(counters_.scratch_bytes_read);
+    telem.scratch_written.add(counters_.scratch_bytes_written);
   }
   return counters_;
 }

@@ -78,6 +78,7 @@ MatrixDecodeResult simulate_matrix_decode(const codec::CompressedMatrix& cm,
   for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
     accel.add_job(static_cast<std::uint64_t>(mean_cycles));
   }
+  accel.publish_telemetry();
   result.accelerator_seconds = accel.seconds();
   result.energy_joules = accel.energy_joules();
 

@@ -66,5 +66,38 @@ TEST(StreamingStats, GeomeanZeroWhenNonPositiveSeen) {
   EXPECT_DOUBLE_EQ(ss.mean(), 0.5);
 }
 
+// --- Empty-input convention (stats.h): aggregates are the benign 0.0,
+// extremes are NaN so "never observed" can't be mistaken for a real 0.
+
+TEST(Summarize, EmptyInputHasNaNExtremesAndZeroAggregates) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.max));
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+  EXPECT_DOUBLE_EQ(s.geomean, 0.0);
+}
+
+TEST(StreamingStats, EmptyHasNaNExtremesAndZeroAggregates) {
+  StreamingStats ss;
+  EXPECT_EQ(ss.count(), 0u);
+  EXPECT_TRUE(std::isnan(ss.min()));
+  EXPECT_TRUE(std::isnan(ss.max()));
+  EXPECT_DOUBLE_EQ(ss.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ss.geomean(), 0.0);
+}
+
+TEST(StreamingStats, FirstAddReplacesNaNExtremes) {
+  StreamingStats ss;
+  ss.add(0.0);  // a real observed zero must not look like the empty case
+  EXPECT_EQ(ss.count(), 1u);
+  EXPECT_DOUBLE_EQ(ss.min(), 0.0);
+  EXPECT_DOUBLE_EQ(ss.max(), 0.0);
+  ss.add(-3.0);
+  EXPECT_DOUBLE_EQ(ss.min(), -3.0);
+  EXPECT_DOUBLE_EQ(ss.max(), 0.0);
+}
+
 }  // namespace
 }  // namespace recode

@@ -220,6 +220,103 @@ TEST(BoundedQueue, MpmcTransfersEveryItemExactlyOnce) {
   EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
+// --- BoundedQueue size / high-water accounting --------------------------
+
+TEST(BoundedQueue, SizeTracksPushesAndPops) {
+  BoundedQueue<int> q(4);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueue, PushReportsDepthAfterInsert) {
+  BoundedQueue<int> q(4);
+  std::size_t depth = 0;
+  EXPECT_TRUE(q.push(1, depth));
+  EXPECT_EQ(depth, 1u);
+  EXPECT_TRUE(q.push(2, depth));
+  EXPECT_EQ(depth, 2u);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.push(3, depth));
+  EXPECT_EQ(depth, 2u);  // depth after the push, not a running total
+}
+
+TEST(BoundedQueue, HighWaterIsMonotonicAcrossPops) {
+  BoundedQueue<int> q(8);
+  EXPECT_EQ(q.high_water(), 0u);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.high_water(), 3u);
+  int out = 0;
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_water(), 3u);  // survives the drain
+  EXPECT_TRUE(q.push(4));
+  EXPECT_EQ(q.high_water(), 3u);  // a shallower refill does not lower it
+}
+
+TEST(BoundedQueue, HighWaterBoundedByCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.push(3));
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(BoundedQueue, CloseKeepsSizeAndHighWaterReadable) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  // Queued items stay poppable; the accessors keep reporting them.
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.high_water(), 2u);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.high_water(), 2u);
+}
+
+TEST(BoundedQueue, CancelDropsItemsButKeepsHighWater) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_TRUE(q.push(3));
+  q.cancel();
+  EXPECT_EQ(q.size(), 0u);        // items dropped
+  EXPECT_EQ(q.high_water(), 3u);  // the record of peak depth survives
+  EXPECT_FALSE(q.push(4));
+  EXPECT_EQ(q.high_water(), 3u);  // failed pushes don't move it
+}
+
+TEST(BoundedQueue, HighWaterUnderConcurrentTraffic) {
+  BoundedQueue<int> q(4);
+  constexpr int kItems = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+    q.close();
+  });
+  std::thread consumer([&] {
+    int out = 0;
+    while (q.pop(out)) {
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_GE(q.high_water(), 1u);
+  EXPECT_LE(q.high_water(), 4u);  // never exceeds capacity
+}
+
 // --- WorkerGate ---------------------------------------------------------
 
 TEST(WorkerGate, WaitsForAllWorkersThenRethrowsFirstError) {

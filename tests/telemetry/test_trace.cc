@@ -1,0 +1,184 @@
+// Tracer / Span tests: recording gating, nesting containment,
+// multi-thread buffer merge, and a golden-schema validation of the
+// exported Chrome trace_event JSON (the contract chrome://tracing and
+// Perfetto load).
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "minijson.h"
+#include "telemetry/telemetry.h"
+
+namespace recode::telemetry {
+namespace {
+
+namespace mj = recode::testing::minijson;
+
+// The global tracer is process-wide state shared by every TEST in this
+// binary; each test start()s it to drop earlier events (and stop()s it
+// when asserting on the disabled path).
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  tracer.stop();
+  { Span s("cat", "ignored"); }
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST(Tracer, SpanRecordsCompleteEvent) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    RECODE_TRACE_SPAN("spmv", "outer");
+    RECODE_TRACE_SPAN_ARG("spmv", "inner", "band", 3);
+  }
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), 2u);
+
+  bool ok = false;
+  mj::Value doc = mj::parse(tracer.chrome_trace_json(), ok);
+  ASSERT_TRUE(ok);
+  const mj::Array& events = doc.at("traceEvents").array();
+  // 2 spans + process_name + one thread_name metadata record.
+  std::size_t spans = 0;
+  for (const auto& e : events) {
+    if (e.at("ph").str() == "X" && e.at("name").str() == "inner") {
+      ++spans;
+      EXPECT_DOUBLE_EQ(e.at("args").at("band").num(), 3.0);
+    }
+  }
+  EXPECT_EQ(spans, 1u);
+}
+
+TEST(Tracer, NestedSpansAreContained) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    Span outer("t", "outer");
+    {
+      Span inner("t", "inner");
+    }
+  }
+  tracer.stop();
+
+  bool ok = false;
+  mj::Value doc = mj::parse(tracer.chrome_trace_json(), ok);
+  ASSERT_TRUE(ok);
+  double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+  for (const auto& e : doc.at("traceEvents").array()) {
+    if (e.at("ph").str() != "X") continue;
+    const double ts = e.at("ts").num();
+    const double end = ts + e.at("dur").num();
+    if (e.at("name").str() == "outer") {
+      outer_ts = ts;
+      outer_end = end;
+    } else if (e.at("name").str() == "inner") {
+      inner_ts = ts;
+      inner_end = end;
+    }
+  }
+  ASSERT_GE(outer_ts, 0.0);
+  ASSERT_GE(inner_ts, 0.0);
+  // Inner's [ts, ts+dur) interval nests inside outer's.
+  EXPECT_GE(inner_ts, outer_ts);
+  EXPECT_LE(inner_end, outer_end);
+}
+
+TEST(Tracer, ThreadBuffersMergeWithDistinctTids) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  constexpr int kThreads = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      Tracer::global().set_thread_name("worker-" + std::to_string(t));
+      for (int i = 0; i < 5; ++i) {
+        RECODE_TRACE_SPAN("test", "tick");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  tracer.stop();
+  EXPECT_EQ(tracer.event_count(), kThreads * 5u);
+
+  bool ok = false;
+  mj::Value doc = mj::parse(tracer.chrome_trace_json(), ok);
+  ASSERT_TRUE(ok);
+  std::set<double> span_tids;
+  std::set<std::string> names;
+  for (const auto& e : doc.at("traceEvents").array()) {
+    if (e.at("ph").str() == "X") span_tids.insert(e.at("tid").num());
+    if (e.at("ph").str() == "M" && e.at("name").str() == "thread_name") {
+      names.insert(e.at("args").at("name").str());
+    }
+  }
+  EXPECT_EQ(span_tids.size(), static_cast<std::size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(names.count("worker-" + std::to_string(t)) == 1)
+        << "missing thread_name worker-" << t;
+  }
+}
+
+TEST(Tracer, StartDropsPreviousEvents) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  { RECODE_TRACE_SPAN("test", "stale"); }
+  EXPECT_GE(tracer.event_count(), 1u);
+  tracer.start();  // re-arm: old events dropped, epoch restarted
+  EXPECT_EQ(tracer.event_count(), 0u);
+  tracer.stop();
+}
+
+// Golden-schema check of the whole document: the shape Perfetto /
+// chrome://tracing require — top-level traceEvents array, "X" events
+// with pid/tid/ts/dur, metadata with process_name, displayTimeUnit.
+TEST(Tracer, ChromeTraceGoldenSchema) {
+  if (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  { RECODE_TRACE_SPAN_ARG("codec", "decompress_block", "block", 7); }
+  tracer.stop();
+
+  bool ok = false;
+  mj::Value doc = mj::parse(tracer.chrome_trace_json(), ok);
+  ASSERT_TRUE(ok) << "trace JSON failed to parse";
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+
+  bool saw_process_name = false, saw_span = false;
+  for (const auto& e : doc.at("traceEvents").array()) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_TRUE(e.has("ph"));
+    const std::string& ph = e.at("ph").str();
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("tid"));
+    ASSERT_TRUE(e.has("name"));
+    if (ph == "M") {
+      if (e.at("name").str() == "process_name") saw_process_name = true;
+      continue;
+    }
+    ASSERT_EQ(ph, "X") << "unexpected event phase " << ph;
+    saw_span = true;
+    EXPECT_EQ(e.at("cat").str(), "codec");
+    EXPECT_EQ(e.at("name").str(), "decompress_block");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_GE(e.at("dur").num(), 0.0);
+    EXPECT_DOUBLE_EQ(e.at("args").at("block").num(), 7.0);
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_span);
+}
+
+}  // namespace
+}  // namespace recode::telemetry
