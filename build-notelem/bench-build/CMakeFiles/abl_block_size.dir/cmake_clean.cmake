@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_block_size"
+  "../bench/abl_block_size.pdb"
+  "CMakeFiles/abl_block_size.dir/abl_block_size.cc.o"
+  "CMakeFiles/abl_block_size.dir/abl_block_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_block_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_bsr_format"
+  "../bench/abl_bsr_format.pdb"
+  "CMakeFiles/abl_bsr_format.dir/abl_bsr_format.cc.o"
+  "CMakeFiles/abl_bsr_format.dir/abl_bsr_format.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bsr_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_codec_stages"
+  "../bench/abl_codec_stages.pdb"
+  "CMakeFiles/abl_codec_stages.dir/abl_codec_stages.cc.o"
+  "CMakeFiles/abl_codec_stages.dir/abl_codec_stages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_codec_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_dispatch_model"
+  "../bench/abl_dispatch_model.pdb"
+  "CMakeFiles/abl_dispatch_model.dir/abl_dispatch_model.cc.o"
+  "CMakeFiles/abl_dispatch_model.dir/abl_dispatch_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dispatch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_huffman_sampling"
+  "../bench/abl_huffman_sampling.pdb"
+  "CMakeFiles/abl_huffman_sampling.dir/abl_huffman_sampling.cc.o"
+  "CMakeFiles/abl_huffman_sampling.dir/abl_huffman_sampling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_huffman_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

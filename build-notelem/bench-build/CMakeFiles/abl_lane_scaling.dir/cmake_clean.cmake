@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_lane_scaling"
+  "../bench/abl_lane_scaling.pdb"
+  "CMakeFiles/abl_lane_scaling.dir/abl_lane_scaling.cc.o"
+  "CMakeFiles/abl_lane_scaling.dir/abl_lane_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lane_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_pipeline_des"
+  "../bench/abl_pipeline_des.pdb"
+  "CMakeFiles/abl_pipeline_des.dir/abl_pipeline_des.cc.o"
+  "CMakeFiles/abl_pipeline_des.dir/abl_pipeline_des.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pipeline_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

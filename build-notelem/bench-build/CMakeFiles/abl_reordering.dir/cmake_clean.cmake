@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_reordering"
+  "../bench/abl_reordering.pdb"
+  "CMakeFiles/abl_reordering.dir/abl_reordering.cc.o"
+  "CMakeFiles/abl_reordering.dir/abl_reordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_spmv_kernels"
+  "../bench/abl_spmv_kernels.pdb"
+  "CMakeFiles/abl_spmv_kernels.dir/abl_spmv_kernels.cc.o"
+  "CMakeFiles/abl_spmv_kernels.dir/abl_spmv_kernels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_spmv_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_value_width"
+  "../bench/abl_value_width.pdb"
+  "CMakeFiles/abl_value_width.dir/abl_value_width.cc.o"
+  "CMakeFiles/abl_value_width.dir/abl_value_width.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_value_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_cpu_spmv"
+  "../bench/fig03_cpu_spmv.pdb"
+  "CMakeFiles/fig03_cpu_spmv.dir/fig03_cpu_spmv.cc.o"
+  "CMakeFiles/fig03_cpu_spmv.dir/fig03_cpu_spmv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_cpu_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_compressed_size"
+  "../bench/fig10_compressed_size.pdb"
+  "CMakeFiles/fig10_compressed_size.dir/fig10_compressed_size.cc.o"
+  "CMakeFiles/fig10_compressed_size.dir/fig10_compressed_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compressed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

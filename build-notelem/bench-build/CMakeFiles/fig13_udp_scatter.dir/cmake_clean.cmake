@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_udp_scatter"
+  "../bench/fig13_udp_scatter.pdb"
+  "CMakeFiles/fig13_udp_scatter.dir/fig13_udp_scatter.cc.o"
+  "CMakeFiles/fig13_udp_scatter.dir/fig13_udp_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_udp_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_spmv_ddr4.
+# This may be replaced when dependencies are built.

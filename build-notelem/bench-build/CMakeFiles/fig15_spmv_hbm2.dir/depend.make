@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_spmv_hbm2.
+# This may be replaced when dependencies are built.

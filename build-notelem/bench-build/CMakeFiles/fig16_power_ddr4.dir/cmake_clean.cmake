@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_power_ddr4"
+  "../bench/fig16_power_ddr4.pdb"
+  "CMakeFiles/fig16_power_ddr4.dir/fig16_power_ddr4.cc.o"
+  "CMakeFiles/fig16_power_ddr4.dir/fig16_power_ddr4.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_power_ddr4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_power_ddr4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_power_hbm2"
+  "../bench/fig17_power_hbm2.pdb"
+  "CMakeFiles/fig17_power_hbm2.dir/fig17_power_hbm2.cc.o"
+  "CMakeFiles/fig17_power_hbm2.dir/fig17_power_hbm2.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_power_hbm2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fw_compression_accel"
+  "../bench/fw_compression_accel.pdb"
+  "CMakeFiles/fw_compression_accel.dir/fw_compression_accel.cc.o"
+  "CMakeFiles/fw_compression_accel.dir/fw_compression_accel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_compression_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

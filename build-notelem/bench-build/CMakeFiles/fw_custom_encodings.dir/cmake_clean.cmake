@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fw_custom_encodings"
+  "../bench/fw_custom_encodings.pdb"
+  "CMakeFiles/fw_custom_encodings.dir/fw_custom_encodings.cc.o"
+  "CMakeFiles/fw_custom_encodings.dir/fw_custom_encodings.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_custom_encodings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

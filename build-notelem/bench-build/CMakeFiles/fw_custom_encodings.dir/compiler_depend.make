@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fw_custom_encodings.
+# This may be replaced when dependencies are built.

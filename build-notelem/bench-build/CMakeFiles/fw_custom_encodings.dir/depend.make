@@ -1,0 +1,2 @@
+# Empty dependencies file for fw_custom_encodings.
+# This may be replaced when dependencies are built.

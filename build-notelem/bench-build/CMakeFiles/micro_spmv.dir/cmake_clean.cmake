@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_spmv"
+  "../bench/micro_spmv.pdb"
+  "CMakeFiles/micro_spmv.dir/micro_spmv.cc.o"
+  "CMakeFiles/micro_spmv.dir/micro_spmv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_streaming"
+  "../bench/micro_streaming.pdb"
+  "CMakeFiles/micro_streaming.dir/micro_streaming.cc.o"
+  "CMakeFiles/micro_streaming.dir/micro_streaming.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_udp"
+  "../bench/micro_udp.pdb"
+  "CMakeFiles/micro_udp.dir/micro_udp.cc.o"
+  "CMakeFiles/micro_udp.dir/micro_udp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_sparse_kernels.dir/ml_sparse_kernels.cpp.o"
+  "CMakeFiles/ml_sparse_kernels.dir/ml_sparse_kernels.cpp.o.d"
+  "ml_sparse_kernels"
+  "ml_sparse_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_sparse_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pde_cg_solver.dir/pde_cg_solver.cpp.o"
+  "CMakeFiles/pde_cg_solver.dir/pde_cg_solver.cpp.o.d"
+  "pde_cg_solver"
+  "pde_cg_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_cg_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcm_tool.dir/rcm_tool.cpp.o"
+  "CMakeFiles/rcm_tool.dir/rcm_tool.cpp.o.d"
+  "rcm_tool"
+  "rcm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udp_inspect.dir/udp_inspect.cpp.o"
+  "CMakeFiles/udp_inspect.dir/udp_inspect.cpp.o.d"
+  "udp_inspect"
+  "udp_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udp_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

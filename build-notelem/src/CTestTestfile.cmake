@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-notelem/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("telemetry")
+subdirs("sparse")
+subdirs("codec")
+subdirs("udp")
+subdirs("udpprog")
+subdirs("mem")
+subdirs("cpu")
+subdirs("spmv")
+subdirs("core")
+subdirs("testing")

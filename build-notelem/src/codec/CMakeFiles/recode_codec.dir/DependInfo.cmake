@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/container.cc" "src/codec/CMakeFiles/recode_codec.dir/container.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/container.cc.o.d"
+  "/root/repo/src/codec/delta.cc" "src/codec/CMakeFiles/recode_codec.dir/delta.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/delta.cc.o.d"
+  "/root/repo/src/codec/huffman.cc" "src/codec/CMakeFiles/recode_codec.dir/huffman.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/huffman.cc.o.d"
+  "/root/repo/src/codec/pipeline.cc" "src/codec/CMakeFiles/recode_codec.dir/pipeline.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/pipeline.cc.o.d"
+  "/root/repo/src/codec/selector.cc" "src/codec/CMakeFiles/recode_codec.dir/selector.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/selector.cc.o.d"
+  "/root/repo/src/codec/snappy.cc" "src/codec/CMakeFiles/recode_codec.dir/snappy.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/snappy.cc.o.d"
+  "/root/repo/src/codec/varint_delta.cc" "src/codec/CMakeFiles/recode_codec.dir/varint_delta.cc.o" "gcc" "src/codec/CMakeFiles/recode_codec.dir/varint_delta.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notelem/src/common/CMakeFiles/recode_common.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/sparse/CMakeFiles/recode_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/telemetry/CMakeFiles/recode_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_codec.dir/container.cc.o"
+  "CMakeFiles/recode_codec.dir/container.cc.o.d"
+  "CMakeFiles/recode_codec.dir/delta.cc.o"
+  "CMakeFiles/recode_codec.dir/delta.cc.o.d"
+  "CMakeFiles/recode_codec.dir/huffman.cc.o"
+  "CMakeFiles/recode_codec.dir/huffman.cc.o.d"
+  "CMakeFiles/recode_codec.dir/pipeline.cc.o"
+  "CMakeFiles/recode_codec.dir/pipeline.cc.o.d"
+  "CMakeFiles/recode_codec.dir/selector.cc.o"
+  "CMakeFiles/recode_codec.dir/selector.cc.o.d"
+  "CMakeFiles/recode_codec.dir/snappy.cc.o"
+  "CMakeFiles/recode_codec.dir/snappy.cc.o.d"
+  "CMakeFiles/recode_codec.dir/varint_delta.cc.o"
+  "CMakeFiles/recode_codec.dir/varint_delta.cc.o.d"
+  "librecode_codec.a"
+  "librecode_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_common.dir/cli.cc.o"
+  "CMakeFiles/recode_common.dir/cli.cc.o.d"
+  "CMakeFiles/recode_common.dir/prng.cc.o"
+  "CMakeFiles/recode_common.dir/prng.cc.o.d"
+  "CMakeFiles/recode_common.dir/stats.cc.o"
+  "CMakeFiles/recode_common.dir/stats.cc.o.d"
+  "CMakeFiles/recode_common.dir/table.cc.o"
+  "CMakeFiles/recode_common.dir/table.cc.o.d"
+  "CMakeFiles/recode_common.dir/thread_pool.cc.o"
+  "CMakeFiles/recode_common.dir/thread_pool.cc.o.d"
+  "librecode_common.a"
+  "librecode_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for recode_common.
+# This may be replaced when dependencies are built.

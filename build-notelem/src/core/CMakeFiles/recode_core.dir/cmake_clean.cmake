@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_core.dir/experiments.cc.o"
+  "CMakeFiles/recode_core.dir/experiments.cc.o.d"
+  "CMakeFiles/recode_core.dir/pipeline_sim.cc.o"
+  "CMakeFiles/recode_core.dir/pipeline_sim.cc.o.d"
+  "CMakeFiles/recode_core.dir/system.cc.o"
+  "CMakeFiles/recode_core.dir/system.cc.o.d"
+  "librecode_core.a"
+  "librecode_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_cpu.dir/branch_model.cc.o"
+  "CMakeFiles/recode_cpu.dir/branch_model.cc.o.d"
+  "CMakeFiles/recode_cpu.dir/cpu_model.cc.o"
+  "CMakeFiles/recode_cpu.dir/cpu_model.cc.o.d"
+  "librecode_cpu.a"
+  "librecode_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_mem.dir/bus.cc.o"
+  "CMakeFiles/recode_mem.dir/bus.cc.o.d"
+  "CMakeFiles/recode_mem.dir/dma.cc.o"
+  "CMakeFiles/recode_mem.dir/dma.cc.o.d"
+  "CMakeFiles/recode_mem.dir/dram.cc.o"
+  "CMakeFiles/recode_mem.dir/dram.cc.o.d"
+  "librecode_mem.a"
+  "librecode_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

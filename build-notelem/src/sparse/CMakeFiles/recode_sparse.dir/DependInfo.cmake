@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/blocked.cc" "src/sparse/CMakeFiles/recode_sparse.dir/blocked.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/blocked.cc.o.d"
+  "/root/repo/src/sparse/bsr.cc" "src/sparse/CMakeFiles/recode_sparse.dir/bsr.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/bsr.cc.o.d"
+  "/root/repo/src/sparse/formats.cc" "src/sparse/CMakeFiles/recode_sparse.dir/formats.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/formats.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/sparse/CMakeFiles/recode_sparse.dir/generators.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/generators.cc.o.d"
+  "/root/repo/src/sparse/matrix_market.cc" "src/sparse/CMakeFiles/recode_sparse.dir/matrix_market.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/matrix_market.cc.o.d"
+  "/root/repo/src/sparse/reorder.cc" "src/sparse/CMakeFiles/recode_sparse.dir/reorder.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/reorder.cc.o.d"
+  "/root/repo/src/sparse/sell.cc" "src/sparse/CMakeFiles/recode_sparse.dir/sell.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/sell.cc.o.d"
+  "/root/repo/src/sparse/stats.cc" "src/sparse/CMakeFiles/recode_sparse.dir/stats.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/stats.cc.o.d"
+  "/root/repo/src/sparse/suite.cc" "src/sparse/CMakeFiles/recode_sparse.dir/suite.cc.o" "gcc" "src/sparse/CMakeFiles/recode_sparse.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notelem/src/common/CMakeFiles/recode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

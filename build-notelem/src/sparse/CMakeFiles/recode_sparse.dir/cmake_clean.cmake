@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_sparse.dir/blocked.cc.o"
+  "CMakeFiles/recode_sparse.dir/blocked.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/bsr.cc.o"
+  "CMakeFiles/recode_sparse.dir/bsr.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/formats.cc.o"
+  "CMakeFiles/recode_sparse.dir/formats.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/generators.cc.o"
+  "CMakeFiles/recode_sparse.dir/generators.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/matrix_market.cc.o"
+  "CMakeFiles/recode_sparse.dir/matrix_market.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/reorder.cc.o"
+  "CMakeFiles/recode_sparse.dir/reorder.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/sell.cc.o"
+  "CMakeFiles/recode_sparse.dir/sell.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/stats.cc.o"
+  "CMakeFiles/recode_sparse.dir/stats.cc.o.d"
+  "CMakeFiles/recode_sparse.dir/suite.cc.o"
+  "CMakeFiles/recode_sparse.dir/suite.cc.o.d"
+  "librecode_sparse.a"
+  "librecode_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

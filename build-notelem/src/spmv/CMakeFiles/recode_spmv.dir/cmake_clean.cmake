@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_spmv.dir/kernels.cc.o"
+  "CMakeFiles/recode_spmv.dir/kernels.cc.o.d"
+  "CMakeFiles/recode_spmv.dir/recoded.cc.o"
+  "CMakeFiles/recode_spmv.dir/recoded.cc.o.d"
+  "CMakeFiles/recode_spmv.dir/streaming_executor.cc.o"
+  "CMakeFiles/recode_spmv.dir/streaming_executor.cc.o.d"
+  "librecode_spmv.a"
+  "librecode_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_telemetry.dir/metrics.cc.o"
+  "CMakeFiles/recode_telemetry.dir/metrics.cc.o.d"
+  "CMakeFiles/recode_telemetry.dir/trace.cc.o"
+  "CMakeFiles/recode_telemetry.dir/trace.cc.o.d"
+  "librecode_telemetry.a"
+  "librecode_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

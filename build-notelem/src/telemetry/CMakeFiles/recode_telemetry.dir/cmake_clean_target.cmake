@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librecode_telemetry.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_testing.dir/corrupt.cc.o"
+  "CMakeFiles/recode_testing.dir/corrupt.cc.o.d"
+  "CMakeFiles/recode_testing.dir/robustness.cc.o"
+  "CMakeFiles/recode_testing.dir/robustness.cc.o.d"
+  "librecode_testing.a"
+  "librecode_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udp/accelerator.cc" "src/udp/CMakeFiles/recode_udp.dir/accelerator.cc.o" "gcc" "src/udp/CMakeFiles/recode_udp.dir/accelerator.cc.o.d"
+  "/root/repo/src/udp/disasm.cc" "src/udp/CMakeFiles/recode_udp.dir/disasm.cc.o" "gcc" "src/udp/CMakeFiles/recode_udp.dir/disasm.cc.o.d"
+  "/root/repo/src/udp/effclip.cc" "src/udp/CMakeFiles/recode_udp.dir/effclip.cc.o" "gcc" "src/udp/CMakeFiles/recode_udp.dir/effclip.cc.o.d"
+  "/root/repo/src/udp/isa.cc" "src/udp/CMakeFiles/recode_udp.dir/isa.cc.o" "gcc" "src/udp/CMakeFiles/recode_udp.dir/isa.cc.o.d"
+  "/root/repo/src/udp/lane.cc" "src/udp/CMakeFiles/recode_udp.dir/lane.cc.o" "gcc" "src/udp/CMakeFiles/recode_udp.dir/lane.cc.o.d"
+  "/root/repo/src/udp/program.cc" "src/udp/CMakeFiles/recode_udp.dir/program.cc.o" "gcc" "src/udp/CMakeFiles/recode_udp.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notelem/src/common/CMakeFiles/recode_common.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/telemetry/CMakeFiles/recode_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_udp.dir/accelerator.cc.o"
+  "CMakeFiles/recode_udp.dir/accelerator.cc.o.d"
+  "CMakeFiles/recode_udp.dir/disasm.cc.o"
+  "CMakeFiles/recode_udp.dir/disasm.cc.o.d"
+  "CMakeFiles/recode_udp.dir/effclip.cc.o"
+  "CMakeFiles/recode_udp.dir/effclip.cc.o.d"
+  "CMakeFiles/recode_udp.dir/isa.cc.o"
+  "CMakeFiles/recode_udp.dir/isa.cc.o.d"
+  "CMakeFiles/recode_udp.dir/lane.cc.o"
+  "CMakeFiles/recode_udp.dir/lane.cc.o.d"
+  "CMakeFiles/recode_udp.dir/program.cc.o"
+  "CMakeFiles/recode_udp.dir/program.cc.o.d"
+  "librecode_udp.a"
+  "librecode_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

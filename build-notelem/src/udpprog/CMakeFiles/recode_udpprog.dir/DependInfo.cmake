@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/udpprog/block_decoder.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/block_decoder.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/block_decoder.cc.o.d"
+  "/root/repo/src/udpprog/delta_prog.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/delta_prog.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/delta_prog.cc.o.d"
+  "/root/repo/src/udpprog/encode_progs.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/encode_progs.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/encode_progs.cc.o.d"
+  "/root/repo/src/udpprog/huffman_prog.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/huffman_prog.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/huffman_prog.cc.o.d"
+  "/root/repo/src/udpprog/matrix_decoder.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/matrix_decoder.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/matrix_decoder.cc.o.d"
+  "/root/repo/src/udpprog/snappy_encode_prog.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/snappy_encode_prog.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/snappy_encode_prog.cc.o.d"
+  "/root/repo/src/udpprog/snappy_prog.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/snappy_prog.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/snappy_prog.cc.o.d"
+  "/root/repo/src/udpprog/varint_delta_prog.cc" "src/udpprog/CMakeFiles/recode_udpprog.dir/varint_delta_prog.cc.o" "gcc" "src/udpprog/CMakeFiles/recode_udpprog.dir/varint_delta_prog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notelem/src/udp/CMakeFiles/recode_udp.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/codec/CMakeFiles/recode_codec.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/telemetry/CMakeFiles/recode_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/sparse/CMakeFiles/recode_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/common/CMakeFiles/recode_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

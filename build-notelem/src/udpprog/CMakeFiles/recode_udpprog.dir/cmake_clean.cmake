@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_udpprog.dir/block_decoder.cc.o"
+  "CMakeFiles/recode_udpprog.dir/block_decoder.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/delta_prog.cc.o"
+  "CMakeFiles/recode_udpprog.dir/delta_prog.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/encode_progs.cc.o"
+  "CMakeFiles/recode_udpprog.dir/encode_progs.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/huffman_prog.cc.o"
+  "CMakeFiles/recode_udpprog.dir/huffman_prog.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/matrix_decoder.cc.o"
+  "CMakeFiles/recode_udpprog.dir/matrix_decoder.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/snappy_encode_prog.cc.o"
+  "CMakeFiles/recode_udpprog.dir/snappy_encode_prog.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/snappy_prog.cc.o"
+  "CMakeFiles/recode_udpprog.dir/snappy_prog.cc.o.d"
+  "CMakeFiles/recode_udpprog.dir/varint_delta_prog.cc.o"
+  "CMakeFiles/recode_udpprog.dir/varint_delta_prog.cc.o.d"
+  "librecode_udpprog.a"
+  "librecode_udpprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_udpprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

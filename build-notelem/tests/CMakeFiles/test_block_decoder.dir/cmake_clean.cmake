@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_decoder.dir/udpprog/test_block_decoder.cc.o"
+  "CMakeFiles/test_block_decoder.dir/udpprog/test_block_decoder.cc.o.d"
+  "test_block_decoder"
+  "test_block_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

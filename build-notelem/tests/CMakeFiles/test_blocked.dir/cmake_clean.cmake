@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocked.dir/sparse/test_blocked.cc.o"
+  "CMakeFiles/test_blocked.dir/sparse/test_blocked.cc.o.d"
+  "test_blocked"
+  "test_blocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_branch_model.dir/cpu/test_branch_model.cc.o"
+  "CMakeFiles/test_branch_model.dir/cpu/test_branch_model.cc.o.d"
+  "test_branch_model"
+  "test_branch_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_branch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

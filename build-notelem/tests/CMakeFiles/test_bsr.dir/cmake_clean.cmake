@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsr.dir/sparse/test_bsr.cc.o"
+  "CMakeFiles/test_bsr.dir/sparse/test_bsr.cc.o.d"
+  "test_bsr"
+  "test_bsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness/test_codec_corruption.cc" "tests/CMakeFiles/test_codec_corruption.dir/robustness/test_codec_corruption.cc.o" "gcc" "tests/CMakeFiles/test_codec_corruption.dir/robustness/test_codec_corruption.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-notelem/src/core/CMakeFiles/recode_core.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/spmv/CMakeFiles/recode_spmv.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/cpu/CMakeFiles/recode_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/mem/CMakeFiles/recode_mem.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/udpprog/CMakeFiles/recode_udpprog.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/udp/CMakeFiles/recode_udp.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/codec/CMakeFiles/recode_codec.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/sparse/CMakeFiles/recode_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/telemetry/CMakeFiles/recode_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/common/CMakeFiles/recode_common.dir/DependInfo.cmake"
+  "/root/repo/build-notelem/src/testing/CMakeFiles/recode_testing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

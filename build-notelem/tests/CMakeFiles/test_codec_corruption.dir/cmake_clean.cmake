@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codec_corruption.dir/robustness/test_codec_corruption.cc.o"
+  "CMakeFiles/test_codec_corruption.dir/robustness/test_codec_corruption.cc.o.d"
+  "test_codec_corruption"
+  "test_codec_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codec_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container.dir/codec/test_container.cc.o"
+  "CMakeFiles/test_container.dir/codec/test_container.cc.o.d"
+  "test_container"
+  "test_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

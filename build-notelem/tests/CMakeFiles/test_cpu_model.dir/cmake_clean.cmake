@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_model.dir/cpu/test_cpu_model.cc.o"
+  "CMakeFiles/test_cpu_model.dir/cpu/test_cpu_model.cc.o.d"
+  "test_cpu_model"
+  "test_cpu_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta.dir/codec/test_delta.cc.o"
+  "CMakeFiles/test_delta.dir/codec/test_delta.cc.o.d"
+  "test_delta"
+  "test_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_prog.dir/udpprog/test_delta_prog.cc.o"
+  "CMakeFiles/test_delta_prog.dir/udpprog/test_delta_prog.cc.o.d"
+  "test_delta_prog"
+  "test_delta_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

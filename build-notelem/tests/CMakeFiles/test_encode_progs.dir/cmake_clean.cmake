@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_encode_progs.dir/udpprog/test_encode_progs.cc.o"
+  "CMakeFiles/test_encode_progs.dir/udpprog/test_encode_progs.cc.o.d"
+  "test_encode_progs"
+  "test_encode_progs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_encode_progs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

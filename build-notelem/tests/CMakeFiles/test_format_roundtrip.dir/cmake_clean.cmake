@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format_roundtrip.dir/sparse/test_format_roundtrip.cc.o"
+  "CMakeFiles/test_format_roundtrip.dir/sparse/test_format_roundtrip.cc.o.d"
+  "test_format_roundtrip"
+  "test_format_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

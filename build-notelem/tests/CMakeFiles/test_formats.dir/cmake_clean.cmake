@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_formats.dir/sparse/test_formats.cc.o"
+  "CMakeFiles/test_formats.dir/sparse/test_formats.cc.o.d"
+  "test_formats"
+  "test_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

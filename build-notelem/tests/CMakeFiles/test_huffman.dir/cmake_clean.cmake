@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_huffman.dir/codec/test_huffman.cc.o"
+  "CMakeFiles/test_huffman.dir/codec/test_huffman.cc.o.d"
+  "test_huffman"
+  "test_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

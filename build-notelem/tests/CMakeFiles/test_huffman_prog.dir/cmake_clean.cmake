@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_huffman_prog.dir/udpprog/test_huffman_prog.cc.o"
+  "CMakeFiles/test_huffman_prog.dir/udpprog/test_huffman_prog.cc.o.d"
+  "test_huffman_prog"
+  "test_huffman_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_huffman_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_decoder.dir/udpprog/test_matrix_decoder.cc.o"
+  "CMakeFiles/test_matrix_decoder.dir/udpprog/test_matrix_decoder.cc.o.d"
+  "test_matrix_decoder"
+  "test_matrix_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_market.dir/sparse/test_matrix_market.cc.o"
+  "CMakeFiles/test_matrix_market.dir/sparse/test_matrix_market.cc.o.d"
+  "test_matrix_market"
+  "test_matrix_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_sim.dir/core/test_pipeline_sim.cc.o"
+  "CMakeFiles/test_pipeline_sim.dir/core/test_pipeline_sim.cc.o.d"
+  "test_pipeline_sim"
+  "test_pipeline_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

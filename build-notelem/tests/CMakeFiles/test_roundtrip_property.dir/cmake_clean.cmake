@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roundtrip_property.dir/robustness/test_roundtrip_property.cc.o"
+  "CMakeFiles/test_roundtrip_property.dir/robustness/test_roundtrip_property.cc.o.d"
+  "test_roundtrip_property"
+  "test_roundtrip_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roundtrip_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sell.dir/sparse/test_sell.cc.o"
+  "CMakeFiles/test_sell.dir/sparse/test_sell.cc.o.d"
+  "test_sell"
+  "test_sell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snappy.dir/codec/test_snappy.cc.o"
+  "CMakeFiles/test_snappy.dir/codec/test_snappy.cc.o.d"
+  "test_snappy"
+  "test_snappy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snappy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_snappy_encode_prog.
+# This may be replaced when dependencies are built.

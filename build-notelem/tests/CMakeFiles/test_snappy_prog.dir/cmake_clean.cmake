@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snappy_prog.dir/udpprog/test_snappy_prog.cc.o"
+  "CMakeFiles/test_snappy_prog.dir/udpprog/test_snappy_prog.cc.o.d"
+  "test_snappy_prog"
+  "test_snappy_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snappy_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

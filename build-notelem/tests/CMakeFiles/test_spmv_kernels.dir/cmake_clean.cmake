@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv_kernels.dir/spmv/test_kernels.cc.o"
+  "CMakeFiles/test_spmv_kernels.dir/spmv/test_kernels.cc.o.d"
+  "test_spmv_kernels"
+  "test_spmv_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

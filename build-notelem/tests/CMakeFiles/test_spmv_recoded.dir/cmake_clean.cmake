@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spmv_recoded.dir/spmv/test_recoded.cc.o"
+  "CMakeFiles/test_spmv_recoded.dir/spmv/test_recoded.cc.o.d"
+  "test_spmv_recoded"
+  "test_spmv_recoded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spmv_recoded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

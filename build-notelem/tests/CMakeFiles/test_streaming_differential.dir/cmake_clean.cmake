@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_differential.dir/spmv/test_streaming_differential.cc.o"
+  "CMakeFiles/test_streaming_differential.dir/spmv/test_streaming_differential.cc.o.d"
+  "test_streaming_differential"
+  "test_streaming_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

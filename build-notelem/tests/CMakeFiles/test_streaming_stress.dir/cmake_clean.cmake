@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_stress.dir/spmv/test_streaming_stress.cc.o"
+  "CMakeFiles/test_streaming_stress.dir/spmv/test_streaming_stress.cc.o.d"
+  "test_streaming_stress"
+  "test_streaming_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

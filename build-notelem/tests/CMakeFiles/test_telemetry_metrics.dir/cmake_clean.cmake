@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_metrics.dir/telemetry/test_metrics.cc.o"
+  "CMakeFiles/test_telemetry_metrics.dir/telemetry/test_metrics.cc.o.d"
+  "test_telemetry_metrics"
+  "test_telemetry_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

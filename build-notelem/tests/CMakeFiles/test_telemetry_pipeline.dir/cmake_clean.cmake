@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_pipeline.dir/telemetry/test_telemetry_pipeline.cc.o"
+  "CMakeFiles/test_telemetry_pipeline.dir/telemetry/test_telemetry_pipeline.cc.o.d"
+  "test_telemetry_pipeline"
+  "test_telemetry_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

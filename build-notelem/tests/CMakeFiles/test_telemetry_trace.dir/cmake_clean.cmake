@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry_trace.dir/telemetry/test_trace.cc.o"
+  "CMakeFiles/test_telemetry_trace.dir/telemetry/test_trace.cc.o.d"
+  "test_telemetry_trace"
+  "test_telemetry_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_pool_stress.dir/common/test_thread_pool_stress.cc.o"
+  "CMakeFiles/test_thread_pool_stress.dir/common/test_thread_pool_stress.cc.o.d"
+  "test_thread_pool_stress"
+  "test_thread_pool_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_pool_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_accelerator.dir/udp/test_accelerator.cc.o"
+  "CMakeFiles/test_udp_accelerator.dir/udp/test_accelerator.cc.o.d"
+  "test_udp_accelerator"
+  "test_udp_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_disasm.dir/udp/test_disasm.cc.o"
+  "CMakeFiles/test_udp_disasm.dir/udp/test_disasm.cc.o.d"
+  "test_udp_disasm"
+  "test_udp_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_effclip.dir/udp/test_effclip.cc.o"
+  "CMakeFiles/test_udp_effclip.dir/udp/test_effclip.cc.o.d"
+  "test_udp_effclip"
+  "test_udp_effclip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_effclip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_lane.dir/udp/test_lane.cc.o"
+  "CMakeFiles/test_udp_lane.dir/udp/test_lane.cc.o.d"
+  "test_udp_lane"
+  "test_udp_lane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_lane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

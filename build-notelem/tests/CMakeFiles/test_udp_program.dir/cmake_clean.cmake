@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_program.dir/udp/test_program.cc.o"
+  "CMakeFiles/test_udp_program.dir/udp/test_program.cc.o.d"
+  "test_udp_program"
+  "test_udp_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udpprog_corruption.dir/robustness/test_udpprog_corruption.cc.o"
+  "CMakeFiles/test_udpprog_corruption.dir/robustness/test_udpprog_corruption.cc.o.d"
+  "test_udpprog_corruption"
+  "test_udpprog_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udpprog_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

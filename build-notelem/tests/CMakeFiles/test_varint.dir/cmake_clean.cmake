@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varint.dir/common/test_varint.cc.o"
+  "CMakeFiles/test_varint.dir/common/test_varint.cc.o.d"
+  "test_varint"
+  "test_varint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_varint_delta.dir/codec/test_varint_delta.cc.o"
+  "CMakeFiles/test_varint_delta.dir/codec/test_varint_delta.cc.o.d"
+  "test_varint_delta"
+  "test_varint_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_varint_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
