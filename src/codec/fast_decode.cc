@@ -1,0 +1,250 @@
+#include "codec/fast_decode.h"
+
+#include <cstring>
+
+#include "codec/arena.h"
+#include "common/error.h"
+#include "common/varint.h"
+
+namespace recode::codec::fast {
+
+namespace {
+
+// Unaligned 8-byte big-endian load: the bit buffer appends stream bytes
+// MSB-first, so a byte-swapped little-endian load hands us the next 8
+// bytes already in shift-in order.
+std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) r = (r << 8) | p[i];
+  return r;
+#endif
+}
+
+std::uint32_t unzigzag32(std::uint32_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+// Snappy element tags (format_description.txt; mirrors snappy.cc).
+constexpr int kTagLiteral = 0;
+constexpr int kTagCopy1 = 1;
+constexpr int kTagCopy2 = 2;
+constexpr int kTagCopy4 = 3;
+
+// Match copy with the destination as its own source. off >= 8: forward
+// 8-byte chunks — every load trails the corresponding store by at least
+// 8 bytes, so already-written output feeds later chunks and the copy
+// still replicates runs correctly. off < 8: the chunks would straddle
+// unwritten bytes, so fall back to the byte loop that replicates the
+// short pattern. Both may write up to 7 bytes past op + len, covered by
+// the destination's kArenaSlop margin.
+void copy_match(std::uint8_t* dst, std::size_t op, std::size_t off,
+                std::size_t len) {
+  const std::uint8_t* src = dst + (op - off);
+  std::uint8_t* out = dst + op;
+  if (off >= 8) {
+    for (std::size_t i = 0; i < len; i += 8) {
+      std::uint64_t v;
+      std::memcpy(&v, src + i, 8);
+      std::memcpy(out + i, &v, 8);
+    }
+  } else {
+    for (std::size_t i = 0; i < len; ++i) out[i] = src[i];
+  }
+}
+
+}  // namespace
+
+std::size_t huffman_decode(const HuffmanTable& table, ByteSpan input,
+                           std::uint8_t* dst) {
+  std::size_t pos = 0;
+  const std::uint64_t count = varint_read(input.data(), input.size(), pos);
+  // Same untrusted-count rejection as the reference decoder.
+  if (count > (static_cast<std::uint64_t>(input.size()) - pos) * 8) {
+    fail("huffman: declared count exceeds stream capacity");
+  }
+  const std::uint8_t* p = input.data() + pos;
+  const std::size_t nbytes = input.size() - pos;
+  const HuffmanTable::MultiEntry* multi = table.multi_table();
+  const HuffmanTable::DecodeEntry* single = table.decode_table();
+  constexpr std::uint32_t kWindowMask = (1u << kMaxCodeLen) - 1;
+
+  std::uint64_t acc = 0;  // low acc_bits hold the unconsumed stream bits
+  int acc_bits = 0;
+  std::size_t byte_pos = 0;
+  std::size_t out = 0;
+
+  // Bulk loop: refill 8..48 bits with one unaligned 8-byte load whenever
+  // the buffer drops below 56, then decode up to 4 symbols per
+  // multi-table probe. Runs while a full lookup window of real bits is
+  // guaranteed and a whole 4-byte emit still fits under count; the tail
+  // loop below handles the rest with reference-identical semantics.
+  while (out + 4 <= count) {
+    if (acc_bits < 56 && byte_pos + 8 <= nbytes) {
+      const int nb = (63 - acc_bits) >> 3;
+      acc = (acc << (nb * 8)) | (load_be64(p + byte_pos) >> (64 - nb * 8));
+      byte_pos += static_cast<std::size_t>(nb);
+      acc_bits += nb * 8;
+    }
+    if (acc_bits < kMaxCodeLen) break;
+    const std::uint32_t window =
+        static_cast<std::uint32_t>(acc >> (acc_bits - kMaxCodeLen)) &
+        kWindowMask;
+    const HuffmanTable::MultiEntry& e = multi[window];
+    std::memcpy(dst + out, e.symbols, 4);  // 4-byte emit into the slop
+    out += e.count;
+    acc_bits -= e.bits;
+  }
+
+  // Scalar tail: byte-wise refill and single-symbol lookups, identical
+  // to HuffmanCodec::decode including its truncation errors.
+  while (out < count) {
+    while (acc_bits < kMaxCodeLen && byte_pos < nbytes) {
+      acc = (acc << 8) | p[byte_pos++];
+      acc_bits += 8;
+    }
+    if (acc_bits <= 0) fail("huffman: truncated stream");
+    const std::uint32_t window =
+        acc_bits >= kMaxCodeLen
+            ? static_cast<std::uint32_t>(acc >> (acc_bits - kMaxCodeLen)) &
+                  kWindowMask
+            : static_cast<std::uint32_t>(acc << (kMaxCodeLen - acc_bits)) &
+                  kWindowMask;
+    const HuffmanTable::DecodeEntry e = single[window];
+    if (e.length > acc_bits) fail("huffman: truncated stream");
+    acc_bits -= e.length;
+    dst[out++] = e.symbol;
+  }
+  return static_cast<std::size_t>(count);
+}
+
+std::size_t snappy_decode(ByteSpan input, std::uint8_t* dst) {
+  std::size_t pos = 0;
+  const std::uint64_t decoded =
+      varint_read(input.data(), input.size(), pos);
+  // Same expansion-bound rejection as the reference decoder.
+  const std::size_t body = input.size() - pos;
+  if (decoded > static_cast<std::uint64_t>(body) * 24 + 8) {
+    fail("snappy: declared length implausible for stream size");
+  }
+
+  const std::uint8_t* p = input.data();
+  const std::size_t n = input.size();
+  std::size_t op = 0;
+
+  auto need = [&](std::size_t count) {
+    if (pos + count > n) fail("snappy: truncated stream");
+  };
+  auto room = [&](std::size_t count) {
+    if (count > decoded - op) {
+      fail("snappy: output exceeds declared length");
+    }
+  };
+
+  while (pos < n) {
+    const std::uint8_t tag = p[pos++];
+    switch (tag & 3) {
+      case kTagLiteral: {
+        std::size_t len = (tag >> 2) + 1;
+        if (len > 60) {
+          const std::size_t extra = len - 60;  // 1..4 length bytes
+          need(extra);
+          len = 0;
+          for (std::size_t i = 0; i < extra; ++i) {
+            len |= static_cast<std::size_t>(p[pos + i]) << (8 * i);
+          }
+          len += 1;
+          pos += extra;
+        }
+        need(len);
+        room(len);
+        if (len <= 16 && pos + 16 <= n) {
+          // One 16-byte chunk covers the common short literal; the
+          // overshoot lands in the destination slop.
+          std::memcpy(dst + op, p + pos, 16);
+        } else {
+          std::memcpy(dst + op, p + pos, len);
+        }
+        op += len;
+        pos += len;
+        break;
+      }
+      case kTagCopy1: {
+        need(1);
+        const std::size_t len = ((tag >> 2) & 0x7) + 4;
+        const std::size_t off =
+            (static_cast<std::size_t>(tag >> 5) << 8) | p[pos++];
+        if (off == 0 || off > op) fail("snappy: bad copy offset");
+        room(len);
+        copy_match(dst, op, off, len);
+        op += len;
+        break;
+      }
+      case kTagCopy2: {
+        need(2);
+        const std::size_t len = (tag >> 2) + 1;
+        const std::size_t off = static_cast<std::size_t>(p[pos]) |
+                                (static_cast<std::size_t>(p[pos + 1]) << 8);
+        pos += 2;
+        if (off == 0 || off > op) fail("snappy: bad copy offset");
+        room(len);
+        copy_match(dst, op, off, len);
+        op += len;
+        break;
+      }
+      case kTagCopy4: {
+        need(4);
+        const std::size_t len = (tag >> 2) + 1;
+        std::size_t off = 0;
+        for (int i = 0; i < 4; ++i) {
+          off |= static_cast<std::size_t>(p[pos + i]) << (8 * i);
+        }
+        pos += 4;
+        if (off == 0 || off > op) fail("snappy: bad copy offset");
+        room(len);
+        copy_match(dst, op, off, len);
+        op += len;
+        break;
+      }
+    }
+  }
+  if (op != decoded) fail("snappy: length mismatch after decode");
+  return op;
+}
+
+std::size_t delta_decode(ByteSpan input, std::uint8_t* dst) {
+  if (input.size() % 4 != 0) fail("delta32: input not a multiple of 4 bytes");
+  const std::uint8_t* p = input.data();
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < input.size(); i += 4) {
+    std::uint32_t z;
+    std::memcpy(&z, p + i, 4);
+    acc += unzigzag32(z);
+    std::memcpy(dst + i, &acc, 4);
+  }
+  return input.size();
+}
+
+std::size_t varint_delta_decode(ByteSpan input, std::uint8_t* dst,
+                                std::size_t dst_cap) {
+  std::uint32_t acc = 0;
+  std::size_t pos = 0;
+  std::size_t out = 0;
+  while (pos < input.size()) {
+    const std::uint64_t z = varint_read(input.data(), input.size(), pos);
+    if (z > 0xFFFFFFFFull) fail("varint-delta32: delta exceeds 32 bits");
+    acc += unzigzag32(static_cast<std::uint32_t>(z));
+    // Past dst_cap only the running total advances: the caller detects
+    // the overflow as a size mismatch after the full parse, exactly
+    // where the reference decode-then-check order surfaces it.
+    if (out + 4 <= dst_cap) std::memcpy(dst + out, &acc, 4);
+    out += 4;
+  }
+  return out;
+}
+
+}  // namespace recode::codec::fast

@@ -1,0 +1,72 @@
+// Allocation-free, word-wise decoders for the per-block decode hot path.
+//
+// The paper's throughput claims (Fig 12/13: UDP-class decompression at
+// >20 GB/s, ~7x CPU Snappy) assume the decompression inner loop is
+// engineered to saturate bandwidth. These are the host-side equivalents:
+//
+//  * huffman_decode — 64-bit bit buffer refilled 48-56 bits at a time via
+//    one unaligned 8-byte load, multi-symbol table lookups emitting up to
+//    4 symbols per probe (HuffmanTable::MultiEntry), scalar tail.
+//  * snappy_decode — 16-byte literal chunks and 8-byte match chunks into
+//    a slop-margin destination; byte loop only near the input tail and
+//    for overlapping short-offset copies.
+//  * delta_decode / varint_delta_decode — the inverse transforms writing
+//    straight into a caller-provided destination.
+//
+// All decode into caller-owned memory (a DecodeArena slab) with at least
+// kArenaSlop writable bytes past the logical end, never allocate, and are
+// bitwise- and error-identical to the reference decoders in
+// HuffmanCodec::decode / SnappyCodec::decode / DeltaCodec::decode /
+// VarintDeltaCodec::decode: same output on valid streams, a recode::Error
+// with the same message on the same malformed stream. The fast-decode
+// differential suite (tests/robustness) enforces both properties,
+// including over CorruptionEngine inputs under ASan.
+//
+// Build knob: the RECODE_FAST_DECODE CMake option (default ON) defines
+// RECODE_FAST_DECODE_ENABLED on every target linking recode_codec. When
+// OFF these functions remain available (the differential tests still
+// compare them against the references), but the pipeline routes every
+// block through the reference scalar decoders instead.
+#pragma once
+
+#include <cstdint>
+
+#include "codec/codec.h"
+#include "codec/huffman.h"
+
+#ifndef RECODE_FAST_DECODE_ENABLED
+#define RECODE_FAST_DECODE_ENABLED 1
+#endif
+
+namespace recode::codec::fast {
+
+// True when the pipeline decode path uses these decoders (the
+// RECODE_FAST_DECODE CMake option).
+inline constexpr bool kEnabled = RECODE_FAST_DECODE_ENABLED != 0;
+
+// Decodes a Huffman stream (varint count + MSB-first bits) into dst.
+// dst must have room for the declared count plus kArenaSlop bytes — size
+// it with HuffmanCodec::decoded_length. Returns the decoded byte count.
+std::size_t huffman_decode(const HuffmanTable& table, ByteSpan input,
+                           std::uint8_t* dst);
+
+// Decodes a Snappy stream into dst. dst must have room for the declared
+// length plus kArenaSlop bytes — size it with SnappyCodec::decoded_length
+// (which also bounds it against the format's maximum expansion). Returns
+// the decoded byte count.
+std::size_t snappy_decode(ByteSpan input, std::uint8_t* dst);
+
+// Inverse 32-bit zigzag delta into dst (output size == input size; dst
+// needs input.size() + kArenaSlop bytes). Returns the output size.
+std::size_t delta_decode(ByteSpan input, std::uint8_t* dst);
+
+// Inverse LEB128 zigzag delta into dst, which holds dst_cap usable bytes
+// (+ kArenaSlop). The output size is data-dependent: decoding continues
+// past dst_cap without writing (so parse errors surface exactly where the
+// reference decoder would throw them) and the total is returned — the
+// caller compares it against the expected stream size, mirroring the
+// reference path's decode-then-size-check order.
+std::size_t varint_delta_decode(ByteSpan input, std::uint8_t* dst,
+                                std::size_t dst_cap);
+
+}  // namespace recode::codec::fast

@@ -173,6 +173,26 @@ void HuffmanTable::build_decode_table() {
                             static_cast<std::uint8_t>(len)};
     }
   }
+
+  // Multi-symbol table: for every window, greedily replay single-symbol
+  // decodes while the next code still fits entirely in the window's
+  // remaining (real) bits. Shifting the window up zero-fills the low
+  // bits, but an entry whose length <= remaining bits never looked at
+  // them, so the packed symbols are exactly what the scalar decoder
+  // would produce from the live stream.
+  constexpr std::uint32_t kWindowMask = (1u << kMaxCodeLen) - 1;
+  for (std::uint32_t w = 0; w <= kWindowMask; ++w) {
+    MultiEntry e{};
+    int consumed = 0;
+    while (e.count < 4) {
+      const DecodeEntry d = decode_[(w << consumed) & kWindowMask];
+      if (e.count > 0 && d.length > kMaxCodeLen - consumed) break;
+      e.symbols[e.count++] = d.symbol;
+      consumed += d.length;
+    }
+    e.bits = static_cast<std::uint8_t>(consumed);
+    multi_[w] = e;
+  }
 }
 
 Bytes HuffmanCodec::encode(ByteSpan input) const {
@@ -185,6 +205,12 @@ Bytes HuffmanCodec::encode(ByteSpan input) const {
   const Bytes bits = writer.finish();
   out.insert(out.end(), bits.begin(), bits.end());
   return out;
+}
+
+std::size_t HuffmanCodec::decoded_length(ByteSpan input) {
+  std::size_t pos = 0;
+  return static_cast<std::size_t>(
+      varint_read(input.data(), input.size(), pos));
 }
 
 Bytes HuffmanCodec::decode(ByteSpan input) const {

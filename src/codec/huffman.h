@@ -54,6 +54,22 @@ class HuffmanTable {
   };
   const DecodeEntry* decode_table() const { return decode_.data(); }
 
+  // Multi-symbol decode table (the fast path's one-lookup-many-symbols
+  // step): index = next kMaxCodeLen bits, value = every symbol whose full
+  // code is contained in those bits, up to 4. At least one symbol is
+  // always present (no code is longer than the window), so the fast
+  // decoder needs no fallback lookup while >= kMaxCodeLen bits remain.
+  // Decoding the entries in sequence is bit-for-bit identical to repeated
+  // single-symbol lookups: symbol k+1 is only packed when its whole code
+  // fits in the window bits left after symbols 1..k, i.e. when it is
+  // fully determined by real stream bits.
+  struct MultiEntry {
+    std::uint8_t symbols[4];  // valid: [0, count); rest zero (slop-safe)
+    std::uint8_t count;       // 1..4 symbols decoded by this window
+    std::uint8_t bits;        // total code bits those symbols consume
+  };
+  const MultiEntry* multi_table() const { return multi_.data(); }
+
   bool operator==(const HuffmanTable& other) const {
     return lengths_ == other.lengths_;
   }
@@ -65,10 +81,16 @@ class HuffmanTable {
   std::array<std::uint8_t, 256> lengths_{};
   std::array<std::uint16_t, 256> codes_{};
   std::array<DecodeEntry, 1u << kMaxCodeLen> decode_{};
+  std::array<MultiEntry, 1u << kMaxCodeLen> multi_{};
 };
 
 // Stateless Huffman codec bound to a shared table. The encoded stream is:
 // varint(decoded_byte_count) followed by the MSB-first bit stream.
+//
+// decode() is the scalar reference implementation (one symbol per table
+// lookup, byte-wise refill); the production hot path is
+// fast::huffman_decode (fast_decode.h), which must stay bitwise-identical
+// to it — the fast-decode differential suite enforces that.
 class HuffmanCodec final : public Codec {
  public:
   explicit HuffmanCodec(std::shared_ptr<const HuffmanTable> table)
@@ -77,6 +99,9 @@ class HuffmanCodec final : public Codec {
   std::string name() const override { return "huffman"; }
   Bytes encode(ByteSpan input) const override;
   Bytes decode(ByteSpan input) const override;
+
+  // Decoded byte count announced by the preamble without decoding.
+  static std::size_t decoded_length(ByteSpan input);
 
   const HuffmanTable& table() const { return *table_; }
 

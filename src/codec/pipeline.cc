@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cstring>
 
+#include "codec/arena.h"
 #include "codec/delta.h"
+#include "codec/fast_decode.h"
 #include "codec/snappy.h"
 #include "codec/varint_delta.h"
+#include "common/error.h"
 #include "common/prng.h"
+#include "common/varint.h"
 #include "telemetry/telemetry.h"
 
 namespace recode::codec {
@@ -20,6 +24,11 @@ struct StageMetrics {
   telemetry::Counter& ns;
   telemetry::Counter& bytes_in;
   telemetry::Counter& bytes_out;
+  // Decode-path attribution: streams decoded by the word-wise fast
+  // decoders vs the scalar references (always zero for encode stages, and
+  // for the transform stage when the transform is kNone — no decode work).
+  telemetry::Counter& fast_streams;
+  telemetry::Counter& ref_streams;
 };
 
 struct CodecTelemetry {
@@ -36,7 +45,9 @@ struct CodecTelemetry {
     auto& reg = telemetry::MetricsRegistry::global();
     return StageMetrics{reg.counter(prefix + ".ns"),
                         reg.counter(prefix + ".bytes_in"),
-                        reg.counter(prefix + ".bytes_out")};
+                        reg.counter(prefix + ".bytes_out"),
+                        reg.counter(prefix + ".fast_streams"),
+                        reg.counter(prefix + ".ref_streams")};
   }
 
   static CodecTelemetry& get() {
@@ -233,9 +244,184 @@ CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg) {
   return cm;
 }
 
+namespace {
+
+// A decoded stream aliasing arena memory.
+struct ArenaStream {
+  const std::uint8_t* data;
+  std::size_t size;
+};
+
+// Decodes one compressed stream through the configured stages without
+// allocating (once the arenas are warm). Intermediates ping-pong between
+// the scratch arena's A/B slabs; whichever stage runs last writes its
+// output into `out_slot` of the out arena, so the result needs no final
+// copy. expect_bytes is the caller's expected decoded size, used only to
+// cap the varint-delta destination (its true output size is
+// data-dependent and size-checked by the caller).
+//
+// Every slab is sized only after the reference decoders' own
+// untrusted-length checks, so a corrupt stream fails with the reference
+// error before it can demand an attacker-chosen allocation.
+ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
+                                Transform transform,
+                                const HuffmanTable* table,
+                                std::size_t expect_bytes, DecodeArena& scratch,
+                                DecodeArena& out, std::size_t out_slot,
+                                CodecTelemetry& telem) {
+  const bool transform_on = transform != Transform::kNone;
+  const std::uint8_t* cur = data.data();
+  std::size_t cur_size = data.size();
+
+  if (cfg.huffman) {
+    telem.decode_huffman.bytes_in.add(cur_size);
+    RECODE_TRACE_SPAN("codec", "huffman_decode");
+    telemetry::StageTimer t(telem.decode_huffman.ns);
+    std::size_t pos = 0;
+    const std::uint64_t n = varint_read(cur, cur_size, pos);
+    if (n > (static_cast<std::uint64_t>(cur_size) - pos) * 8) {
+      fail("huffman: declared count exceeds stream capacity");
+    }
+    std::uint8_t* dst = (cfg.snappy || transform_on)
+                            ? scratch.slab(DecodeArena::kScratchA,
+                                           static_cast<std::size_t>(n))
+                            : out.slab(out_slot, static_cast<std::size_t>(n));
+    if constexpr (fast::kEnabled) {
+      fast::huffman_decode(*table, {cur, cur_size}, dst);
+      telem.decode_huffman.fast_streams.add(1);
+    } else {
+      const HuffmanCodec hc(std::shared_ptr<const HuffmanTable>(
+          std::shared_ptr<void>(), table));  // non-owning aliasing ptr
+      const Bytes decoded = hc.decode({cur, cur_size});
+      std::memcpy(dst, decoded.data(), decoded.size());
+      telem.decode_huffman.ref_streams.add(1);
+    }
+    cur = dst;
+    cur_size = static_cast<std::size_t>(n);
+    telem.decode_huffman.bytes_out.add(cur_size);
+  }
+
+  if (cfg.snappy) {
+    telem.decode_snappy.bytes_in.add(cur_size);
+    RECODE_TRACE_SPAN("codec", "snappy_decode");
+    telemetry::StageTimer t(telem.decode_snappy.ns);
+    std::size_t pos = 0;
+    const std::uint64_t n = varint_read(cur, cur_size, pos);
+    if (n > static_cast<std::uint64_t>(cur_size - pos) * 24 + 8) {
+      fail("snappy: declared length implausible for stream size");
+    }
+    std::uint8_t* dst =
+        transform_on
+            ? scratch.slab(cfg.huffman ? DecodeArena::kScratchB
+                                       : DecodeArena::kScratchA,
+                           static_cast<std::size_t>(n))
+            : out.slab(out_slot, static_cast<std::size_t>(n));
+    if constexpr (fast::kEnabled) {
+      fast::snappy_decode({cur, cur_size}, dst);
+      telem.decode_snappy.fast_streams.add(1);
+    } else {
+      const Bytes decoded = SnappyCodec().decode({cur, cur_size});
+      std::memcpy(dst, decoded.data(), decoded.size());
+      telem.decode_snappy.ref_streams.add(1);
+    }
+    cur = dst;
+    cur_size = static_cast<std::size_t>(n);
+    telem.decode_snappy.bytes_out.add(cur_size);
+  }
+
+  telem.decode_transform.bytes_in.add(cur_size);
+  RECODE_TRACE_SPAN("codec", "transform_decode");
+  telemetry::StageTimer t(telem.decode_transform.ns);
+  switch (transform) {
+    case Transform::kNone: {
+      // Earlier stages already landed in the out slab. With no stage at
+      // all, copy the raw stream in so the caller always reads (aligned)
+      // arena memory.
+      if (!cfg.huffman && !cfg.snappy) {
+        std::uint8_t* dst = out.slab(out_slot, cur_size);
+        std::memcpy(dst, cur, cur_size);
+        cur = dst;
+      }
+      break;
+    }
+    case Transform::kDelta32: {
+      std::uint8_t* dst = out.slab(out_slot, cur_size);
+      if constexpr (fast::kEnabled) {
+        cur_size = fast::delta_decode({cur, cur_size}, dst);
+        telem.decode_transform.fast_streams.add(1);
+      } else {
+        const Bytes decoded = DeltaCodec().decode({cur, cur_size});
+        std::memcpy(dst, decoded.data(), decoded.size());
+        cur_size = decoded.size();
+        telem.decode_transform.ref_streams.add(1);
+      }
+      cur = dst;
+      break;
+    }
+    case Transform::kVarintDelta: {
+      std::uint8_t* dst = out.slab(out_slot, expect_bytes);
+      if constexpr (fast::kEnabled) {
+        cur_size = fast::varint_delta_decode({cur, cur_size}, dst,
+                                             expect_bytes);
+        telem.decode_transform.fast_streams.add(1);
+      } else {
+        const Bytes decoded = VarintDeltaCodec().decode({cur, cur_size});
+        std::memcpy(dst, decoded.data(),
+                    std::min(decoded.size(), expect_bytes));
+        cur_size = decoded.size();
+        telem.decode_transform.ref_streams.add(1);
+      }
+      cur = dst;
+      break;
+    }
+  }
+  telem.decode_transform.bytes_out.add(cur_size);
+  return ArenaStream{cur, cur_size};
+}
+
+}  // namespace
+
+DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
+                                   DecodeArena& scratch, DecodeArena& out) {
+  RECODE_CHECK(b < cm.blocks.size());
+  const auto& cfg = cm.config;
+  const auto& block = cm.blocks[b];
+  CodecTelemetry& telem = CodecTelemetry::get();
+  telem.decode_blocks.add(1);
+  RECODE_TRACE_SPAN_ARG("codec", "decompress_block", "block", b);
+
+  const std::size_t count = cm.blocking.blocks[b].count;
+  const ArenaStream idx = decode_stream_arena(
+      cfg, block.index_data, cfg.index_transform, cm.index_table.get(),
+      count * sizeof(sparse::index_t), scratch, out, DecodeArena::kIndexOut,
+      telem);
+  const ArenaStream val = decode_stream_arena(
+      cfg, block.value_data, cfg.value_transform, cm.value_table.get(),
+      count * sizeof(double), scratch, out, DecodeArena::kValueOut, telem);
+  if (idx.size != count * sizeof(sparse::index_t)) {
+    fail("decompress_block: index stream size mismatch");
+  }
+  if (val.size != count * sizeof(double)) {
+    fail("decompress_block: value stream size mismatch");
+  }
+  return DecodedBlock{
+      {reinterpret_cast<const sparse::index_t*>(idx.data), count},
+      {reinterpret_cast<const double*>(val.data), count}};
+}
+
 void decompress_block(const CompressedMatrix& cm, std::size_t b,
                       std::vector<sparse::index_t>& indices,
                       std::vector<double>& values) {
+  thread_local DecodeArena scratch;
+  thread_local DecodeArena out;
+  const DecodedBlock decoded = decompress_block_fast(cm, b, scratch, out);
+  indices.assign(decoded.indices.begin(), decoded.indices.end());
+  values.assign(decoded.values.begin(), decoded.values.end());
+}
+
+void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
+                                std::vector<sparse::index_t>& indices,
+                                std::vector<double>& values) {
   RECODE_CHECK(b < cm.blocks.size());
   const auto& cfg = cm.config;
   const auto& block = cm.blocks[b];
@@ -253,6 +439,7 @@ void decompress_block(const CompressedMatrix& cm, std::size_t b,
       const HuffmanCodec hc(table);
       buf = hc.decode(buf);
       telem.decode_huffman.bytes_out.add(buf.size());
+      telem.decode_huffman.ref_streams.add(1);
     }
     if (cfg.snappy) {
       telem.decode_snappy.bytes_in.add(buf.size());
@@ -261,12 +448,16 @@ void decompress_block(const CompressedMatrix& cm, std::size_t b,
       const SnappyCodec sc;
       buf = sc.decode(buf);
       telem.decode_snappy.bytes_out.add(buf.size());
+      telem.decode_snappy.ref_streams.add(1);
     }
     telem.decode_transform.bytes_in.add(buf.size());
     RECODE_TRACE_SPAN("codec", "transform_decode");
     telemetry::StageTimer t(telem.decode_transform.ns);
     Bytes out = invert_transform(transform, buf);
     telem.decode_transform.bytes_out.add(out.size());
+    if (transform != Transform::kNone) {
+      telem.decode_transform.ref_streams.add(1);
+    }
     return out;
   };
 

@@ -95,10 +95,38 @@ struct CompressedMatrix {
 CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg);
 
 // Decompresses block b into caller-provided buffers (resized to the block's
-// nnz count). This is the software reference for the UDP programs.
+// nnz count). Routed through the fast decode path (fast_decode.h) over a
+// thread-local DecodeArena, so steady-state calls reuse capacity instead
+// of allocating per stage.
 void decompress_block(const CompressedMatrix& cm, std::size_t b,
                       std::vector<sparse::index_t>& indices,
                       std::vector<double>& values);
+
+// The pre-fast-path implementation: per-stage Bytes allocations and the
+// scalar reference decoders. Kept as the behavioral reference the
+// fast-decode differential suite and benches compare against.
+void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
+                                std::vector<sparse::index_t>& indices,
+                                std::vector<double>& values);
+
+class DecodeArena;  // arena.h
+
+// A block decoded into arena-owned memory. The spans alias the `out`
+// arena's index/value slabs and stay valid until the next decode into the
+// same arena (the in-flight-slab contract StreamingExecutor relies on).
+struct DecodedBlock {
+  std::span<const sparse::index_t> indices;
+  std::span<const double> values;
+};
+
+// Allocation-free block decode: stage intermediates ping-pong between the
+// scratch arena's two slabs, the final stage of each stream lands
+// directly in the out arena's index/value slab. Once both arenas have
+// warmed to the matrix's largest block, decoding performs zero heap
+// allocations. Bitwise-identical to decompress_block_reference, including
+// thrown recode::Errors on malformed streams.
+DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
+                                   DecodeArena& scratch, DecodeArena& out);
 
 // Full round-trip back to CSR (tests / CPU-side decompression baseline).
 sparse::Csr decompress(const CompressedMatrix& cm);

@@ -6,6 +6,25 @@
 
 namespace recode::spmv {
 
+namespace {
+
+// The gather x[col_idx[i]] is the only irregular access in the Fig 7 loop
+// and dominates its stalls on large matrices. Hint the loads a fixed
+// distance ahead; 16 iterations covers typical L2 latency at one nnz per
+// cycle without thrashing the prefetch queues. A pure scheduling hint:
+// result bits are unaffected, so the parallel ≡ serial guarantee holds.
+constexpr std::size_t kPrefetchDistance = 16;
+
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace
+
 const char* decode_engine_name(DecodeEngine engine) {
   switch (engine) {
     case DecodeEngine::kSoftware: return "software";
@@ -23,6 +42,9 @@ void accumulate_block(const sparse::BlockRange& range,
   // row_ptr boundaries (the Fig 7 inner loop, block-tiled).
   sparse::index_t row = range.first_row;
   for (std::size_t i = 0; i < range.count; ++i) {
+    if (i + kPrefetchDistance < range.count) {
+      prefetch_read(&x[static_cast<std::size_t>(indices[i + kPrefetchDistance])]);
+    }
     const auto k = static_cast<sparse::offset_t>(range.first_nnz + i);
     while (k >= row_ptr[static_cast<std::size_t>(row) + 1]) ++row;
     y[static_cast<std::size_t>(row)] +=
@@ -46,6 +68,10 @@ void accumulate_block_batch(const sparse::BlockRange& range,
                             int k) {
   sparse::index_t row = range.first_row;
   for (std::size_t i = 0; i < range.count; ++i) {
+    if (i + kPrefetchDistance < range.count) {
+      prefetch_read(&x[static_cast<std::size_t>(indices[i + kPrefetchDistance]) *
+                       static_cast<std::size_t>(k)]);
+    }
     const auto pos = static_cast<sparse::offset_t>(range.first_nnz + i);
     while (pos >= row_ptr[static_cast<std::size_t>(row) + 1]) ++row;
     const double v = values[i];
@@ -80,22 +106,29 @@ void RecodedSpmv::multiply_batch(std::span<const double> x,
 
   for (std::size_t b = 0; b < cm_->blocks.size(); ++b) {
     const auto& range = cm_->blocking.blocks[b];
+    std::span<const sparse::index_t> indices;
+    std::span<const double> values;
     if (engine_ == DecodeEngine::kSoftware) {
-      codec::decompress_block(*cm_, b, indices_, values_);
+      const codec::DecodedBlock decoded =
+          codec::decompress_block_fast(*cm_, b, scratch_, out_);
+      indices = decoded.indices;
+      values = decoded.values;
     } else {
       udpprog::BlockResult result = udp_decoder_->decode_block(b);
       indices_ = std::move(result.indices);
       values_ = std::move(result.values);
       udp_cycles_ += result.lane_cycles();
+      indices = indices_;
+      values = values_;
     }
-    check_block_indices(indices_, cm_->cols);
+    check_block_indices(indices, cm_->cols);
     ++blocks_decoded_;
     compressed_bytes_streamed_ += cm_->blocks[b].bytes();
 
     if (k == 1) {
-      accumulate_block(range, cm_->row_ptr, indices_, values_, x, y);
+      accumulate_block(range, cm_->row_ptr, indices, values, x, y);
     } else {
-      accumulate_block_batch(range, cm_->row_ptr, indices_, values_, x, y, k);
+      accumulate_block_batch(range, cm_->row_ptr, indices, values, x, y, k);
     }
   }
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <span>
 
+#include "codec/arena.h"
 #include "codec/pipeline.h"
 #include "udpprog/block_decoder.h"
 
@@ -82,6 +83,12 @@ class RecodedSpmv {
   const codec::CompressedMatrix* cm_;
   DecodeEngine engine_;
   std::unique_ptr<udpprog::UdpPipelineDecoder> udp_decoder_;
+  // Software-engine decode arenas: blocks decode straight into out_'s
+  // slabs (codec::decompress_block_fast), so after the first block the
+  // decode loop performs zero heap allocations and no output copy.
+  codec::DecodeArena scratch_;
+  codec::DecodeArena out_;
+  // kUdpSimulated destination (the lane simulator returns vectors).
   std::vector<sparse::index_t> indices_;
   std::vector<double> values_;
   std::uint64_t blocks_decoded_ = 0;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "codec/arena.h"
 #include "common/error.h"
 #include "common/timer.h"
 #include "telemetry/telemetry.h"
@@ -87,12 +88,19 @@ std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
   return bands;
 }
 
-// One decoded block in flight between a decoder and a consumer. Buffers
-// are recycled through the owning decoder's free queue, so after warmup
-// the steady-state path performs no allocation (vectors keep capacity).
+// One decoded block in flight between a decoder and a consumer. The
+// software engine decodes straight into the slab's out arena
+// (codec::decompress_block_fast) and the spans view its slabs; the UDP
+// simulator fills the vectors instead. Slabs recycle through the owning
+// decoder's free queue, so after warmup the steady-state path performs
+// zero heap allocations (arenas and vectors keep capacity). Queue
+// push/pop orders the decoder's arena writes before the consumer's reads.
 struct StreamingExecutor::Slab {
-  std::vector<sparse::index_t> indices;
-  std::vector<double> values;
+  codec::DecodeArena out;
+  std::vector<sparse::index_t> udp_indices;
+  std::vector<double> udp_values;
+  std::span<const sparse::index_t> indices;
+  std::span<const double> values;
   std::size_t block = 0;
   std::size_t owner = 0;  // decoder whose pool this slab belongs to
   std::uint64_t udp_cycles = 0;
@@ -100,6 +108,10 @@ struct StreamingExecutor::Slab {
 
 struct StreamingExecutor::DecoderState {
   std::vector<std::unique_ptr<Slab>> slabs;
+  // Stage-intermediate arena. Worker-local: only this decoder's thread
+  // touches it, and only while a block is being decoded (slab out arenas
+  // are what travel to consumers).
+  codec::DecodeArena scratch;
   // Lane-simulator instance for kUdpSimulated, built lazily on this
   // worker's first block so unused workers never pay the layout cost.
   std::unique_ptr<udpprog::UdpPipelineDecoder> udp;
@@ -218,15 +230,20 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
           RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
           busy.reset();
           if (config_.engine == DecodeEngine::kSoftware) {
-            codec::decompress_block(*cm_, b, slab->indices, slab->values);
+            const codec::DecodedBlock decoded =
+                codec::decompress_block_fast(*cm_, b, state.scratch, slab->out);
+            slab->indices = decoded.indices;
+            slab->values = decoded.values;
             slab->udp_cycles = 0;
           } else {
             if (!state.udp) {
               state.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
             }
             udpprog::BlockResult result = state.udp->decode_block(b);
-            slab->indices = std::move(result.indices);
-            slab->values = std::move(result.values);
+            slab->udp_indices = std::move(result.indices);
+            slab->udp_values = std::move(result.values);
+            slab->indices = slab->udp_indices;
+            slab->values = slab->udp_values;
             slab->udp_cycles = result.lane_cycles();
           }
           check_block_indices(slab->indices, cm_->cols);

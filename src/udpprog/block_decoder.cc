@@ -57,10 +57,11 @@ UdpPipelineDecoder::UdpPipelineDecoder(const codec::CompressedMatrix& cm,
                value_block_bytes * 2 + 4096);
 }
 
-codec::Bytes UdpPipelineDecoder::run_stage(const udp::Layout& layout,
-                                           codec::ByteSpan input,
-                                           std::uint64_t init_count,
-                                           std::uint64_t& cycles) {
+codec::ByteSpan UdpPipelineDecoder::run_stage(const udp::Layout& layout,
+                                              codec::ByteSpan input,
+                                              std::uint64_t init_count,
+                                              std::uint64_t& cycles,
+                                              std::size_t out_slot) {
   udp::Lane lane(layout, lane_config_);
   std::vector<std::pair<int, std::uint64_t>> init;
   // All programs share the conventions: R5 = output base (0), and the
@@ -74,31 +75,40 @@ codec::Bytes UdpPipelineDecoder::run_stage(const udp::Layout& layout,
   cycles += counters.cycles;
   const std::uint64_t out_len = lane.reg(kDeltaOutReg);
   if (out_len > lane.scratch().size()) fail("udp stage: output overrun");
-  const auto scratch = lane.scratch();
-  return codec::Bytes(scratch.begin(),
-                      scratch.begin() + static_cast<std::ptrdiff_t>(out_len));
+  std::uint8_t* dst =
+      arena_.slab(out_slot, static_cast<std::size_t>(out_len));
+  std::memcpy(dst, lane.scratch().data(), static_cast<std::size_t>(out_len));
+  return codec::ByteSpan(dst, static_cast<std::size_t>(out_len));
 }
 
-codec::Bytes UdpPipelineDecoder::decode_stream(codec::ByteSpan data,
-                                               codec::Transform transform,
-                                               const udp::Layout* huffman_layout,
-                                               std::size_t expect_bytes,
-                                               StageCycles& cycles) {
-  codec::Bytes buf(data.begin(), data.end());
+codec::ByteSpan UdpPipelineDecoder::decode_stream(
+    codec::ByteSpan data, codec::Transform transform,
+    const udp::Layout* huffman_layout, std::size_t expect_bytes,
+    std::size_t out_slot, StageCycles& cycles) {
+  const bool snappy_on = cm_->config.snappy;
+  const bool transform_on = transform != codec::Transform::kNone;
+  codec::ByteSpan buf = data;
   if (cm_->config.huffman) {
     RECODE_CHECK(huffman_layout != nullptr);
-    buf = run_stage(*huffman_layout, buf, 0, cycles.huffman);
+    buf = run_stage(*huffman_layout, buf, 0, cycles.huffman,
+                    (snappy_on || transform_on) ? codec::DecodeArena::kScratchA
+                                                : out_slot);
   }
-  if (cm_->config.snappy) {
-    buf = run_stage(*snappy_layout_, buf, 0, cycles.snappy);
+  if (snappy_on) {
+    buf = run_stage(*snappy_layout_, buf, 0, cycles.snappy,
+                    transform_on ? (cm_->config.huffman
+                                        ? codec::DecodeArena::kScratchB
+                                        : codec::DecodeArena::kScratchA)
+                                 : out_slot);
   }
   if (transform == codec::Transform::kDelta32) {
     if (buf.size() % 4 != 0) fail("udp stage: delta input misaligned");
-    buf = run_stage(*delta_layout_, buf, buf.size() / 4, cycles.delta);
+    buf = run_stage(*delta_layout_, buf, buf.size() / 4, cycles.delta,
+                    out_slot);
   } else if (transform == codec::Transform::kVarintDelta) {
     // The word count comes from the blocking plan, not the byte stream.
     buf = run_stage(*varint_delta_layout_, buf, expect_bytes / 4,
-                    cycles.delta);
+                    cycles.delta, out_slot);
   }
   if (buf.size() != expect_bytes) {
     fail("udp stage: decoded size mismatch (got " +
@@ -114,14 +124,14 @@ BlockResult UdpPipelineDecoder::decode_block(std::size_t b) {
   const std::size_t count = cm_->blocking.blocks[b].count;
 
   BlockResult result;
-  const codec::Bytes idx_bytes = decode_stream(
+  const codec::ByteSpan idx_bytes = decode_stream(
       block.index_data, cm_->config.index_transform,
       index_huffman_layout_.get(), count * sizeof(sparse::index_t),
-      result.index_cycles);
-  const codec::Bytes val_bytes = decode_stream(
+      codec::DecodeArena::kIndexOut, result.index_cycles);
+  const codec::ByteSpan val_bytes = decode_stream(
       block.value_data, cm_->config.value_transform,
       value_huffman_layout_.get(), count * sizeof(double),
-      result.value_cycles);
+      codec::DecodeArena::kValueOut, result.value_cycles);
 
   result.indices.resize(count);
   result.values.resize(count);

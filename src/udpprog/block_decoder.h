@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "codec/arena.h"
 #include "codec/pipeline.h"
 #include "udp/accelerator.h"
 #include "udp/effclip.h"
@@ -58,15 +59,24 @@ class UdpPipelineDecoder {
   std::size_t total_table_slots() const;
 
  private:
-  // Runs `layout` over `input`, returns the scratch bytes [0, R5).
-  codec::Bytes run_stage(const udp::Layout& layout, codec::ByteSpan input,
-                         std::uint64_t init_count, std::uint64_t& cycles);
+  // Runs `layout` over `input`; copies the scratch bytes [0, R5) into the
+  // given arena slot and returns a span over them (valid until the slot
+  // is reused).
+  codec::ByteSpan run_stage(const udp::Layout& layout, codec::ByteSpan input,
+                            std::uint64_t init_count, std::uint64_t& cycles,
+                            std::size_t out_slot);
 
-  codec::Bytes decode_stream(codec::ByteSpan data, codec::Transform transform,
-                             const udp::Layout* huffman_layout,
-                             std::size_t expect_bytes, StageCycles& cycles);
+  // Stage intermediates ping-pong between the arena's scratch slabs; the
+  // last stage lands in out_slot. Zero heap allocations once the arena is
+  // warm (the lane's own scratchpad aside — that models UDP hardware).
+  codec::ByteSpan decode_stream(codec::ByteSpan data,
+                                codec::Transform transform,
+                                const udp::Layout* huffman_layout,
+                                std::size_t expect_bytes, std::size_t out_slot,
+                                StageCycles& cycles);
 
   const codec::CompressedMatrix* cm_;
+  codec::DecodeArena arena_;
   udp::Program delta_program_;
   udp::Program varint_delta_program_;
   udp::Program snappy_program_;

@@ -1,0 +1,303 @@
+// Unit suite for the zero-allocation fast decode path: DecodeArena slab
+// reuse, the multi-symbol Huffman table's equivalence to repeated
+// single-symbol lookups, fast-vs-reference equivalence per codec, and the
+// steady-state zero-allocation guarantee asserted through a global
+// operator-new counting hook.
+#include "codec/fast_decode.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "codec/arena.h"
+#include "codec/delta.h"
+#include "codec/huffman.h"
+#include "codec/pipeline.h"
+#include "codec/snappy.h"
+#include "codec/varint_delta.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "sparse/generators.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation-counting hook. Every heap allocation in this binary
+// (gtest's included) bumps the counter; the zero-allocation tests snapshot
+// it around warmed decode loops.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// ---------------------------------------------------------------------------
+
+namespace recode::codec {
+namespace {
+
+using sparse::Csr;
+using sparse::ValueModel;
+
+Bytes random_bytes(Prng& prng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(prng.next());
+  return out;
+}
+
+// Skewed byte distribution: short Huffman codes dominate, so multi-symbol
+// table entries routinely pack 2..4 symbols.
+Bytes skewed_bytes(Prng& prng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) {
+    const std::uint64_t r = prng.next_below(100);
+    b = r < 70 ? static_cast<std::uint8_t>(prng.next_below(4))
+               : static_cast<std::uint8_t>(prng.next());
+  }
+  return out;
+}
+
+Bytes index_words(Prng& prng, std::size_t words) {
+  Bytes out(words * 4);
+  std::int32_t v = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    v += static_cast<std::int32_t>(prng.next_below(64));
+    std::memcpy(out.data() + i * 4, &v, 4);
+  }
+  return out;
+}
+
+TEST(DecodeArena, GrowsMonotonicallyAndReuses) {
+  DecodeArena arena;
+  EXPECT_EQ(arena.allocations(), 0u);
+  std::uint8_t* p1 = arena.slab(DecodeArena::kScratchA, 100);
+  EXPECT_EQ(arena.allocations(), 1u);
+  EXPECT_GE(arena.slot_capacity(DecodeArena::kScratchA), 100u);
+
+  // Smaller and equal requests reuse the slab.
+  EXPECT_EQ(arena.slab(DecodeArena::kScratchA, 50), p1);
+  EXPECT_EQ(arena.slab(DecodeArena::kScratchA, 100), p1);
+  EXPECT_EQ(arena.allocations(), 1u);
+
+  // A larger request regrows once, then holds.
+  const std::size_t big = arena.slot_capacity(DecodeArena::kScratchA) + 1;
+  arena.slab(DecodeArena::kScratchA, big);
+  EXPECT_EQ(arena.allocations(), 2u);
+  EXPECT_GE(arena.slot_capacity(DecodeArena::kScratchA), big);
+  arena.slab(DecodeArena::kScratchA, big);
+  EXPECT_EQ(arena.allocations(), 2u);
+
+  // Slots are independent.
+  arena.slab(DecodeArena::kValueOut, 10);
+  EXPECT_EQ(arena.allocations(), 3u);
+  EXPECT_GT(arena.capacity_bytes(), 0u);
+}
+
+TEST(DecodeArena, SlopIsAlwaysWritable) {
+  DecodeArena arena;
+  for (std::size_t size : {0u, 1u, 100u, 5000u}) {
+    std::uint8_t* p = arena.slab(DecodeArena::kIndexOut, size);
+    // Writing size + kArenaSlop bytes is the contract the word-wise
+    // decoders rely on; ASan guards the other end.
+    std::memset(p, 0xAB, size + kArenaSlop);
+  }
+}
+
+// The multi-symbol table must replay single-symbol decodes exactly: for
+// every window, the packed symbols and total bits equal what repeated
+// decode_table lookups over the same bits produce.
+void check_multi_table(const HuffmanTable& table) {
+  const auto* single = table.decode_table();
+  const auto* multi = table.multi_table();
+  constexpr std::uint32_t kWindowMask = (1u << kMaxCodeLen) - 1;
+  for (std::uint32_t w = 0; w <= kWindowMask; ++w) {
+    const auto& e = multi[w];
+    ASSERT_GE(e.count, 1);
+    ASSERT_LE(e.count, 4);
+    int consumed = 0;
+    for (int k = 0; k < e.count; ++k) {
+      const auto d = single[(w << consumed) & kWindowMask];
+      ASSERT_EQ(e.symbols[k], d.symbol) << "window " << w << " symbol " << k;
+      consumed += d.length;
+      // Every packed code must be fully determined by real window bits.
+      ASSERT_LE(consumed, kMaxCodeLen) << "window " << w;
+    }
+    ASSERT_EQ(e.bits, consumed) << "window " << w;
+    // Unused symbol slots stay zero so the 4-byte bulk emit is exact.
+    for (int k = e.count; k < 4; ++k) ASSERT_EQ(e.symbols[k], 0);
+  }
+}
+
+TEST(MultiSymbolTable, UniformTable) { check_multi_table(HuffmanTable()); }
+
+TEST(MultiSymbolTable, SkewedTable) {
+  Prng prng(2024);
+  check_multi_table(HuffmanTable::train(skewed_bytes(prng, 1 << 16)));
+}
+
+TEST(MultiSymbolTable, RandomTable) {
+  Prng prng(2025);
+  check_multi_table(HuffmanTable::train(random_bytes(prng, 1 << 16)));
+}
+
+TEST(FastHuffman, MatchesReferenceAcrossSizes) {
+  Prng prng(31);
+  for (const bool skewed : {false, true}) {
+    Bytes sample = skewed ? skewed_bytes(prng, 1 << 15)
+                          : random_bytes(prng, 1 << 15);
+    const auto table = std::make_shared<const HuffmanTable>(
+        HuffmanTable::train(sample));
+    const HuffmanCodec codec(table);
+    for (const std::size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1000u, 8192u, 40000u}) {
+      const Bytes raw = skewed ? skewed_bytes(prng, n) : random_bytes(prng, n);
+      const Bytes encoded = codec.encode(raw);
+      const Bytes ref = codec.decode(encoded);
+      DecodeArena arena;
+      std::uint8_t* dst = arena.slab(
+          DecodeArena::kScratchA, HuffmanCodec::decoded_length(encoded));
+      const std::size_t got = fast::huffman_decode(*table, encoded, dst);
+      ASSERT_EQ(got, ref.size()) << "n=" << n;
+      // ref.data() is null when n == 0; memcmp's args are declared
+      // nonnull, so only compare nonempty outputs.
+      if (got != 0) {
+        ASSERT_EQ(std::memcmp(dst, ref.data(), got), 0) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(FastSnappy, MatchesReferenceAcrossShapes) {
+  Prng prng(32);
+  const SnappyCodec codec;
+  // Compressible (copy-heavy), random (literal-heavy), runs (overlapping
+  // short-offset matches), and tiny inputs.
+  std::vector<Bytes> inputs;
+  inputs.push_back(Bytes{});
+  inputs.push_back(Bytes{0x42});
+  inputs.push_back(random_bytes(prng, 100));
+  inputs.push_back(random_bytes(prng, 70000));
+  Bytes runs(9000, 0x7);  // off=1 copies
+  inputs.push_back(runs);
+  Bytes period(8192);
+  for (std::size_t i = 0; i < period.size(); ++i) {
+    period[i] = static_cast<std::uint8_t>((i / 7) & 0xFF);
+  }
+  inputs.push_back(period);
+  inputs.push_back(index_words(prng, 2048));
+  for (const Bytes& raw : inputs) {
+    const Bytes encoded = codec.encode(raw);
+    const Bytes ref = codec.decode(encoded);
+    DecodeArena arena;
+    std::uint8_t* dst = arena.slab(DecodeArena::kScratchA,
+                                   SnappyCodec::decoded_length(encoded));
+    const std::size_t got = fast::snappy_decode(encoded, dst);
+    ASSERT_EQ(got, ref.size());
+    if (got != 0) {
+      ASSERT_EQ(std::memcmp(dst, ref.data(), got), 0);
+    }
+  }
+}
+
+TEST(FastTransforms, MatchReference) {
+  Prng prng(33);
+  const Bytes raw = index_words(prng, 4096);
+
+  const Bytes delta = DeltaCodec().encode(raw);
+  DecodeArena arena;
+  std::uint8_t* dst = arena.slab(DecodeArena::kScratchA, delta.size());
+  ASSERT_EQ(fast::delta_decode(delta, dst), raw.size());
+  EXPECT_EQ(std::memcmp(dst, raw.data(), raw.size()), 0);
+
+  const Bytes vdelta = VarintDeltaCodec().encode(raw);
+  std::uint8_t* dst2 = arena.slab(DecodeArena::kScratchB, raw.size());
+  ASSERT_EQ(fast::varint_delta_decode(vdelta, dst2, raw.size()), raw.size());
+  EXPECT_EQ(std::memcmp(dst2, raw.data(), raw.size()), 0);
+}
+
+TEST(FastTransforms, VarintDeltaOverflowParsesPastCapacity) {
+  // When the stream decodes to more words than the destination holds, the
+  // fast decoder must keep parsing (surfacing any parse error exactly
+  // where the reference would) and report the true total for the caller's
+  // size check.
+  Prng prng(34);
+  const Bytes raw = index_words(prng, 256);
+  const Bytes encoded = VarintDeltaCodec().encode(raw);
+  DecodeArena arena;
+  const std::size_t cap = 100;  // < 1024 bytes of true output
+  std::uint8_t* dst = arena.slab(DecodeArena::kScratchA, cap);
+  EXPECT_EQ(fast::varint_delta_decode(encoded, dst, cap), raw.size());
+}
+
+TEST(FastDecodeAlloc, BlockDecodeIsZeroAllocationOnceWarm) {
+  if (!fast::kEnabled) {
+    GTEST_SKIP() << "fast decode disabled (RECODE_FAST_DECODE=OFF)";
+  }
+  const Csr csr =
+      sparse::gen_fem_like(4000, 10, 80, ValueModel::kSmoothField, 77);
+  const CompressedMatrix cm = compress(csr, PipelineConfig::udp_dsh());
+  ASSERT_GT(cm.blocks.size(), 2u);
+
+  DecodeArena scratch;
+  DecodeArena out;
+  // Warm pass: arenas grow to the largest block, telemetry registers.
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    (void)decompress_block_fast(cm, b, scratch, out);
+  }
+  const std::uint64_t arena_allocs = scratch.allocations() + out.allocations();
+
+  const std::uint64_t heap_before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  double checksum = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+      const DecodedBlock d = decompress_block_fast(cm, b, scratch, out);
+      checksum += d.values[0] + static_cast<double>(d.indices[0]);
+    }
+  }
+  const std::uint64_t heap_after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(heap_after - heap_before, 0u)
+      << "steady-state block decode allocated";
+  EXPECT_EQ(scratch.allocations() + out.allocations(), arena_allocs);
+  EXPECT_NE(checksum, 0.0);  // keep the decode loop observable
+}
+
+TEST(FastDecodeAlloc, AllConfigsZeroAllocationOnceWarm) {
+  if (!fast::kEnabled) {
+    GTEST_SKIP() << "fast decode disabled (RECODE_FAST_DECODE=OFF)";
+  }
+  const Csr csr =
+      sparse::gen_banded(6000, 6, 0.9, ValueModel::kStencilCoeffs, 78);
+  for (const PipelineConfig& cfg :
+       {PipelineConfig::udp_dsh(), PipelineConfig::udp_ds(),
+        PipelineConfig::cpu_snappy(), PipelineConfig::udp_vsh()}) {
+    const CompressedMatrix cm = compress(csr, cfg);
+    DecodeArena scratch;
+    DecodeArena out;
+    for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+      (void)decompress_block_fast(cm, b, scratch, out);
+    }
+    const std::uint64_t before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+      (void)decompress_block_fast(cm, b, scratch, out);
+    }
+    EXPECT_EQ(g_heap_allocations.load(std::memory_order_relaxed) - before, 0u)
+        << "config snappy=" << cfg.snappy << " huffman=" << cfg.huffman;
+  }
+}
+
+}  // namespace
+}  // namespace recode::codec
