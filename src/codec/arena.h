@@ -8,6 +8,15 @@
 // trailing bytes so the word-wise decoders (8/16-byte copies, 4-symbol
 // Huffman emits) may overshoot their logical end without ever writing
 // outside owned memory.
+//
+// Ownership rule: arena slabs never escape the worker that owns the
+// arena. Anything that must outlive the next decode into the same arena
+// — in particular a spmv::BandCache entry pinning a decoded band across
+// multiply calls — takes an exact-sized copy of the decoded streams;
+// cache-owned memory in turn never rejoins a worker's slab pool. The
+// alternative (detaching slabs into the cache) would pin the
+// geometric-growth padding too and force the arena to re-grow per
+// cached block, so copies are both the simpler and the cheaper policy.
 #pragma once
 
 #include <array>

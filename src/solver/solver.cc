@@ -1,0 +1,164 @@
+#include "solver/solver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/prng.h"
+#include "spmv/recoded.h"
+#include "spmv/streaming_executor.h"
+#include "telemetry/telemetry.h"
+
+namespace recode::solver {
+
+namespace {
+
+struct SolverTelemetry {
+  telemetry::Counter& cg_solves;
+  telemetry::Counter& cg_iterations;
+  telemetry::Counter& power_solves;
+  telemetry::Counter& power_iterations;
+
+  static SolverTelemetry& get() {
+    auto& reg = telemetry::MetricsRegistry::global();
+    static SolverTelemetry* t = new SolverTelemetry{
+        reg.counter("solver.cg.solves"),
+        reg.counter("solver.cg.iterations"),
+        reg.counter("solver.power.solves"),
+        reg.counter("solver.power.iterations"),
+    };
+    return *t;
+  }
+};
+
+// Fixed-order sequential dot product — the determinism anchor: no
+// vectorized reassociation the compiler could vary between call sites.
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+Operator make_operator(spmv::StreamingExecutor& exec) {
+  return [&exec](std::span<const double> x, std::span<double> y) {
+    exec.multiply(x, y);
+  };
+}
+
+Operator make_operator(spmv::RecodedSpmv& spmv) {
+  return [&spmv](std::span<const double> x, std::span<double> y) {
+    spmv.multiply(x, y);
+  };
+}
+
+CgResult conjugate_gradient(const Operator& apply, std::span<const double> b,
+                            const CgOptions& opts) {
+  RECODE_CHECK(opts.max_iters >= 0);
+  SolverTelemetry& telem = SolverTelemetry::get();
+  telem.cg_solves.add(1);
+  const std::size_t n = b.size();
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  // x0 = 0, so r0 = b and no seeding multiply is needed.
+  std::vector<double> r(b.begin(), b.end());
+  std::vector<double> p = r;
+  std::vector<double> ap(n);
+  double rr = dot(r, r);
+  const double bb = rr;
+  if (bb == 0.0) {  // b == 0 solves to x == 0 exactly
+    result.converged = true;
+    return result;
+  }
+  const double stop = opts.tol * opts.tol * bb;  // ||r||^2 <= (tol ||b||)^2
+
+  int iters = 0;
+  for (; iters < opts.max_iters && rr > stop; ++iters) {
+    RECODE_TRACE_SPAN_ARG("solver", "cg_iteration", "iter",
+                          static_cast<std::uint64_t>(iters));
+    apply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // not SPD (or breakdown): report non-converged
+    const double alpha = rr / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    const double rr_new = dot(r, r);
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  telem.cg_iterations.add(static_cast<std::uint64_t>(iters));
+  result.iterations = iters;
+  result.relative_residual = std::sqrt(rr / bb);
+  result.converged = rr <= stop;
+  return result;
+}
+
+PowerIterationResult power_iteration(const Operator& apply, std::size_t n,
+                                     const PowerIterationOptions& opts) {
+  RECODE_CHECK(opts.max_iters >= 0);
+  SolverTelemetry& telem = SolverTelemetry::get();
+  telem.power_solves.add(1);
+
+  PowerIterationResult result;
+  result.eigenvector.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  // Deterministic pseudo-random start vector: a fixed vector (e.g. all
+  // ones) can be orthogonal to the dominant eigenvector; a seeded random
+  // one almost never is, and stays reproducible.
+  std::vector<double> v(n);
+  Prng prng(opts.seed);
+  for (auto& x : v) x = prng.next_double() * 2.0 - 1.0;
+  double norm = std::sqrt(dot(v, v));
+  if (norm == 0.0) {
+    v[0] = 1.0;
+    norm = 1.0;
+  }
+  for (auto& x : v) x /= norm;
+
+  std::vector<double> w(n);
+  double lambda = 0.0;
+  int iters = 0;
+  bool converged = false;
+  for (; iters < opts.max_iters; ++iters) {
+    RECODE_TRACE_SPAN_ARG("solver", "power_iteration", "iter",
+                          static_cast<std::uint64_t>(iters));
+    apply(v, w);
+    // ||v|| == 1, so the Rayleigh quotient is just v . Av.
+    const double lambda_new = dot(v, w);
+    norm = std::sqrt(dot(w, w));
+    if (norm == 0.0) {
+      // A v == 0: v is an exact null vector; eigenvalue 0, converged.
+      lambda = 0.0;
+      converged = true;
+      ++iters;
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / norm;
+    const bool settled =
+        std::abs(lambda_new - lambda) <= opts.tol * std::abs(lambda_new);
+    lambda = lambda_new;
+    if (iters > 0 && settled) {
+      converged = true;
+      ++iters;
+      break;
+    }
+  }
+
+  telem.power_iterations.add(static_cast<std::uint64_t>(iters));
+  result.eigenvector = std::move(v);
+  result.eigenvalue = lambda;
+  result.iterations = iters;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace recode::solver

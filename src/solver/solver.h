@@ -1,0 +1,83 @@
+// Iterative-solver drivers over the recoded SpMV operators.
+//
+// The paper's recoding argument is strongest exactly here: conjugate
+// gradient and power iteration multiply the same matrix hundreds of
+// times, so a block is decoded many times per encode (the SMASH-style
+// amortization) and a decoded-band cache (StreamingConfig::
+// cache_budget_bytes) can trade pinned memory for skipped decode work
+// iteration after iteration.
+//
+// Determinism contract: both drivers are deterministic host loops —
+// fixed-order dot products, no reductions that depend on thread count —
+// so given an operator whose applications are bitwise-reproducible
+// (serial RecodedSpmv, StreamingExecutor at any thread count / cache
+// budget / engine), the returned vectors are bitwise-identical across
+// all of those configurations. The solver test suite asserts this with
+// memcmp, not tolerances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace recode::spmv {
+class StreamingExecutor;
+class RecodedSpmv;
+}  // namespace recode::spmv
+
+namespace recode::solver {
+
+// y = A*x. Any bitwise-reproducible SpMV fits: RecodedSpmv,
+// StreamingExecutor, or a test closure over a dense reference.
+using Operator =
+    std::function<void(std::span<const double>, std::span<double>)>;
+
+// Adapters for the two engine classes (the executor overloads are what
+// the benches and examples use; the Operator form is what tests use to
+// mix engines mid-solve).
+Operator make_operator(spmv::StreamingExecutor& exec);
+Operator make_operator(spmv::RecodedSpmv& spmv);
+
+struct CgOptions {
+  int max_iters = 1000;
+  // Stop when ||r||_2 / ||b||_2 <= tol (relative residual, the usual CG
+  // stopping rule; b == 0 solves to x == 0 immediately).
+  double tol = 1e-10;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+// Unpreconditioned conjugate gradient for SPD A. One operator
+// application per iteration (plus one to seed the residual when x0 is
+// nonzero — this driver starts from x0 = 0, so exactly `iterations`
+// applications total).
+CgResult conjugate_gradient(const Operator& apply, std::span<const double> b,
+                            const CgOptions& opts = {});
+
+struct PowerIterationOptions {
+  int max_iters = 1000;
+  // Stop when |lambda_k - lambda_{k-1}| <= tol * |lambda_k|.
+  double tol = 1e-10;
+  // Seed for the deterministic pseudo-random start vector.
+  std::uint64_t seed = 1;
+};
+
+struct PowerIterationResult {
+  std::vector<double> eigenvector;  // normalized (2-norm 1)
+  double eigenvalue = 0.0;          // Rayleigh quotient at the last iterate
+  int iterations = 0;
+  bool converged = false;
+};
+
+// Power iteration for the dominant eigenpair of A (n = dimension of the
+// operator's domain). One operator application per iteration.
+PowerIterationResult power_iteration(const Operator& apply, std::size_t n,
+                                     const PowerIterationOptions& opts = {});
+
+}  // namespace recode::solver

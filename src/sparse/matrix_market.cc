@@ -1,6 +1,8 @@
 #include "sparse/matrix_market.h"
 
+#include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
@@ -17,6 +19,25 @@ std::string lower(std::string s) {
   for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   return s;
 }
+
+// A comment line may carry leading whitespace before the '%' (seen in
+// the wild); a line is "blank" when it is empty or all-whitespace.
+// Neither may be parsed as the size line.
+bool comment_or_blank(const std::string& line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '%';
+  }
+  return true;  // empty / all-whitespace
+}
+
+// The size-line entry count is untrusted input: reserve() must never
+// trust it with an allocation before a single entry has been read (a
+// hostile header could claim 2^60 entries and turn the open into a
+// bad_alloc — the same untrusted-length class the codec decoders
+// clamp). Reserve at most this many entries up front; genuinely larger
+// matrices grow geometrically as entries actually arrive.
+constexpr long long kMaxHeaderReserve = 1 << 20;  // 16 MB of COO triplets
 
 }  // namespace
 
@@ -57,20 +78,38 @@ Coo read_matrix_market(std::istream& in) {
     fail("mtx: unsupported symmetry: " + symmetry_s);
   }
 
-  // Skip comments, find the size line.
+  // Skip comments (leading whitespace allowed) and blank lines until the
+  // size line. Reaching end-of-stream first is a distinct failure from a
+  // malformed size line: report the truncation instead of re-parsing the
+  // stale previous line.
+  bool found_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    if (!comment_or_blank(line)) {
+      found_size_line = true;
+      break;
+    }
   }
+  if (!found_size_line) fail("mtx: stream ended before the size line");
   std::istringstream size_line(line);
   long long rows = 0, cols = 0, entries = 0;
   if (!(size_line >> rows >> cols >> entries)) fail("mtx: bad size line");
   if (rows <= 0 || cols <= 0 || entries < 0) fail("mtx: bad dimensions");
+  if (rows > std::numeric_limits<index_t>::max() ||
+      cols > std::numeric_limits<index_t>::max()) {
+    fail("mtx: dimensions exceed 32-bit index range");
+  }
+  // A coordinate file cannot hold more distinct entries than the matrix
+  // has cells (rows*cols can't overflow: both sides are < 2^31).
+  if (entries > rows * cols) {
+    fail("mtx: size line claims more entries than rows*cols");
+  }
 
   Coo coo;
   coo.rows = static_cast<index_t>(rows);
   coo.cols = static_cast<index_t>(cols);
-  coo.reserve(static_cast<std::size_t>(
-      sym == Symmetry::kGeneral ? entries : entries * 2));
+  const long long expanded =
+      sym == Symmetry::kGeneral ? entries : entries * 2;
+  coo.reserve(static_cast<std::size_t>(std::min(expanded, kMaxHeaderReserve)));
 
   for (long long i = 0; i < entries; ++i) {
     long long r = 0, c = 0;
@@ -97,6 +136,8 @@ Coo read_matrix_market_file(const std::string& path) {
 
 void write_matrix_market(std::ostream& out, const Coo& coo) {
   out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by recode; symmetric/skew-symmetric/pattern inputs are\n"
+         "% stored in expanded general form (see matrix_market.h)\n";
   out << coo.rows << " " << coo.cols << " " << coo.nnz() << "\n";
   for (std::size_t i = 0; i < coo.nnz(); ++i) {
     out << (coo.row[i] + 1) << " " << (coo.col[i] + 1) << " ";

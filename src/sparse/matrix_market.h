@@ -4,6 +4,24 @@
 // and general/symmetric/skew-symmetric symmetry — the variants that occur
 // in the SuiteSparse/TAMU collection the paper evaluates on. This lets
 // real TAMU matrices be dropped into any bench via --mtx when available.
+//
+// Trust model: the size-line header is untrusted input. Dimensions are
+// range-checked against the 32-bit index type, the claimed entry count
+// is validated against rows*cols, and up-front reservation is clamped so
+// a hostile header surfaces as recode::Error from the entry parser —
+// never as an over-allocation or bad_alloc (the codec untrusted-length
+// hardening contract, extended to the ingest path).
+//
+// Duplicate coordinates: the Matrix Market format forbids them but real
+// files contain them; this reader follows the tolerant convention
+// (scipy.io.mmread, and this repo's coo_to_csr) and keeps every triplet,
+// so duplicates are SUMMED when the Coo is converted to canonical CSR.
+//
+// Symmetry on write: write_matrix_market always emits the `general`
+// header with every stored triplet. A matrix read from a symmetric /
+// skew-symmetric / pattern file therefore round-trips to its EXPANDED
+// general form — numerically identical, but the symmetry annotation
+// (and the file-size saving of storing one triangle) is not preserved.
 #pragma once
 
 #include <iosfwd>
@@ -20,7 +38,9 @@ Coo read_matrix_market(std::istream& in);
 // Convenience: reads from a file path.
 Coo read_matrix_market_file(const std::string& path);
 
-// Writes `coo` as `%%MatrixMarket matrix coordinate real general`.
+// Writes `coo` as `%%MatrixMarket matrix coordinate real general` —
+// symmetric inputs are written in expanded general form (see the
+// symmetry-on-write note above).
 void write_matrix_market(std::ostream& out, const Coo& coo);
 void write_matrix_market_file(const std::string& path, const Coo& coo);
 

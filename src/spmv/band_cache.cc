@@ -1,0 +1,67 @@
+#include "spmv/band_cache.h"
+
+namespace recode::spmv {
+
+BandCache::BandCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+std::shared_ptr<const CachedBand> BandCache::lookup(std::size_t band) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(band);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.data;
+}
+
+bool BandCache::insert(std::size_t band,
+                       std::shared_ptr<const CachedBand> data) {
+  const std::size_t bytes = data->bytes;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (bytes == 0 || bytes > budget_) return false;
+  auto it = entries_.find(band);
+  if (it != entries_.end()) {
+    bytes_pinned_ -= it->second.data->bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  // Evict from the cold end until the newcomer fits. The budget admits
+  // it by construction (bytes <= budget_), so this terminates with the
+  // cache possibly empty but never over budget.
+  while (bytes_pinned_ + bytes > budget_) {
+    const std::size_t victim = lru_.back();
+    auto vit = entries_.find(victim);
+    bytes_pinned_ -= vit->second.data->bytes;
+    lru_.pop_back();
+    entries_.erase(vit);
+    ++evictions_;
+  }
+  lru_.push_front(band);
+  entries_.emplace(band, Entry{std::move(data), lru_.begin()});
+  bytes_pinned_ += bytes;
+  ++inserts_;
+  return true;
+}
+
+void BandCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  bytes_pinned_ = 0;
+}
+
+BandCache::Stats BandCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.bytes_pinned = bytes_pinned_;
+  s.bands_pinned = entries_.size();
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inserts = inserts_;
+  s.evictions = evictions_;
+  return s;
+}
+
+}  // namespace recode::spmv

@@ -22,6 +22,12 @@ struct StreamTelemetry {
   telemetry::Counter& blocks;
   telemetry::Counter& bytes;
   telemetry::Counter& udp_cycles;
+  telemetry::Counter& cache_hit_bands;
+  telemetry::Counter& cache_miss_bands;
+  telemetry::Counter& cache_hit_blocks;
+  telemetry::Counter& cache_insert_bands;
+  telemetry::Counter& cache_evict_bands;
+  telemetry::Gauge& cache_bytes_pinned;
   telemetry::Counter& decode_busy_ns;
   telemetry::Counter& decode_blocked_ns;
   telemetry::Counter& compute_busy_ns;
@@ -40,6 +46,12 @@ struct StreamTelemetry {
         reg.counter("spmv.stream.blocks_decoded"),
         reg.counter("spmv.stream.compressed_bytes"),
         reg.counter("spmv.stream.udp_cycles"),
+        reg.counter("spmv.cache.hit_bands"),
+        reg.counter("spmv.cache.miss_bands"),
+        reg.counter("spmv.cache.hit_blocks"),
+        reg.counter("spmv.cache.insert_bands"),
+        reg.counter("spmv.cache.evict_bands"),
+        reg.gauge("spmv.cache.bytes_pinned"),
         reg.counter("spmv.decode.busy_ns"),
         reg.counter("spmv.decode.blocked_ns"),
         reg.counter("spmv.compute.busy_ns"),
@@ -106,6 +118,17 @@ struct StreamingExecutor::Slab {
   std::uint64_t udp_cycles = 0;
 };
 
+// What travels through a band queue: the decoded views the consumer
+// accumulates from, plus the slab to recycle afterwards. Cache-served
+// blocks view pinned BandCache memory and carry no slab (recycle ==
+// nullptr) — cache-owned bytes must never enter a decoder's free pool.
+struct StreamingExecutor::WorkItem {
+  std::span<const sparse::index_t> indices;
+  std::span<const double> values;
+  std::size_t block = 0;
+  Slab* recycle = nullptr;
+};
+
 struct StreamingExecutor::DecoderState {
   std::vector<std::unique_ptr<Slab>> slabs;
   // Stage-intermediate arena. Worker-local: only this decoder's thread
@@ -127,13 +150,14 @@ struct StreamingExecutor::Run {
     band_queues.reserve(n_bands);
     for (std::size_t i = 0; i < n_bands; ++i) {
       band_queues.push_back(
-          std::make_unique<BoundedQueue<Slab*>>(queue_capacity));
+          std::make_unique<BoundedQueue<WorkItem>>(queue_capacity));
     }
     free_queues.reserve(n_decoders);
     for (std::size_t i = 0; i < n_decoders; ++i) {
       free_queues.push_back(
           std::make_unique<BoundedQueue<Slab*>>(slabs_per_decoder));
     }
+    cache_refs.resize(n_bands);
   }
 
   void cancel_all() {
@@ -145,8 +169,13 @@ struct StreamingExecutor::Run {
   // Band handles are pushed when a decoder starts the band, so consumers
   // only ever wait on bands whose slabs are coming.
   BoundedQueue<std::size_t> ready_bands;
-  std::vector<std::unique_ptr<BoundedQueue<Slab*>>> band_queues;
+  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> band_queues;
   std::vector<std::unique_ptr<BoundedQueue<Slab*>>> free_queues;
+  // Cache entries served this run. The serving decoder parks its
+  // reference here (single writer per band) so an eviction mid-run can
+  // never free memory a consumer is still accumulating from; the caller
+  // thread drops them all after gate.wait().
+  std::vector<std::shared_ptr<const CachedBand>> cache_refs;
   WorkerGate gate;
   std::atomic<std::size_t> next_band{0};
   std::atomic<std::size_t> active_decoders{0};
@@ -159,6 +188,9 @@ struct StreamingExecutor::Run {
   std::uint64_t blocks = 0;
   std::uint64_t bytes = 0;
   std::uint64_t udp_cycles = 0;
+  std::size_t cache_hit_bands = 0;
+  std::size_t cache_miss_bands = 0;
+  std::uint64_t cache_hit_blocks = 0;
 };
 
 StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
@@ -185,6 +217,9 @@ StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
     }
     decoders_.push_back(std::move(state));
   }
+  if (config_.cache_budget_bytes > 0) {
+    cache_ = std::make_unique<BandCache>(config_.cache_budget_bytes);
+  }
   pool_ = std::make_unique<ThreadPool>(config_.decode_threads +
                                        config_.compute_threads);
 }
@@ -202,6 +237,8 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
   double busy_seconds = 0.0;
   double blocked_seconds = 0.0;
   std::uint64_t blocks = 0, bytes = 0, udp_cycles = 0;
+  std::uint64_t hit_blocks = 0;
+  std::size_t hit_bands = 0, miss_bands = 0;
   std::exception_ptr error;
 
   try {
@@ -214,6 +251,53 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
       auto& out = *run.band_queues[band_idx];
       RECODE_TRACE_SPAN_ARG("spmv", "decode_band", "band", band_idx);
       bool cancelled = false;
+
+      if (cache_) {
+        if (auto cached = cache_->lookup(band_idx)) {
+          // Warm band: every block skips the codec chain and streams the
+          // pinned decoded copy. The ref parked in the run keeps the
+          // memory alive past any concurrent eviction.
+          run.cache_refs[band_idx] = cached;
+          ++hit_bands;
+          for (const CachedBlock& cb : cached->blocks) {
+            WorkItem item{cb.indices, cb.values, cb.block, nullptr};
+            std::size_t depth = 0;
+            bool pushed;
+            {
+              telemetry::WaitTimer wait(telem.band_push_wait_us,
+                                        &blocked_seconds);
+              pushed = out.push(item, depth);
+            }
+            if (!pushed) {
+              cancelled = true;
+              break;
+            }
+            telem.band_occupancy.observe(static_cast<double>(depth));
+            ++hit_blocks;
+          }
+          if (cancelled) break;
+          continue;
+        }
+        ++miss_bands;
+      }
+
+      // Cold band: decide up front (exact decoded size from the blocking
+      // plan) whether this band can ever fit the budget, so the copy
+      // into cache-owned memory is only paid for admissible bands.
+      std::shared_ptr<CachedBand> pending;
+      if (cache_) {
+        std::size_t band_nnz = 0;
+        for (std::size_t i = 0; i < band.block_count; ++i) {
+          band_nnz += cm_->blocking.blocks[band.first_block + i].count;
+        }
+        const std::size_t decoded_bytes = decoded_band_bytes(band_nnz);
+        if (cache_->admissible(decoded_bytes)) {
+          pending = std::make_shared<CachedBand>();
+          pending->blocks.reserve(band.block_count);
+          pending->bytes = decoded_bytes;
+        }
+      }
+
       for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
         Slab* slab = nullptr;
         bool got_slab;
@@ -253,12 +337,22 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
         ++blocks;
         bytes += cm_->blocks[b].bytes();
         udp_cycles += slab->udp_cycles;
+        if (pending) {
+          // Exact-sized cache copy, taken before the slab is exposed to
+          // the consumer (whose recycling would invalidate the spans).
+          CachedBlock cb;
+          cb.block = b;
+          cb.indices.assign(slab->indices.begin(), slab->indices.end());
+          cb.values.assign(slab->values.begin(), slab->values.end());
+          pending->blocks.push_back(std::move(cb));
+        }
+        WorkItem item{slab->indices, slab->values, b, slab};
         std::size_t depth = 0;
         bool pushed;
         {
           telemetry::WaitTimer wait(telem.band_push_wait_us,
                                     &blocked_seconds);
-          pushed = out.push(slab, depth);
+          pushed = out.push(item, depth);
         }
         if (pushed) {
           telem.band_occupancy.observe(static_cast<double>(depth));
@@ -267,6 +361,7 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
         }
       }
       if (cancelled) break;
+      if (pending) cache_->insert(band_idx, std::move(pending));
     }
   } catch (...) {
     error = std::current_exception();
@@ -277,6 +372,9 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
   telem.blocks.add(blocks);
   telem.bytes.add(bytes);
   telem.udp_cycles.add(udp_cycles);
+  telem.cache_hit_bands.add(hit_bands);
+  telem.cache_miss_bands.add(miss_bands);
+  telem.cache_hit_blocks.add(hit_blocks);
   {
     std::lock_guard<std::mutex> lock(run.mu);
     run.decode_busy += busy_seconds;
@@ -284,6 +382,9 @@ void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
     run.blocks += blocks;
     run.bytes += bytes;
     run.udp_cycles += udp_cycles;
+    run.cache_hit_bands += hit_bands;
+    run.cache_miss_bands += miss_bands;
+    run.cache_hit_blocks += hit_blocks;
   }
   // The last decoder out closes the band announcement stream so idle
   // consumers stop waiting for more work.
@@ -328,31 +429,36 @@ void StreamingExecutor::compute_worker(Run& run, std::size_t worker,
       // stream order: the accumulation order over this band's (exclusive)
       // rows matches the serial engine's exactly.
       for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
-        Slab* slab = nullptr;
-        bool got_slab;
+        WorkItem item;
+        bool got_item;
         {
           telemetry::WaitTimer wait(telem.band_pop_wait_us, &blocked_seconds);
-          got_slab = in.pop(slab);
+          got_item = in.pop(item);
         }
-        if (!got_slab) {
+        if (!got_item) {
           cancelled = true;
           break;
         }
-        const auto& range = cm_->blocking.blocks[slab->block];
+        const auto& range = cm_->blocking.blocks[item.block];
         {
           RECODE_TRACE_SPAN_ARG("spmv", "accumulate_block", "block",
-                                slab->block);
+                                item.block);
           busy.reset();
           if (k == 1) {
-            accumulate_block(range, cm_->row_ptr, slab->indices, slab->values,
+            accumulate_block(range, cm_->row_ptr, item.indices, item.values,
                              x, y);
           } else {
-            accumulate_block_batch(range, cm_->row_ptr, slab->indices,
-                                   slab->values, x, y, k);
+            accumulate_block_batch(range, cm_->row_ptr, item.indices,
+                                   item.values, x, y, k);
           }
           busy_seconds += busy.seconds();
         }
-        if (!run.free_queues[slab->owner]->push(slab)) cancelled = true;
+        // Cache-served items carry no slab; their memory belongs to the
+        // BandCache and must never rejoin a decoder's free pool.
+        if (item.recycle != nullptr &&
+            !run.free_queues[item.recycle->owner]->push(item.recycle)) {
+          cancelled = true;
+        }
       }
       if (cancelled) break;
     }
@@ -436,6 +542,9 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
   stats_.blocks_decoded = run.blocks;
   stats_.compressed_bytes = run.bytes;
   stats_.udp_cycles = run.udp_cycles;
+  stats_.cache_hit_bands = run.cache_hit_bands;
+  stats_.cache_miss_bands = run.cache_miss_bands;
+  stats_.cache_hit_blocks = run.cache_hit_blocks;
   std::size_t high_water = 0;
   for (const auto& q : run.band_queues) {
     high_water = std::max(high_water, q->high_water());
@@ -443,8 +552,31 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
   stats_.band_queue_high_water = high_water;
   telem.runs.add(1);
   telem.band_queue_high_water.set(static_cast<double>(high_water));
+  if (cache_) {
+    const BandCache::Stats cs = cache_->stats();
+    stats_.cache_bytes_pinned = cs.bytes_pinned;
+    telem.cache_insert_bands.add(cs.inserts - cache_inserts_seen_);
+    telem.cache_evict_bands.add(cs.evictions - cache_evictions_seen_);
+    cache_inserts_seen_ = cs.inserts;
+    cache_evictions_seen_ = cs.evictions;
+    telem.cache_bytes_pinned.set(static_cast<double>(cs.bytes_pinned));
+  }
   total_blocks_decoded_ += run.blocks;
   total_compressed_bytes_ += run.bytes;
+}
+
+void StreamingExecutor::set_engine(DecodeEngine engine) {
+  if (engine == config_.engine) return;
+  config_.engine = engine;
+  clear_cache();
+}
+
+void StreamingExecutor::clear_cache() {
+  if (cache_) cache_->clear();
+}
+
+BandCache::Stats StreamingExecutor::cache_stats() const {
+  return cache_ ? cache_->stats() : BandCache::Stats{};
 }
 
 }  // namespace recode::spmv

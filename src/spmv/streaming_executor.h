@@ -17,6 +17,14 @@
 // Error contract: a recode::Error thrown mid-stream (corrupt block, lane
 // fault) cancels every queue, lets all workers drain, and is rethrown on
 // the calling thread. The executor stays usable afterwards.
+//
+// Decoded-band cache: with cache_budget_bytes > 0, bands whose decoded
+// CSR streams fit the budget are pinned (exact-sized copies, LRU
+// evicted) after their first decode and served to the compute workers
+// without touching the codec chain — the iterative-solver regime where
+// the same matrix is multiplied hundreds of times. Consumers drain
+// cached bands in the same stream order through the same accumulate
+// kernels, so output stays bitwise-identical at any budget.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +34,7 @@
 
 #include "codec/pipeline.h"
 #include "common/thread_pool.h"
+#include "spmv/band_cache.h"
 #include "spmv/recoded.h"
 
 namespace recode::spmv {
@@ -46,6 +55,13 @@ struct StreamingConfig {
   // more parallelism; large values amortize queue traffic.
   std::size_t blocks_per_band = 8;
   DecodeEngine engine = DecodeEngine::kSoftware;
+  // Decoded-band cache budget in bytes (0 = off). Bands whose decoded
+  // CSR streams (12 B/nnz) fit the budget are pinned after their first
+  // decode and skip the codec chain on later multiplies — the paper's
+  // "hot set in plain CSR, cold set compressed" memory-power tradeoff
+  // (Figs 16/17) as a runtime knob for iterative solvers. Output is
+  // bitwise-identical at any budget.
+  std::size_t cache_budget_bytes = 0;
 };
 
 // A row band: consecutive blocks [first_block, first_block + block_count)
@@ -83,6 +99,13 @@ struct OverlapStats {
   std::uint64_t blocks_decoded = 0;
   std::uint64_t compressed_bytes = 0;
   std::uint64_t udp_cycles = 0;  // kUdpSimulated only
+  // Decoded-band cache activity for this call. blocks_decoded /
+  // compressed_bytes count only real decodes, so on a fully warm cache
+  // both are 0 — the data-movement saving the cache models.
+  std::size_t cache_hit_bands = 0;
+  std::size_t cache_miss_bands = 0;
+  std::uint64_t cache_hit_blocks = 0;
+  std::size_t cache_bytes_pinned = 0;  // after the call
 };
 
 class StreamingExecutor {
@@ -108,6 +131,19 @@ class StreamingExecutor {
   const StreamingConfig& config() const { return config_; }
   const OverlapStats& last_stats() const { return stats_; }
 
+  // Switches the decode engine for subsequent multiplies. Invalidates
+  // the decoded-band cache: pinned bands were produced by the previous
+  // engine, and the cache must never mix provenance within one run even
+  // though both engines are decode-differential-identical.
+  void set_engine(DecodeEngine engine);
+
+  // Drops every pinned band (the next multiply re-warms from cold).
+  void clear_cache();
+
+  // Cache policy counters / pinned-byte accounting; all-zero when the
+  // cache is disabled (cache_budget_bytes == 0).
+  BandCache::Stats cache_stats() const;
+
   // Totals across all calls (mirrors RecodedSpmv's counters).
   std::uint64_t blocks_decoded() const { return total_blocks_decoded_; }
   std::uint64_t compressed_bytes_streamed() const {
@@ -116,6 +152,7 @@ class StreamingExecutor {
 
  private:
   struct Slab;        // one decoded block in flight
+  struct WorkItem;    // decoded views + recycle slab, as queued to consumers
   struct DecoderState;  // per-decoder slab pool + engine instance
   struct Run;         // per-call pipeline state (queues, gate, error flag)
 
@@ -128,9 +165,14 @@ class StreamingExecutor {
   std::vector<RowBand> bands_;
   std::vector<std::unique_ptr<DecoderState>> decoders_;
   std::unique_ptr<ThreadPool> pool_;  // decode_threads + compute_threads
+  std::unique_ptr<BandCache> cache_;  // null when cache_budget_bytes == 0
   OverlapStats stats_;
   std::uint64_t total_blocks_decoded_ = 0;
   std::uint64_t total_compressed_bytes_ = 0;
+  // Lifetime cache counters already published to telemetry, so each run
+  // adds only its delta to the process-wide insert/evict counters.
+  std::uint64_t cache_inserts_seen_ = 0;
+  std::uint64_t cache_evictions_seen_ = 0;
 };
 
 }  // namespace recode::spmv

@@ -94,5 +94,126 @@ TEST(MatrixMarket, WriteReadRoundTrip) {
   EXPECT_TRUE(equal(original, back));
 }
 
+// --- Ingest-path hardening regressions (ISSUE 5) ---
+
+TEST(MatrixMarket, HostileEntryCountThrowsErrorNotBadAlloc) {
+  // The size line claims ~4e18 entries (legal vs rows*cols, both just
+  // under 2^31) but the body is empty. The reader must clamp its
+  // reservation and surface the truncation as recode::Error — the
+  // pre-fix reserve(entries) died with std::bad_alloc/length_error
+  // before reading a single entry.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2000000000 2000000000 4000000000000000000\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected recode::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatrixMarket, HostileSymmetricEntryCountThrowsError) {
+  // Symmetric doubles the reservation (entries * 2) — the overflow-prone
+  // arm of the pre-fix code.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2000000000 2000000000 4000000000000000000\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, RejectsEntryCountAboveRowsTimesCols) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 10\n"
+      "1 1 1.0\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected recode::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rows*cols"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatrixMarket, RejectsDimensionsBeyondIndexRange) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "3000000000 10 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, SkipsCommentsWithLeadingWhitespaceAndBlankLines) {
+  // Pre-fix, the indented comment (and the whitespace-only line) were
+  // taken for the size line and the parse failed on a valid file.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "  % indented comment\n"
+      "\t%% another\n"
+      "   \n"
+      "2 2 1\n"
+      "2 1 -4.0\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.rows, 2);
+  ASSERT_EQ(coo.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(coo.val[0], -4.0);
+}
+
+TEST(MatrixMarket, TruncationBeforeSizeLineIsReportedAsSuch) {
+  // Pre-fix, end-of-stream left the previous line in the buffer and it
+  // was re-parsed as the size line, producing a misleading "bad size
+  // line" for what is really a truncated file.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% only comments, then EOF\n");
+  try {
+    read_matrix_market(in);
+    FAIL() << "expected recode::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ended before the size line"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MatrixMarket, SymmetricRoundTripsToExpandedGeneralForm) {
+  // The writer always emits `general` (documented expansion): reading a
+  // symmetric file, writing it, and reading it back must equal the
+  // expanded matrix exactly — with the mirrored triplets now stored.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 -1.5\n"
+      "3 3 4.0\n");
+  const Coo expanded = read_matrix_market(in);
+  EXPECT_EQ(expanded.nnz(), 6u);  // two off-diagonal entries mirrored
+
+  std::stringstream buf;
+  write_matrix_market(buf, expanded);
+  EXPECT_NE(buf.str().find("coordinate real general"), std::string::npos);
+  const Coo back = read_matrix_market(buf);
+  EXPECT_TRUE(equal(coo_to_csr(expanded), coo_to_csr(back)));
+}
+
+TEST(MatrixMarket, DuplicateCoordinatesAreSummedInCsr) {
+  // Documented policy: duplicates are kept by the reader and summed on
+  // conversion to canonical CSR (the scipy convention).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.5\n"
+      "1 1 2.5\n"
+      "2 2 1.0\n");
+  const Coo coo = read_matrix_market(in);
+  EXPECT_EQ(coo.nnz(), 3u);  // reader keeps every triplet
+  const Csr csr = coo_to_csr(coo);
+  EXPECT_EQ(csr.nnz(), 2u);  // CSR canonicalization sums them
+  EXPECT_DOUBLE_EQ(csr.val[0], 4.0);
+}
+
 }  // namespace
 }  // namespace recode::sparse
