@@ -92,7 +92,7 @@ int run(int argc, char** argv) {
   report.add_result("serial_ms", serial_best * 1e3);
 
   Table table({"decoders", "consumers", "wall ms", "speedup", "decode s",
-               "compute s", "overlap eff", "ideal ms"});
+               "compute s", "overlap eff", "steals"});
   std::vector<double> y(y_serial.size());
   bool bitwise_ok = true;
   for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
@@ -120,6 +120,8 @@ int run(int argc, char** argv) {
     m.compute_busy_seconds = stats.compute_busy_seconds;
     m.decode_workers = static_cast<int>(stats.decode_threads);
     m.compute_workers = static_cast<int>(stats.compute_threads);
+    m.fused_workers = stats.fused;
+    m.workers = static_cast<int>(stats.workers);
     const auto overlap = core::analyze_overlap(m);
     table.add_row({std::to_string(threads), std::to_string(compute_threads),
                    Table::num(best * 1e3, 1),
@@ -127,14 +129,28 @@ int run(int argc, char** argv) {
                    Table::num(stats.decode_busy_seconds, 3),
                    Table::num(stats.compute_busy_seconds, 3),
                    Table::num(overlap.measured_efficiency, 2),
-                   Table::num(overlap.ideal_wall_seconds * 1e3, 1)});
+                   Table::num(static_cast<double>(stats.steals), 0)});
     const std::string suffix = "_t" + std::to_string(threads);
     report.add_result("wall_ms" + suffix, best * 1e3);
     report.add_result("speedup" + suffix, serial_best / best);
     report.add_result("overlap_efficiency" + suffix,
                       overlap.measured_efficiency);
-    report.add_result("queue_high_water" + suffix,
-                      static_cast<double>(stats.band_queue_high_water));
+    // Scheduler-activity shape of the run: how many tasks moved by
+    // steal vs local pop, and how deep the per-worker deques sat when
+    // tasks were acquired (mean of the sampled occupancy histogram).
+    report.add_result("steals" + suffix, static_cast<double>(stats.steals));
+    report.add_result("steal_attempts" + suffix,
+                      static_cast<double>(stats.steal_attempts));
+    report.add_result("tasks" + suffix, static_cast<double>(stats.bands));
+    report.add_result("split_bands" + suffix,
+                      static_cast<double>(stats.split_bands));
+    report.add_result("fused" + suffix, stats.fused ? 1.0 : 0.0);
+    if (telemetry::kEnabled) {
+      const auto& occ = telemetry::MetricsRegistry::global().histogram(
+          "spmv.sched.deque_occupancy");
+      report.add_result("deque_occupancy_mean" + suffix,
+                        occ.snapshot().mean());
+    }
   }
   table.print();
   std::printf("parallel output bitwise == serial: %s\n",

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -182,6 +183,10 @@ class BoundedQueue {
 // all have reported, then rethrows the first captured exception on the
 // waiting thread. This is how StreamingExecutor guarantees "drain cleanly,
 // rethrow on the caller thread".
+//
+// Reusable: after wait() returns (or throws), reset(n) re-arms the gate
+// for the next run without constructing a new one — the zero-steady-state
+// allocation path of the streaming executor keeps one gate per executor.
 class WorkerGate {
  public:
   explicit WorkerGate(std::size_t workers) : remaining_(workers) {}
@@ -201,9 +206,22 @@ class WorkerGate {
 
   // Blocks until every worker arrived, then rethrows the first error.
   void wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return remaining_ == 0; });
-    if (first_error_) std::rethrow_exception(first_error_);
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return remaining_ == 0; });
+      error = first_error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Re-arms a drained gate for the next run. Only legal once every
+  // worker of the previous run has arrived (wait() returned or threw).
+  void reset(std::size_t workers) {
+    std::lock_guard<std::mutex> lock(mu_);
+    remaining_ = workers;
+    first_error_ = nullptr;
+    failed_.store(false, std::memory_order_release);
   }
 
  private:
@@ -221,6 +239,51 @@ class WorkerGate {
   std::size_t remaining_;
   std::exception_ptr first_error_;
   std::atomic<bool> failed_{false};
+};
+
+// Fixed team of persistent threads that re-execute a caller-installed
+// body run after run. Unlike ThreadPool::submit (one heap-allocated
+// std::function per task), arming a run stores a raw function pointer
+// and context — no allocation — which is what keeps the streaming
+// executor's steady-state multiply path heap-silent while still fanning
+// out to real threads.
+//
+// Protocol: run(body, ctx) wakes every thread; each executes
+// body(ctx, worker_index) exactly once; wait() blocks until all have
+// finished. The body must not throw (workers would unwind) — callers
+// route errors through a WorkerGate instead.
+class WorkerTeam {
+ public:
+  using Body = void (*)(void* ctx, std::size_t worker);
+
+  explicit WorkerTeam(std::size_t threads);
+  ~WorkerTeam();
+
+  WorkerTeam(const WorkerTeam&) = delete;
+  WorkerTeam& operator=(const WorkerTeam&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  // Launches one execution of body on every thread. Illegal while a
+  // previous run is still in flight (call wait() first).
+  void run(Body body, void* ctx);
+
+  // Blocks until every thread has finished the current run. No-op when
+  // no run is in flight.
+  void wait();
+
+ private:
+  void thread_loop(std::size_t index);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // signals a new generation
+  std::condition_variable done_cv_;   // signals working_ == 0
+  Body body_ = nullptr;
+  void* ctx_ = nullptr;
+  std::uint64_t generation_ = 0;  // bumped by run()
+  std::size_t working_ = 0;       // threads still in the current run
+  bool stop_ = false;
 };
 
 }  // namespace recode

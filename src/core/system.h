@@ -92,6 +92,12 @@ struct OverlapMeasurement {
   double compute_busy_seconds = 0.0;  // summed over compute workers
   int decode_workers = 1;
   int compute_workers = 1;
+  // Work-stealing fused mode: every worker runs both stages, so the
+  // ideal wall is the total busy time spread over `workers`, not the
+  // max of two dedicated stages. False keeps the split-pipeline model
+  // (dedicated decode_workers / compute_workers).
+  bool fused_workers = false;
+  int workers = 0;  // used only when fused_workers
 };
 
 struct OverlapReport {

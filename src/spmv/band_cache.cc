@@ -12,8 +12,14 @@ std::shared_ptr<const CachedBand> BandCache::lookup(std::size_t band) {
     return nullptr;
   }
   ++hits_;
+  it->second.last_epoch = epoch_;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   return it->second.data;
+}
+
+void BandCache::begin_run() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
 }
 
 bool BandCache::insert(std::size_t band,
@@ -21,25 +27,41 @@ bool BandCache::insert(std::size_t band,
   const std::size_t bytes = data->bytes;
   std::lock_guard<std::mutex> lock(mu_);
   if (bytes == 0 || bytes > budget_) return false;
+  // Plan the evictions before performing any mutation: the band being
+  // replaced (if present) frees its bytes unconditionally; beyond that,
+  // walk from the cold end collecting unprotected victims until the
+  // newcomer fits. Bands the current run has not yet consumed are off
+  // limits — if they alone stand in the way, refuse the insert and keep
+  // the cache intact, so an unlucky task-completion order can never
+  // evict a band moments before the scan reaches it.
+  std::size_t reclaimable = 0;
   auto it = entries_.find(band);
+  if (it != entries_.end()) reclaimable = it->second.data->bytes;
+  std::vector<std::size_t> victims;
+  for (auto vit = lru_.rbegin();
+       vit != lru_.rend() && bytes_pinned_ - reclaimable + bytes > budget_;
+       ++vit) {
+    if (*vit == band) continue;  // the replacement, counted above
+    const Entry& e = entries_.at(*vit);
+    if (protected_entry(e)) continue;
+    victims.push_back(*vit);
+    reclaimable += e.data->bytes;
+  }
+  if (bytes_pinned_ - reclaimable + bytes > budget_) return false;
   if (it != entries_.end()) {
     bytes_pinned_ -= it->second.data->bytes;
     lru_.erase(it->second.lru_pos);
     entries_.erase(it);
   }
-  // Evict from the cold end until the newcomer fits. The budget admits
-  // it by construction (bytes <= budget_), so this terminates with the
-  // cache possibly empty but never over budget.
-  while (bytes_pinned_ + bytes > budget_) {
-    const std::size_t victim = lru_.back();
+  for (const std::size_t victim : victims) {
     auto vit = entries_.find(victim);
     bytes_pinned_ -= vit->second.data->bytes;
-    lru_.pop_back();
+    lru_.erase(vit->second.lru_pos);
     entries_.erase(vit);
     ++evictions_;
   }
   lru_.push_front(band);
-  entries_.emplace(band, Entry{std::move(data), lru_.begin()});
+  entries_.emplace(band, Entry{std::move(data), lru_.begin(), epoch_});
   bytes_pinned_ += bytes;
   ++inserts_;
   return true;

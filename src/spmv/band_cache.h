@@ -1,5 +1,5 @@
-// Bytes-budgeted LRU cache of decoded row bands for the streaming
-// executor's iterative-solver regime.
+// Bytes-budgeted, scan-aware LRU cache of decoded row bands for the
+// streaming executor's iterative-solver regime.
 //
 // The paper's recoding argument (Figs 16/17) trades decode work against
 // memory traffic: a block decoded many times amortizes its one-time
@@ -19,6 +19,20 @@
 // shared_ptr<const CachedBand>; eviction drops the cache's reference,
 // and in-flight readers keep theirs until the run ends, so eviction can
 // never free memory a compute worker is still accumulating from.
+//
+// Scan protection: the executor touches every band exactly once per
+// multiply, in an order the work-stealing scheduler does not fix. Pure
+// LRU under that regime is the textbook thrash case — an insert can
+// evict a resident band moments before the scan reaches it, and an
+// unlucky completion order yields zero hits from a half-full cache.
+// begin_run() marks a run boundary: bands resident at the boundary are
+// *protected* until the new run touches them (they are exactly the
+// bands the scan is about to want), while bands already consumed this
+// run, or idle for a full run, are fair victims. An insert that cannot
+// fit without evicting a protected band is refused outright. The
+// resulting invariant is order-independent: every warm run hits at
+// least once per band that was resident when it started. Callers that
+// never call begin_run() get plain byte-budgeted LRU.
 //
 // Thread safety: every method is safe to call concurrently (one mutex;
 // all operations are per-band, not per-block, so the lock is off the
@@ -78,11 +92,19 @@ class BandCache {
   // path pays the copy only for cacheable bands.)
   bool admissible(std::size_t bytes) const { return bytes > 0 && bytes <= budget_; }
 
-  // Pins `data` under `band`, evicting least-recently-used bands until
-  // the budget holds it. Refuses (returns false, inserts nothing) when
-  // data->bytes exceeds the budget. Re-inserting an existing band
+  // Pins `data` under `band`, evicting least-recently-used *unprotected*
+  // bands until the budget holds it. Refuses (returns false, evicts and
+  // inserts nothing) when data->bytes exceeds the budget or when making
+  // room would require evicting a band protected by the current run (see
+  // the scan-protection comment above). Re-inserting an existing band
   // replaces it.
   bool insert(std::size_t band, std::shared_ptr<const CachedBand> data);
+
+  // Marks a run boundary for scan protection: bands resident now are
+  // shielded from eviction until the new run touches them. Also demotes
+  // bands that went untouched for the whole previous run to ordinary
+  // LRU victims, so a shifting working set cannot pin dead weight.
+  void begin_run();
 
   // Drops every entry (engine switch, matrix change).
   void clear();
@@ -103,12 +125,24 @@ class BandCache {
   struct Entry {
     std::shared_ptr<const CachedBand> data;
     std::list<std::size_t>::iterator lru_pos;  // position in lru_
+    // Run epoch of the last lookup hit or insert. An entry is protected
+    // iff last_epoch + 1 == epoch_: resident at the last begin_run()
+    // boundary and not yet touched since, i.e. the scan still owes it a
+    // visit. last_epoch == epoch_ means already consumed this run;
+    // last_epoch + 1 < epoch_ means it sat out a full run — both are
+    // ordinary LRU victims.
+    std::uint64_t last_epoch = 0;
   };
+
+  bool protected_entry(const Entry& e) const {
+    return e.last_epoch + 1 == epoch_;
+  }
 
   const std::size_t budget_;
   mutable std::mutex mu_;
   std::unordered_map<std::size_t, Entry> entries_;
   std::list<std::size_t> lru_;  // front = most recent, back = next victim
+  std::uint64_t epoch_ = 0;     // bumped by begin_run()
   std::size_t bytes_pinned_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

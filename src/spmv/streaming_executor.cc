@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
+#include <cmath>
+#include <string>
+#include <thread>
 
 #include "codec/arena.h"
 #include "common/error.h"
@@ -19,9 +21,14 @@ namespace {
 // RECODE_TELEMETRY=OFF.
 struct StreamTelemetry {
   telemetry::Counter& runs;
+  telemetry::Counter& fused_runs;
+  telemetry::Counter& split_runs;
+  telemetry::Counter& inline_runs;
   telemetry::Counter& blocks;
   telemetry::Counter& bytes;
   telemetry::Counter& udp_cycles;
+  telemetry::Counter& tasks_scheduled;
+  telemetry::Counter& tasks_split;
   telemetry::Counter& cache_hit_bands;
   telemetry::Counter& cache_miss_bands;
   telemetry::Counter& cache_hit_blocks;
@@ -32,20 +39,29 @@ struct StreamTelemetry {
   telemetry::Counter& decode_blocked_ns;
   telemetry::Counter& compute_busy_ns;
   telemetry::Counter& compute_blocked_ns;
-  telemetry::Histogram& free_pop_wait_us;   // decoder starved of slabs
-  telemetry::Histogram& band_push_wait_us;  // decoder backpressured
-  telemetry::Histogram& ready_pop_wait_us;  // consumer idle between bands
-  telemetry::Histogram& band_pop_wait_us;   // consumer starved mid-band
-  telemetry::Histogram& band_occupancy;     // depth sampled at each push
-  telemetry::Gauge& band_queue_high_water;
+  telemetry::Counter& steal_count;
+  telemetry::Counter& steal_attempts;
+  telemetry::Counter& local_pops;
+  telemetry::Counter& injector_pops;
+  telemetry::Histogram& deque_occupancy;    // own-deque depth per acquire
+  telemetry::Histogram& acquire_wait_us;    // scheduler spin per task
+  telemetry::Histogram& ready_push_wait_us; // split: decoder backpressured
+  telemetry::Histogram& ready_pop_wait_us;  // split: accumulator starved
+  telemetry::Histogram& ready_occupancy;    // split: depth at each push
+  telemetry::Histogram& free_pop_wait_us;   // split: decoder out of slabs
 
   static StreamTelemetry& get() {
     auto& reg = telemetry::MetricsRegistry::global();
     static StreamTelemetry* t = new StreamTelemetry{
         reg.counter("spmv.stream.runs"),
+        reg.counter("spmv.exec.fused_runs"),
+        reg.counter("spmv.exec.split_runs"),
+        reg.counter("spmv.exec.inline_runs"),
         reg.counter("spmv.stream.blocks_decoded"),
         reg.counter("spmv.stream.compressed_bytes"),
         reg.counter("spmv.stream.udp_cycles"),
+        reg.counter("spmv.tasks.scheduled"),
+        reg.counter("spmv.tasks.split_bands"),
         reg.counter("spmv.cache.hit_bands"),
         reg.counter("spmv.cache.miss_bands"),
         reg.counter("spmv.cache.hit_blocks"),
@@ -56,12 +72,16 @@ struct StreamTelemetry {
         reg.counter("spmv.decode.blocked_ns"),
         reg.counter("spmv.compute.busy_ns"),
         reg.counter("spmv.compute.blocked_ns"),
-        reg.histogram("spmv.free_queue.pop_wait_us"),
-        reg.histogram("spmv.band_queue.push_wait_us"),
+        reg.counter("spmv.steal.count"),
+        reg.counter("spmv.steal.attempts"),
+        reg.counter("spmv.steal.local_pops"),
+        reg.counter("spmv.steal.injector_pops"),
+        reg.histogram("spmv.sched.deque_occupancy"),
+        reg.histogram("spmv.sched.acquire_wait_us"),
+        reg.histogram("spmv.ready_queue.push_wait_us"),
         reg.histogram("spmv.ready_queue.pop_wait_us"),
-        reg.histogram("spmv.band_queue.pop_wait_us"),
-        reg.histogram("spmv.band_queue.occupancy"),
-        reg.gauge("spmv.band_queue.high_water"),
+        reg.histogram("spmv.ready_queue.occupancy"),
+        reg.histogram("spmv.free_queue.pop_wait_us"),
     };
     return *t;
   }
@@ -100,97 +120,149 @@ std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
   return bands;
 }
 
-// One decoded block in flight between a decoder and a consumer. The
-// software engine decodes straight into the slab's out arena
-// (codec::decompress_block_fast) and the spans view its slabs; the UDP
-// simulator fills the vectors instead. Slabs recycle through the owning
-// decoder's free queue, so after warmup the steady-state path performs
-// zero heap allocations (arenas and vectors keep capacity). Queue
-// push/pop orders the decoder's arena writes before the consumer's reads.
-struct StreamingExecutor::Slab {
-  codec::DecodeArena out;
-  std::vector<sparse::index_t> udp_indices;
-  std::vector<double> udp_values;
-  std::span<const sparse::index_t> indices;
-  std::span<const double> values;
-  std::size_t block = 0;
-  std::size_t owner = 0;  // decoder whose pool this slab belongs to
-  std::uint64_t udp_cycles = 0;
-};
+std::vector<RowBand> split_row_bands(const sparse::Blocking& blocking,
+                                     const std::vector<RowBand>& bands,
+                                     std::size_t max_blocks,
+                                     std::size_t* splits) {
+  if (splits) *splits = 0;
+  if (max_blocks == 0) max_blocks = 1;
+  std::vector<RowBand> out;
+  out.reserve(bands.size());
+  const auto& blocks = blocking.blocks;
+  for (const RowBand& band : bands) {
+    if (band.block_count <= max_blocks) {
+      out.push_back(band);
+      continue;
+    }
+    // Greedy under the cap: each piece cuts at the LATEST row-aligned
+    // boundary within max_blocks of its start, so no piece exceeds the
+    // cap unless the stream has no interior row boundary inside that
+    // window at all (then it extends to the first boundary beyond —
+    // tasks must stay row-disjoint for bitwise determinism).
+    const std::size_t end = band.first_block + band.block_count;
+    const auto row_aligned = [&](std::size_t b) {
+      return b + 1 == end || blocks[b].last_row < blocks[b + 1].first_row;
+    };
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t emitted = 0;
+    std::size_t first = band.first_block;
+    while (first < end) {
+      const std::size_t limit = std::min(first + max_blocks, end);
+      std::size_t cut = npos;
+      for (std::size_t b = first; b < limit; ++b) {
+        if (row_aligned(b)) cut = b;
+      }
+      if (cut == npos) {
+        for (std::size_t b = limit; b < end; ++b) {
+          if (row_aligned(b)) {
+            cut = b;
+            break;
+          }
+        }
+      }
+      RowBand piece;
+      piece.first_block = first;
+      piece.block_count = cut + 1 - first;
+      piece.first_row = blocks[first].first_row;
+      piece.end_row = blocks[cut].last_row + 1;
+      out.push_back(piece);
+      ++emitted;
+      first = cut + 1;
+    }
+    if (splits && emitted > 1) *splits += emitted - 1;
+  }
+  return out;
+}
 
-// What travels through a band queue: the decoded views the consumer
-// accumulates from, plus the slab to recycle afterwards. Cache-served
-// blocks view pinned BandCache memory and carry no slab (recycle ==
-// nullptr) — cache-owned bytes must never enter a decoder's free pool.
-struct StreamingExecutor::WorkItem {
-  std::span<const sparse::index_t> indices;
-  std::span<const double> values;
-  std::size_t block = 0;
-  Slab* recycle = nullptr;
-};
+WorkerPlan plan_worker_split(std::size_t workers, double decode_fraction) {
+  WorkerPlan plan;
+  if (workers <= 1 || decode_fraction >= 0.5) {
+    plan.decoders = std::max<std::size_t>(1, workers);
+    plan.accumulators = 0;
+    return plan;
+  }
+  auto accumulators = static_cast<std::size_t>(
+      std::lround(static_cast<double>(workers) * (1.0 - decode_fraction)));
+  accumulators = std::clamp<std::size_t>(accumulators, 1, workers - 1);
+  plan.decoders = workers - accumulators;
+  plan.accumulators = accumulators;
+  return plan;
+}
 
-struct StreamingExecutor::DecoderState {
-  std::vector<std::unique_ptr<Slab>> slabs;
-  // Stage-intermediate arena. Worker-local: only this decoder's thread
-  // touches it, and only while a block is being decoded (slab out arenas
-  // are what travel to consumers).
+// Per-worker persistent state: the decode arenas (monotonic capacity —
+// the zero-steady-state-allocation reservoir), the lazily built UDP lane
+// simulator, the split-mode slab pool, and this worker's stats slot
+// (written only by the owning worker during a run, read by the caller
+// after the gate).
+struct StreamingExecutor::WorkerState {
+  // Stage-intermediate and output arenas. Fused mode decodes into `out`
+  // and accumulates immediately, so the spans never outlive the arena
+  // contents; split mode copies into a TaskSlab before handoff.
   codec::DecodeArena scratch;
-  // Lane-simulator instance for kUdpSimulated, built lazily on this
-  // worker's first block so unused workers never pay the layout cost.
+  codec::DecodeArena out;
   std::unique_ptr<udpprog::UdpPipelineDecoder> udp;
-};
+  std::vector<std::unique_ptr<TaskSlab>> slabs;  // built on first split run
 
-// Per-call pipeline state. Rebuilt per multiply so a cancelled run leaves
-// no sticky state behind and the executor stays usable after an error.
-struct StreamingExecutor::Run {
-  explicit Run(std::size_t n_bands, std::size_t n_decoders,
-               std::size_t n_workers, std::size_t queue_capacity,
-               std::size_t slabs_per_decoder)
-      : ready_bands(std::max<std::size_t>(1, n_bands)), gate(n_workers) {
-    band_queues.reserve(n_bands);
-    for (std::size_t i = 0; i < n_bands; ++i) {
-      band_queues.push_back(
-          std::make_unique<BoundedQueue<WorkItem>>(queue_capacity));
-    }
-    free_queues.reserve(n_decoders);
-    for (std::size_t i = 0; i < n_decoders; ++i) {
-      free_queues.push_back(
-          std::make_unique<BoundedQueue<Slab*>>(slabs_per_decoder));
-    }
-    cache_refs.resize(n_bands);
-  }
-
-  void cancel_all() {
-    ready_bands.cancel();
-    for (auto& q : band_queues) q->cancel();
-    for (auto& q : free_queues) q->cancel();
-  }
-
-  // Band handles are pushed when a decoder starts the band, so consumers
-  // only ever wait on bands whose slabs are coming.
-  BoundedQueue<std::size_t> ready_bands;
-  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> band_queues;
-  std::vector<std::unique_ptr<BoundedQueue<Slab*>>> free_queues;
-  // Cache entries served this run. The serving decoder parks its
-  // reference here (single writer per band) so an eviction mid-run can
-  // never free memory a consumer is still accumulating from; the caller
-  // thread drops them all after gate.wait().
-  std::vector<std::shared_ptr<const CachedBand>> cache_refs;
-  WorkerGate gate;
-  std::atomic<std::size_t> next_band{0};
-  std::atomic<std::size_t> active_decoders{0};
-  // Stats accumulation (guarded by mu; workers report once at exit).
-  std::mutex mu;
+  // Per-run stats slot, reset by the caller before each run.
   double decode_busy = 0.0;
   double compute_busy = 0.0;
-  double decode_blocked = 0.0;   // queue-wait time (telemetry probes)
+  double decode_blocked = 0.0;
   double compute_blocked = 0.0;
   std::uint64_t blocks = 0;
   std::uint64_t bytes = 0;
   std::uint64_t udp_cycles = 0;
-  std::size_t cache_hit_bands = 0;
-  std::size_t cache_miss_bands = 0;
-  std::uint64_t cache_hit_blocks = 0;
+  std::uint64_t hit_blocks = 0;
+  std::size_t hit_bands = 0;
+  std::size_t miss_bands = 0;
+  std::exception_ptr error;
+
+  void reset_slot() {
+    decode_busy = compute_busy = decode_blocked = compute_blocked = 0.0;
+    blocks = bytes = udp_cycles = hit_blocks = 0;
+    hit_bands = miss_bands = 0;
+    error = nullptr;
+  }
+};
+
+// Split mode: one whole decoded task in flight from a decoder to an
+// accumulator. The decoder copies each decoded block out of its arena
+// into the slab's vectors (capacity reused run after run) because the
+// arena is recycled for the next block before the accumulator runs.
+struct StreamingExecutor::TaskSlab {
+  struct Buf {
+    std::vector<sparse::index_t> indices;
+    std::vector<double> values;
+    std::size_t block = 0;
+  };
+  std::vector<Buf> bufs;
+  std::size_t used = 0;   // bufs[0..used) valid for the current task
+  std::size_t owner = 0;  // decoder whose pool this slab belongs to
+  std::size_t task = 0;
+  std::uint64_t udp_cycles = 0;
+};
+
+// What travels through the split-mode ready queue. Cache-served tasks
+// carry the pinned band (the shared_ptr keeps it alive past eviction)
+// and no slab; decoded tasks carry the slab to accumulate from and then
+// recycle to its owner's free queue.
+struct StreamingExecutor::ReadyItem {
+  std::size_t task = 0;
+  TaskSlab* slab = nullptr;
+  std::shared_ptr<const CachedBand> cached;
+};
+
+// Per-run state. The fused path touches only the trivially reusable
+// fields (no allocation); split runs rebuild their queues each call so a
+// cancelled run can never leave a closed/cancelled queue behind.
+struct StreamingExecutor::Run {
+  std::span<const double> x;
+  std::span<double> y;
+  int k = 1;
+  bool fused = true;
+  std::size_t decoders = 0;
+  std::atomic<std::size_t> active_decoders{0};
+  std::unique_ptr<BoundedQueue<ReadyItem>> ready;
+  std::vector<std::unique_ptr<BoundedQueue<TaskSlab*>>> free_qs;
 };
 
 StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
@@ -205,279 +277,416 @@ StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
   }
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.blocks_per_band == 0) config_.blocks_per_band = 1;
+  workers_ = config_.decode_threads + config_.compute_threads;
 
-  bands_ = make_row_bands(cm_->blocking, config_.blocks_per_band);
-  decoders_.reserve(config_.decode_threads);
-  for (std::size_t d = 0; d < config_.decode_threads; ++d) {
-    auto state = std::make_unique<DecoderState>();
-    for (std::size_t s = 0; s < config_.queue_capacity + 1; ++s) {
-      auto slab = std::make_unique<Slab>();
-      slab->owner = d;
-      state->slabs.push_back(std::move(slab));
-    }
-    decoders_.push_back(std::move(state));
+  std::size_t threshold = config_.split_blocks_threshold;
+  if (threshold == 0) {
+    // Auto: enough tasks for stealing to balance (>= 4 per worker) but
+    // never finer than the configured band granularity.
+    const std::size_t total = cm_->blocking.blocks.size();
+    const std::size_t want_tasks = workers_ * 4;
+    threshold = std::max(config_.blocks_per_band,
+                         (total + want_tasks - 1) / std::max<std::size_t>(
+                                                        1, want_tasks));
   }
+  bands_ = split_row_bands(cm_->blocking,
+                           make_row_bands(cm_->blocking,
+                                          config_.blocks_per_band),
+                           threshold, &split_bands_);
+  task_ids_fwd_.resize(bands_.size());
+  for (std::size_t i = 0; i < task_ids_fwd_.size(); ++i) {
+    task_ids_fwd_[i] = static_cast<std::uint32_t>(i);
+  }
+  task_ids_rev_.assign(task_ids_fwd_.rbegin(), task_ids_fwd_.rend());
+
+  states_.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  scheduler_ = std::make_unique<WorkStealingScheduler<std::uint32_t>>(
+      workers_, bands_.size() + 1);
+  gate_ = std::make_unique<WorkerGate>(0);
+  run_ = std::make_unique<Run>();
   if (config_.cache_budget_bytes > 0) {
     cache_ = std::make_unique<BandCache>(config_.cache_budget_bytes);
   }
-  pool_ = std::make_unique<ThreadPool>(config_.decode_threads +
-                                       config_.compute_threads);
+  // team_ is built lazily on the first non-inline run so executors that
+  // only ever take the inline path never spawn a thread.
 }
 
 StreamingExecutor::~StreamingExecutor() = default;
 
-void StreamingExecutor::decode_worker(Run& run, std::size_t worker) {
-  DecoderState& state = *decoders_[worker];
+double StreamingExecutor::planning_decode_fraction() const {
+  if (config_.decode_fraction_hint > 0.0) {
+    return std::min(config_.decode_fraction_hint, 1.0);
+  }
+  return decode_fraction_ewma_;
+}
+
+std::size_t StreamingExecutor::scheduler_queued() const {
+  return scheduler_ ? scheduler_->queued() : 0;
+}
+
+// One task, fused: decode every block and accumulate it immediately on
+// the same worker, in stream order. Serves/warms the band cache.
+void StreamingExecutor::execute_task_fused(WorkerState& ws, std::size_t task,
+                                           std::span<const double> x,
+                                           std::span<double> y, int k) {
+  const RowBand& band = bands_[task];
+  RECODE_TRACE_SPAN_ARG("spmv", "task_fused", "task", task);
+  Timer timer;
+
+  if (cache_) {
+    if (auto cached = cache_->lookup(task)) {
+      // Warm task: accumulate straight from the pinned decoded copy; the
+      // local shared_ptr keeps it alive past any concurrent eviction.
+      ++ws.hit_bands;
+      for (const CachedBlock& cb : cached->blocks) {
+        const auto& range = cm_->blocking.blocks[cb.block];
+        timer.reset();
+        if (k == 1) {
+          accumulate_block(range, cm_->row_ptr, cb.indices, cb.values, x, y);
+        } else {
+          accumulate_block_batch(range, cm_->row_ptr, cb.indices, cb.values,
+                                 x, y, k);
+        }
+        ws.compute_busy += timer.seconds();
+        ++ws.hit_blocks;
+      }
+      return;
+    }
+    ++ws.miss_bands;
+  }
+
+  // Cold task: decide up front (exact decoded size from the blocking
+  // plan) whether it can ever fit the budget, so the copy into
+  // cache-owned memory is only paid for admissible tasks.
+  std::shared_ptr<CachedBand> pending;
+  if (cache_) {
+    std::size_t task_nnz = 0;
+    for (std::size_t i = 0; i < band.block_count; ++i) {
+      task_nnz += cm_->blocking.blocks[band.first_block + i].count;
+    }
+    const std::size_t decoded_bytes = decoded_band_bytes(task_nnz);
+    if (cache_->admissible(decoded_bytes)) {
+      pending = std::make_shared<CachedBand>();
+      pending->blocks.reserve(band.block_count);
+      pending->bytes = decoded_bytes;
+    }
+  }
+
+  for (std::size_t i = 0; i < band.block_count; ++i) {
+    const std::size_t b = band.first_block + i;
+    std::span<const sparse::index_t> indices;
+    std::span<const double> values;
+    udpprog::BlockResult udp_result;
+    {
+      RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
+      timer.reset();
+      if (config_.engine == DecodeEngine::kSoftware) {
+        const codec::DecodedBlock decoded =
+            codec::decompress_block_fast(*cm_, b, ws.scratch, ws.out);
+        indices = decoded.indices;
+        values = decoded.values;
+      } else {
+        if (!ws.udp) {
+          ws.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+        }
+        udp_result = ws.udp->decode_block(b);
+        indices = udp_result.indices;
+        values = udp_result.values;
+        ws.udp_cycles += udp_result.lane_cycles();
+      }
+      check_block_indices(indices, cm_->cols);
+      ws.decode_busy += timer.seconds();
+    }
+    ++ws.blocks;
+    ws.bytes += cm_->blocks[b].bytes();
+    if (pending) {
+      CachedBlock cb;
+      cb.block = b;
+      cb.indices.assign(indices.begin(), indices.end());
+      cb.values.assign(values.begin(), values.end());
+      pending->blocks.push_back(std::move(cb));
+    }
+    const auto& range = cm_->blocking.blocks[b];
+    {
+      RECODE_TRACE_SPAN_ARG("spmv", "accumulate_block", "block", b);
+      timer.reset();
+      if (k == 1) {
+        accumulate_block(range, cm_->row_ptr, indices, values, x, y);
+      } else {
+        accumulate_block_batch(range, cm_->row_ptr, indices, values, x, y, k);
+      }
+      ws.compute_busy += timer.seconds();
+    }
+  }
+  if (pending) cache_->insert(task, std::move(pending));
+}
+
+void StreamingExecutor::fused_worker(std::size_t worker) {
+  WorkerState& ws = *states_[worker];
+  StreamTelemetry& telem = StreamTelemetry::get();
+  if (telemetry::Tracer::global().enabled()) {
+    telemetry::Tracer::global().set_thread_name("fused-" +
+                                                std::to_string(worker));
+  }
+  try {
+    std::uint32_t task = 0;
+    for (;;) {
+      bool got;
+      {
+        telemetry::WaitTimer wait(telem.acquire_wait_us, &ws.decode_blocked);
+        got = scheduler_->acquire(worker, task);
+      }
+      if (!got) break;
+      telem.deque_occupancy.observe(
+          static_cast<double>(scheduler_->deque_size(worker)));
+      execute_task_fused(ws, task, run_->x, run_->y, run_->k);
+      scheduler_->complete();
+    }
+  } catch (...) {
+    ws.error = std::current_exception();
+    scheduler_->cancel();
+    // The faulting worker never re-enters acquire(), so drain its own
+    // deque here — the "all deques drained after an error" contract.
+    std::uint32_t discard;
+    scheduler_->acquire(worker, discard);
+  }
+  if (ws.error) {
+    gate_->arrive_with_error(ws.error);
+  } else {
+    gate_->arrive();
+  }
+}
+
+void StreamingExecutor::decode_worker(std::size_t worker) {
+  WorkerState& ws = *states_[worker];
   StreamTelemetry& telem = StreamTelemetry::get();
   if (telemetry::Tracer::global().enabled()) {
     telemetry::Tracer::global().set_thread_name("decode-" +
                                                 std::to_string(worker));
   }
-  Timer busy;
-  double busy_seconds = 0.0;
-  double blocked_seconds = 0.0;
-  std::uint64_t blocks = 0, bytes = 0, udp_cycles = 0;
-  std::uint64_t hit_blocks = 0;
-  std::size_t hit_bands = 0, miss_bands = 0;
-  std::exception_ptr error;
-
   try {
-    while (!run.gate.failed()) {
-      const std::size_t band_idx =
-          run.next_band.fetch_add(1, std::memory_order_relaxed);
-      if (band_idx >= bands_.size()) break;
-      if (!run.ready_bands.push(band_idx)) break;
-      const RowBand& band = bands_[band_idx];
-      auto& out = *run.band_queues[band_idx];
-      RECODE_TRACE_SPAN_ARG("spmv", "decode_band", "band", band_idx);
-      bool cancelled = false;
-
-      if (cache_) {
-        if (auto cached = cache_->lookup(band_idx)) {
-          // Warm band: every block skips the codec chain and streams the
-          // pinned decoded copy. The ref parked in the run keeps the
-          // memory alive past any concurrent eviction.
-          run.cache_refs[band_idx] = cached;
-          ++hit_bands;
-          for (const CachedBlock& cb : cached->blocks) {
-            WorkItem item{cb.indices, cb.values, cb.block, nullptr};
-            std::size_t depth = 0;
-            bool pushed;
-            {
-              telemetry::WaitTimer wait(telem.band_push_wait_us,
-                                        &blocked_seconds);
-              pushed = out.push(item, depth);
-            }
-            if (!pushed) {
-              cancelled = true;
-              break;
-            }
-            telem.band_occupancy.observe(static_cast<double>(depth));
-            ++hit_blocks;
-          }
-          if (cancelled) break;
-          continue;
-        }
-        ++miss_bands;
+    std::uint32_t task = 0;
+    for (;;) {
+      bool got;
+      {
+        telemetry::WaitTimer wait(telem.acquire_wait_us, &ws.decode_blocked);
+        got = scheduler_->acquire(worker, task);
       }
+      if (!got) break;
+      telem.deque_occupancy.observe(
+          static_cast<double>(scheduler_->deque_size(worker)));
+      const RowBand& band = bands_[task];
+      RECODE_TRACE_SPAN_ARG("spmv", "decode_task", "task", task);
 
-      // Cold band: decide up front (exact decoded size from the blocking
-      // plan) whether this band can ever fit the budget, so the copy
-      // into cache-owned memory is only paid for admissible bands.
-      std::shared_ptr<CachedBand> pending;
+      ReadyItem item;
+      item.task = task;
+      bool served_from_cache = false;
       if (cache_) {
-        std::size_t band_nnz = 0;
-        for (std::size_t i = 0; i < band.block_count; ++i) {
-          band_nnz += cm_->blocking.blocks[band.first_block + i].count;
-        }
-        const std::size_t decoded_bytes = decoded_band_bytes(band_nnz);
-        if (cache_->admissible(decoded_bytes)) {
-          pending = std::make_shared<CachedBand>();
-          pending->blocks.reserve(band.block_count);
-          pending->bytes = decoded_bytes;
+        if (auto cached = cache_->lookup(task)) {
+          ++ws.hit_bands;
+          ws.hit_blocks += cached->blocks.size();
+          item.cached = std::move(cached);
+          served_from_cache = true;
+        } else {
+          ++ws.miss_bands;
         }
       }
 
-      for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
-        Slab* slab = nullptr;
+      if (!served_from_cache) {
+        TaskSlab* slab = nullptr;
         bool got_slab;
         {
-          telemetry::WaitTimer wait(telem.free_pop_wait_us, &blocked_seconds);
-          got_slab = run.free_queues[worker]->pop(slab);
+          telemetry::WaitTimer wait(telem.free_pop_wait_us,
+                                    &ws.decode_blocked);
+          got_slab = run_->free_qs[worker]->pop(slab);
         }
-        if (!got_slab) {
-          cancelled = true;
-          break;
+        if (!got_slab) break;  // cancelled
+        slab->used = 0;
+        slab->task = task;
+        slab->udp_cycles = 0;
+        if (slab->bufs.size() < band.block_count) {
+          slab->bufs.resize(band.block_count);  // grows once, then reused
         }
-        const std::size_t b = band.first_block + i;
-        {
+
+        std::shared_ptr<CachedBand> pending;
+        if (cache_) {
+          std::size_t task_nnz = 0;
+          for (std::size_t i = 0; i < band.block_count; ++i) {
+            task_nnz += cm_->blocking.blocks[band.first_block + i].count;
+          }
+          const std::size_t decoded_bytes = decoded_band_bytes(task_nnz);
+          if (cache_->admissible(decoded_bytes)) {
+            pending = std::make_shared<CachedBand>();
+            pending->blocks.reserve(band.block_count);
+            pending->bytes = decoded_bytes;
+          }
+        }
+
+        for (std::size_t i = 0; i < band.block_count; ++i) {
+          const std::size_t b = band.first_block + i;
+          TaskSlab::Buf& buf = slab->bufs[i];
           RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
-          busy.reset();
+          Timer timer;
           if (config_.engine == DecodeEngine::kSoftware) {
             const codec::DecodedBlock decoded =
-                codec::decompress_block_fast(*cm_, b, state.scratch, slab->out);
-            slab->indices = decoded.indices;
-            slab->values = decoded.values;
-            slab->udp_cycles = 0;
+                codec::decompress_block_fast(*cm_, b, ws.scratch, ws.out);
+            buf.indices.assign(decoded.indices.begin(),
+                               decoded.indices.end());
+            buf.values.assign(decoded.values.begin(), decoded.values.end());
           } else {
-            if (!state.udp) {
-              state.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+            if (!ws.udp) {
+              ws.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
             }
-            udpprog::BlockResult result = state.udp->decode_block(b);
-            slab->udp_indices = std::move(result.indices);
-            slab->udp_values = std::move(result.values);
-            slab->indices = slab->udp_indices;
-            slab->values = slab->udp_values;
-            slab->udp_cycles = result.lane_cycles();
+            udpprog::BlockResult result = ws.udp->decode_block(b);
+            buf.indices = std::move(result.indices);
+            buf.values = std::move(result.values);
+            slab->udp_cycles += result.lane_cycles();
           }
-          check_block_indices(slab->indices, cm_->cols);
-          busy_seconds += busy.seconds();
+          buf.block = b;
+          check_block_indices(buf.indices, cm_->cols);
+          ws.decode_busy += timer.seconds();
+          ++ws.blocks;
+          ws.bytes += cm_->blocks[b].bytes();
+          if (pending) {
+            CachedBlock cb;
+            cb.block = b;
+            cb.indices = buf.indices;
+            cb.values = buf.values;
+            pending->blocks.push_back(std::move(cb));
+          }
+          slab->used = i + 1;
         }
-        slab->block = b;
-        ++blocks;
-        bytes += cm_->blocks[b].bytes();
-        udp_cycles += slab->udp_cycles;
-        if (pending) {
-          // Exact-sized cache copy, taken before the slab is exposed to
-          // the consumer (whose recycling would invalidate the spans).
-          CachedBlock cb;
-          cb.block = b;
-          cb.indices.assign(slab->indices.begin(), slab->indices.end());
-          cb.values.assign(slab->values.begin(), slab->values.end());
-          pending->blocks.push_back(std::move(cb));
-        }
-        WorkItem item{slab->indices, slab->values, b, slab};
-        std::size_t depth = 0;
-        bool pushed;
-        {
-          telemetry::WaitTimer wait(telem.band_push_wait_us,
-                                    &blocked_seconds);
-          pushed = out.push(item, depth);
-        }
-        if (pushed) {
-          telem.band_occupancy.observe(static_cast<double>(depth));
-        } else {
-          cancelled = true;
-        }
+        ws.udp_cycles += slab->udp_cycles;
+        if (pending) cache_->insert(task, std::move(pending));
+        item.slab = slab;
       }
-      if (cancelled) break;
-      if (pending) cache_->insert(band_idx, std::move(pending));
+
+      std::size_t depth = 0;
+      bool pushed;
+      {
+        telemetry::WaitTimer wait(telem.ready_push_wait_us,
+                                  &ws.decode_blocked);
+        pushed = run_->ready->push(std::move(item), depth);
+      }
+      if (!pushed) break;  // cancelled
+      telem.ready_occupancy.observe(static_cast<double>(depth));
+      scheduler_->complete();
     }
   } catch (...) {
-    error = std::current_exception();
+    ws.error = std::current_exception();
+    scheduler_->cancel();
+    run_->ready->cancel();
+    for (auto& q : run_->free_qs) q->cancel();
   }
-
-  telem.decode_busy_ns.add(to_ns(busy_seconds));
-  telem.decode_blocked_ns.add(to_ns(blocked_seconds));
-  telem.blocks.add(blocks);
-  telem.bytes.add(bytes);
-  telem.udp_cycles.add(udp_cycles);
-  telem.cache_hit_bands.add(hit_bands);
-  telem.cache_miss_bands.add(miss_bands);
-  telem.cache_hit_blocks.add(hit_blocks);
-  {
-    std::lock_guard<std::mutex> lock(run.mu);
-    run.decode_busy += busy_seconds;
-    run.decode_blocked += blocked_seconds;
-    run.blocks += blocks;
-    run.bytes += bytes;
-    run.udp_cycles += udp_cycles;
-    run.cache_hit_bands += hit_bands;
-    run.cache_miss_bands += miss_bands;
-    run.cache_hit_blocks += hit_blocks;
+  // A decoder can exit through a cancelled queue without re-entering
+  // acquire(); drain its deque so "all deques drained after an error"
+  // holds no matter which exit path was taken.
+  if (scheduler_->cancelled()) {
+    std::uint32_t discard;
+    scheduler_->acquire(worker, discard);
   }
-  // The last decoder out closes the band announcement stream so idle
-  // consumers stop waiting for more work.
-  if (run.active_decoders.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    run.ready_bands.close();
+  // The last decoder out closes the ready stream so idle accumulators
+  // stop waiting for more tasks (a no-op after cancel).
+  if (run_->active_decoders.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    run_->ready->close();
   }
-  if (error) {
-    run.cancel_all();
-    run.gate.arrive_with_error(std::move(error));
+  if (ws.error) {
+    gate_->arrive_with_error(ws.error);
   } else {
-    run.gate.arrive();
+    gate_->arrive();
   }
 }
 
-void StreamingExecutor::compute_worker(Run& run, std::size_t worker,
-                                       std::span<const double> x,
-                                       std::span<double> y, int k) {
+void StreamingExecutor::accumulate_worker(std::size_t worker) {
+  WorkerState& ws = *states_[worker];
   StreamTelemetry& telem = StreamTelemetry::get();
   if (telemetry::Tracer::global().enabled()) {
-    telemetry::Tracer::global().set_thread_name("compute-" +
+    telemetry::Tracer::global().set_thread_name("acc-" +
                                                 std::to_string(worker));
   }
-  Timer busy;
-  double busy_seconds = 0.0;
-  double blocked_seconds = 0.0;
-  std::exception_ptr error;
-
+  const std::span<const double> x = run_->x;
+  const std::span<double> y = run_->y;
+  const int k = run_->k;
   try {
+    ReadyItem item;
     for (;;) {
-      std::size_t band_idx = 0;
-      bool got_band;
+      bool got;
       {
-        telemetry::WaitTimer wait(telem.ready_pop_wait_us, &blocked_seconds);
-        got_band = run.ready_bands.pop(band_idx);
+        telemetry::WaitTimer wait(telem.ready_pop_wait_us,
+                                  &ws.compute_blocked);
+        got = run_->ready->pop(item);
       }
-      if (!got_band) break;
-      const RowBand& band = bands_[band_idx];
-      auto& in = *run.band_queues[band_idx];
-      RECODE_TRACE_SPAN_ARG("spmv", "accumulate_band", "band", band_idx);
-      bool cancelled = false;
-      // Exactly one consumer owns a band at a time and drains it in
-      // stream order: the accumulation order over this band's (exclusive)
-      // rows matches the serial engine's exactly.
-      for (std::size_t i = 0; i < band.block_count && !cancelled; ++i) {
-        WorkItem item;
-        bool got_item;
-        {
-          telemetry::WaitTimer wait(telem.band_pop_wait_us, &blocked_seconds);
-          got_item = in.pop(item);
-        }
-        if (!got_item) {
-          cancelled = true;
-          break;
-        }
-        const auto& range = cm_->blocking.blocks[item.block];
-        {
-          RECODE_TRACE_SPAN_ARG("spmv", "accumulate_block", "block",
-                                item.block);
-          busy.reset();
+      if (!got) break;
+      RECODE_TRACE_SPAN_ARG("spmv", "accumulate_task", "task", item.task);
+      Timer timer;
+      if (item.cached) {
+        for (const CachedBlock& cb : item.cached->blocks) {
+          const auto& range = cm_->blocking.blocks[cb.block];
+          timer.reset();
           if (k == 1) {
-            accumulate_block(range, cm_->row_ptr, item.indices, item.values,
-                             x, y);
+            accumulate_block(range, cm_->row_ptr, cb.indices, cb.values, x,
+                             y);
           } else {
-            accumulate_block_batch(range, cm_->row_ptr, item.indices,
-                                   item.values, x, y, k);
+            accumulate_block_batch(range, cm_->row_ptr, cb.indices,
+                                   cb.values, x, y, k);
           }
-          busy_seconds += busy.seconds();
+          ws.compute_busy += timer.seconds();
         }
-        // Cache-served items carry no slab; their memory belongs to the
-        // BandCache and must never rejoin a decoder's free pool.
-        if (item.recycle != nullptr &&
-            !run.free_queues[item.recycle->owner]->push(item.recycle)) {
-          cancelled = true;
+        item.cached.reset();
+      } else {
+        TaskSlab* slab = item.slab;
+        for (std::size_t i = 0; i < slab->used; ++i) {
+          const TaskSlab::Buf& buf = slab->bufs[i];
+          const auto& range = cm_->blocking.blocks[buf.block];
+          timer.reset();
+          if (k == 1) {
+            accumulate_block(range, cm_->row_ptr, buf.indices, buf.values, x,
+                             y);
+          } else {
+            accumulate_block_batch(range, cm_->row_ptr, buf.indices,
+                                   buf.values, x, y, k);
+          }
+          ws.compute_busy += timer.seconds();
         }
+        if (!run_->free_qs[slab->owner]->push(slab)) break;  // cancelled
       }
-      if (cancelled) break;
     }
   } catch (...) {
-    error = std::current_exception();
+    ws.error = std::current_exception();
+    scheduler_->cancel();
+    run_->ready->cancel();
+    for (auto& q : run_->free_qs) q->cancel();
   }
-
-  telem.compute_busy_ns.add(to_ns(busy_seconds));
-  telem.compute_blocked_ns.add(to_ns(blocked_seconds));
-  {
-    std::lock_guard<std::mutex> lock(run.mu);
-    run.compute_busy += busy_seconds;
-    run.compute_blocked += blocked_seconds;
-  }
-  if (error) {
-    run.cancel_all();
-    run.gate.arrive_with_error(std::move(error));
+  if (ws.error) {
+    gate_->arrive_with_error(ws.error);
   } else {
-    run.gate.arrive();
+    gate_->arrive();
+  }
+}
+
+void StreamingExecutor::worker_trampoline(void* self, std::size_t worker) {
+  auto* exec = static_cast<StreamingExecutor*>(self);
+  if (exec->run_->fused) {
+    exec->fused_worker(worker);
+  } else if (worker < exec->run_->decoders) {
+    exec->decode_worker(worker);
+  } else {
+    exec->accumulate_worker(worker);
+  }
+}
+
+// Small-matrix path: the whole fused loop on the calling thread, no
+// scheduler, no handoff. Exceptions propagate directly.
+void StreamingExecutor::run_inline(std::span<const double> x,
+                                   std::span<double> y, int k,
+                                   bool reverse) {
+  WorkerState& ws = *states_[0];
+  const auto& order = reverse ? task_ids_rev_ : task_ids_fwd_;
+  for (const std::uint32_t task : order) {
+    execute_task_fused(ws, task, x, y, k);
   }
 }
 
@@ -489,69 +698,156 @@ void StreamingExecutor::multiply(std::span<const double> x,
 void StreamingExecutor::multiply_batch(std::span<const double> x,
                                        std::span<double> y, int k) {
   RECODE_CHECK(k >= 1);
-  RECODE_CHECK(x.size() ==
-               static_cast<std::size_t>(cm_->cols) * static_cast<std::size_t>(k));
-  RECODE_CHECK(y.size() ==
-               static_cast<std::size_t>(cm_->rows) * static_cast<std::size_t>(k));
+  RECODE_CHECK(x.size() == static_cast<std::size_t>(cm_->cols) *
+                               static_cast<std::size_t>(k));
+  RECODE_CHECK(y.size() == static_cast<std::size_t>(cm_->rows) *
+                               static_cast<std::size_t>(k));
   std::fill(y.begin(), y.end(), 0.0);
 
   stats_ = OverlapStats{};
-  stats_.decode_threads = config_.decode_threads;
-  stats_.compute_threads = config_.compute_threads;
   stats_.bands = bands_.size();
+  stats_.split_bands = split_bands_;
   if (bands_.empty()) return;
 
-  const std::size_t n_workers =
-      config_.decode_threads + config_.compute_threads;
-  Run run(bands_.size(), config_.decode_threads, n_workers,
-          config_.queue_capacity, config_.queue_capacity + 1);
-  run.active_decoders.store(config_.decode_threads,
-                            std::memory_order_relaxed);
-  for (std::size_t d = 0; d < config_.decode_threads; ++d) {
-    for (auto& slab : decoders_[d]->slabs) {
-      run.free_queues[d]->push(slab.get());
+  for (auto& ws : states_) ws->reset_slot();
+  // Run boundary for the cache's scan protection: bands resident now
+  // are exactly the ones this run is about to want — shield them from
+  // eviction until this run has consumed them, whatever order the
+  // scheduler reaches them in.
+  if (cache_) cache_->begin_run();
+  // Serpentine scan: see the task_ids_ member comment.
+  const bool reverse = (run_counter_++ & 1) == 1;
+
+  const WorkerPlan plan = plan_worker_split(workers_,
+                                            planning_decode_fraction());
+  const bool inline_run =
+      workers_ == 1 || bands_.size() == 1 ||
+      cm_->blocking.blocks.size() <= config_.fused_inline_blocks;
+
+  RECODE_TRACE_SPAN_ARG("spmv", "multiply_batch", "rhs", k);
+  Timer wall;
+
+  if (inline_run) {
+    stats_.fused = true;
+    stats_.inline_run = true;
+    stats_.workers = 1;
+    stats_.decode_threads = 1;
+    stats_.compute_threads = 1;
+    try {
+      run_inline(x, y, k, reverse);
+    } catch (...) {
+      finish_run(wall.seconds());
+      throw;
+    }
+    finish_run(wall.seconds());
+    return;
+  }
+
+  run_->x = x;
+  run_->y = y;
+  run_->k = k;
+  run_->fused = plan.fused();
+  run_->decoders = plan.fused() ? workers_ : plan.decoders;
+  stats_.fused = plan.fused();
+  stats_.workers = workers_;
+  if (plan.fused()) {
+    stats_.decode_threads = workers_;
+    stats_.compute_threads = workers_;
+  } else {
+    stats_.decode_threads = plan.decoders;
+    stats_.compute_threads = plan.accumulators;
+  }
+
+  scheduler_->reset();
+  scheduler_->seed(reverse ? task_ids_rev_ : task_ids_fwd_, run_->decoders);
+  gate_->reset(workers_);
+  if (!plan.fused()) {
+    // Split runs rebuild their queues so a cancelled run leaves no
+    // closed/cancelled queue behind (allocation here is fine — the
+    // zero-steady-state guarantee covers the fused default path).
+    run_->active_decoders.store(run_->decoders, std::memory_order_relaxed);
+    run_->ready = std::make_unique<BoundedQueue<ReadyItem>>(
+        config_.queue_capacity * workers_);
+    run_->free_qs.clear();
+    for (std::size_t d = 0; d < run_->decoders; ++d) {
+      WorkerState& ws = *states_[d];
+      while (ws.slabs.size() < config_.queue_capacity + 1) {
+        auto slab = std::make_unique<TaskSlab>();
+        slab->owner = d;
+        ws.slabs.push_back(std::move(slab));
+      }
+      auto q = std::make_unique<BoundedQueue<TaskSlab*>>(ws.slabs.size());
+      for (auto& slab : ws.slabs) q->push(slab.get());
+      run_->free_qs.push_back(std::move(q));
     }
   }
 
-  StreamTelemetry& telem = StreamTelemetry::get();
-  RECODE_TRACE_SPAN_ARG("spmv", "multiply_batch", "rhs", k);
-  Timer wall;
-  for (std::size_t d = 0; d < config_.decode_threads; ++d) {
-    pool_->submit([this, &run, d] { decode_worker(run, d); });
-  }
-  for (std::size_t c = 0; c < config_.compute_threads; ++c) {
-    pool_->submit(
-        [this, &run, c, x, y, k] { compute_worker(run, c, x, y, k); });
-  }
+  if (!team_) team_ = std::make_unique<WorkerTeam>(workers_);
+  team_->run(&StreamingExecutor::worker_trampoline, this);
 
   // Blocks until every worker has drained, then rethrows the first
-  // pipeline error on this (the caller's) thread.
+  // error on this (the caller's) thread. team_->wait() afterwards parks
+  // the threads so the next run() is legal.
   try {
-    run.gate.wait();
+    gate_->wait();
   } catch (...) {
-    stats_.wall_seconds = wall.seconds();
-    total_blocks_decoded_ += run.blocks;
-    total_compressed_bytes_ += run.bytes;
+    team_->wait();
+    finish_run(wall.seconds());
     throw;
   }
-  stats_.wall_seconds = wall.seconds();
-  stats_.decode_busy_seconds = run.decode_busy;
-  stats_.compute_busy_seconds = run.compute_busy;
-  stats_.decode_blocked_seconds = run.decode_blocked;
-  stats_.compute_blocked_seconds = run.compute_blocked;
-  stats_.blocks_decoded = run.blocks;
-  stats_.compressed_bytes = run.bytes;
-  stats_.udp_cycles = run.udp_cycles;
-  stats_.cache_hit_bands = run.cache_hit_bands;
-  stats_.cache_miss_bands = run.cache_miss_bands;
-  stats_.cache_hit_blocks = run.cache_hit_blocks;
-  std::size_t high_water = 0;
-  for (const auto& q : run.band_queues) {
-    high_water = std::max(high_water, q->high_water());
+  team_->wait();
+  finish_run(wall.seconds());
+}
+
+// Aggregates the per-worker stats slots and the scheduler counters into
+// last_stats(), publishes telemetry, feeds the decode-fraction EWMA, and
+// bumps the lifetime totals. Runs on the caller thread after every
+// multiply, including failed ones (partial progress still counts).
+void StreamingExecutor::finish_run(double wall_seconds) {
+  StreamTelemetry& telem = StreamTelemetry::get();
+  stats_.wall_seconds = wall_seconds;
+  for (const auto& ws : states_) {
+    stats_.decode_busy_seconds += ws->decode_busy;
+    stats_.compute_busy_seconds += ws->compute_busy;
+    stats_.decode_blocked_seconds += ws->decode_blocked;
+    stats_.compute_blocked_seconds += ws->compute_blocked;
+    stats_.blocks_decoded += ws->blocks;
+    stats_.compressed_bytes += ws->bytes;
+    stats_.udp_cycles += ws->udp_cycles;
+    stats_.cache_hit_bands += ws->hit_bands;
+    stats_.cache_miss_bands += ws->miss_bands;
+    stats_.cache_hit_blocks += ws->hit_blocks;
   }
-  stats_.band_queue_high_water = high_water;
+  if (!stats_.inline_run) {
+    const StealStats& ss = scheduler_->stats();
+    stats_.steals = ss.steals.load(std::memory_order_relaxed);
+    stats_.steal_attempts = ss.steal_attempts.load(std::memory_order_relaxed);
+    telem.steal_count.add(stats_.steals);
+    telem.steal_attempts.add(stats_.steal_attempts);
+    telem.local_pops.add(ss.local_pops.load(std::memory_order_relaxed));
+    telem.injector_pops.add(ss.injector_pops.load(std::memory_order_relaxed));
+  }
+
   telem.runs.add(1);
-  telem.band_queue_high_water.set(static_cast<double>(high_water));
+  if (stats_.inline_run) {
+    telem.inline_runs.add(1);
+  } else if (stats_.fused) {
+    telem.fused_runs.add(1);
+  } else {
+    telem.split_runs.add(1);
+  }
+  telem.tasks_scheduled.add(stats_.bands);
+  telem.tasks_split.add(stats_.split_bands);
+  telem.blocks.add(stats_.blocks_decoded);
+  telem.bytes.add(stats_.compressed_bytes);
+  telem.udp_cycles.add(stats_.udp_cycles);
+  telem.decode_busy_ns.add(to_ns(stats_.decode_busy_seconds));
+  telem.decode_blocked_ns.add(to_ns(stats_.decode_blocked_seconds));
+  telem.compute_busy_ns.add(to_ns(stats_.compute_busy_seconds));
+  telem.compute_blocked_ns.add(to_ns(stats_.compute_blocked_seconds));
+  telem.cache_hit_bands.add(stats_.cache_hit_bands);
+  telem.cache_miss_bands.add(stats_.cache_miss_bands);
+  telem.cache_hit_blocks.add(stats_.cache_hit_blocks);
   if (cache_) {
     const BandCache::Stats cs = cache_->stats();
     stats_.cache_bytes_pinned = cs.bytes_pinned;
@@ -561,8 +857,39 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
     cache_evictions_seen_ = cs.evictions;
     telem.cache_bytes_pinned.set(static_cast<double>(cs.bytes_pinned));
   }
-  total_blocks_decoded_ += run.blocks;
-  total_compressed_bytes_ += run.bytes;
+
+  // Feed the measured decode fraction back into the next run's worker
+  // allocation (EWMA so one anomalous run cannot flip the mode).
+  const double busy =
+      stats_.decode_busy_seconds + stats_.compute_busy_seconds;
+  if (busy > 0.0) {
+    decode_fraction_ewma_ = 0.5 * decode_fraction_ewma_ +
+                            0.5 * (stats_.decode_busy_seconds / busy);
+  }
+
+  total_blocks_decoded_ += stats_.blocks_decoded;
+  total_compressed_bytes_ += stats_.compressed_bytes;
+
+  // Equalize the worker arenas to the fleet-wide per-slot high-water.
+  // Stealing makes the worker<->block assignment nondeterministic, so any
+  // later run could hand a worker a block class it has never decoded and
+  // regrow its arena mid-run. A block's per-slot requirement is the same
+  // whichever worker decodes it, so after one full pass the max across
+  // workers covers every block — growing everyone to it here (off the
+  // hot path) makes every subsequent run allocation-free regardless of
+  // the steal pattern.
+  for (std::size_t slot = 0; slot < codec::DecodeArena::kSlotCount; ++slot) {
+    std::size_t scratch_max = 0;
+    std::size_t out_max = 0;
+    for (const auto& ws : states_) {
+      scratch_max = std::max(scratch_max, ws->scratch.slot_capacity(slot));
+      out_max = std::max(out_max, ws->out.slot_capacity(slot));
+    }
+    for (const auto& ws : states_) {
+      if (scratch_max > 0) ws->scratch.slab(slot, scratch_max);
+      if (out_max > 0) ws->out.slab(slot, out_max);
+    }
+  }
 }
 
 void StreamingExecutor::set_engine(DecodeEngine engine) {

@@ -1,30 +1,61 @@
-// Parallel pipelined decode->SpMV execution engine (the paper's §V-B
-// co-scheduling, host-side): decoder workers stream compressed blocks
-// through the software codecs or the UDP lane simulator while compute
-// workers run the unchanged CSR multiply over the recovered slabs, so the
-// chain is limited by the slower stage instead of their sum — the overlap
-// Figs 14/15 assume for the UDP system.
+// Work-stealing parallel decode->SpMV execution engine (the paper's §V-B
+// co-scheduling, host-side). The matrix is cut into row-aligned *tasks*
+// (sub-bands); a Chase-Lev-style scheduler (common/work_stealing.h) hands
+// tasks to workers, and an idle worker steals from a loaded one instead
+// of blocking on a fixed queue — the rearchitecture that removed the
+// capacity-2 per-band queues which made the PR-2 pipeline lose to serial
+// at every thread count (BENCH_streaming.json, overlap efficiency 0.11).
 //
-// Determinism contract: the matrix is partitioned into *row bands* —
-// maximal runs of consecutive blocks cut only where a block boundary
-// coincides with a row boundary (merged up toward a target band size).
-// Bands therefore own disjoint row ranges, each band's blocks are decoded
-// and accumulated in stream order by exactly one worker at a time, and
-// both stages share the serial engine's accumulate kernels. Output is
-// bitwise-identical to serial RecodedSpmv::multiply for any decoder /
-// compute worker count and any queue capacity.
+// Execution modes, chosen per run from the measured decode fraction
+// (core.overlap.decode_fraction, EWMA across this executor's runs):
+//
+//  * fused (decode fraction >= 0.5, the measured regime — software decode
+//    is ~96% of the work): every worker decodes AND accumulates its own
+//    tasks back-to-back. Pipelining decode against a 4% accumulate stage
+//    can win at most 4%; parallelizing whole tasks across workers wins
+//    linearly, so decode-heavy runs get all workers fused.
+//  * split (decode fraction < 0.5, e.g. many-RHS SpMM where the multiply
+//    dominates): round(workers * (1 - decode_fraction)) workers become
+//    dedicated accumulators fed decoded task slabs through a bounded
+//    ready queue; the rest decode. This is the paper's "many decoders
+//    feeding few consumers" shape with the ratio derived from the
+//    measurement instead of fixed in the config.
+//
+// Small matrices (or one worker) skip the scheduler entirely and run the
+// fused loop inline on the calling thread — no thread handoff at all.
+//
+// Determinism contract: tasks are maximal runs of consecutive blocks cut
+// only where a block boundary coincides with a row boundary, so tasks own
+// disjoint row ranges. Each task's blocks are decoded and accumulated in
+// stream order by exactly one worker, through the same accumulate kernels
+// as the serial engine, into rows no other task touches. Output is
+// therefore bitwise-identical to serial RecodedSpmv::multiply for any
+// worker count, any schedule, any steal order, and either mode — the
+// merge order of partial results is fixed by construction because every
+// row's partial sums live in exactly one task.
+//
+// Dynamic band splitting: a band whose block count exceeds
+// split_blocks_threshold is re-cut at interior row-aligned boundaries so
+// one oversized band cannot serialize the run (the long-band starvation
+// the fixed per-band queues suffered). A band with no interior row
+// boundary is unsplittable and streams as one task.
 //
 // Error contract: a recode::Error thrown mid-stream (corrupt block, lane
-// fault) cancels every queue, lets all workers drain, and is rethrown on
-// the calling thread. The executor stays usable afterwards.
+// fault) cancels the scheduler and every split-mode queue, lets all
+// workers drain their deques, and is rethrown on the calling thread. The
+// executor stays usable afterwards.
 //
-// Decoded-band cache: with cache_budget_bytes > 0, bands whose decoded
+// Steady-state allocation: the scheduler, worker team, gate, arenas and
+// slabs are executor-owned and reused run after run — a fused software
+// multiply on a warmed executor performs zero heap allocations (the PR-4
+// contract extended to the whole parallel path; asserted by the
+// operator-new counting test in tests/spmv/test_streaming_stress.cc).
+//
+// Decoded-band cache: with cache_budget_bytes > 0, tasks whose decoded
 // CSR streams fit the budget are pinned (exact-sized copies, LRU
-// evicted) after their first decode and served to the compute workers
-// without touching the codec chain — the iterative-solver regime where
-// the same matrix is multiplied hundreds of times. Consumers drain
-// cached bands in the same stream order through the same accumulate
-// kernels, so output stays bitwise-identical at any budget.
+// evicted) after their first decode and served without touching the
+// codec chain — bitwise-identical at any budget (PR 5, unchanged from
+// the caller's view).
 #pragma once
 
 #include <cstdint>
@@ -34,38 +65,46 @@
 
 #include "codec/pipeline.h"
 #include "common/thread_pool.h"
+#include "common/work_stealing.h"
 #include "spmv/band_cache.h"
 #include "spmv/recoded.h"
 
 namespace recode::spmv {
 
 struct StreamingConfig {
-  // Decoder workers (the stage the paper offloads to UDP lanes).
-  // 0 = max(1, hardware_concurrency - compute_threads).
+  // Worker threads that decode (every worker in fused mode; the decode
+  // side of the split). 0 = max(1, hardware_concurrency - compute_threads).
   std::size_t decode_threads = 0;
-  // CSR-multiply consumers. One is usually enough: software decode runs
-  // ~10x slower than the multiply (EXPERIMENTS.md Fig 12), so decode is
-  // the stage that needs the fan-out.
+  // Additional worker threads. The executor pools decode_threads +
+  // compute_threads workers and derives the decode/accumulate allocation
+  // at runtime from the measured decode fraction; the two knobs are kept
+  // separate for compatibility and as the pool-size expression.
   std::size_t compute_threads = 1;
-  // Decoded slabs buffered per band queue (>=1). 2 gives the classic
-  // double buffer: one slab in flight to the consumer, one being decoded.
+  // Split mode only: decoded task slabs buffered toward the accumulators
+  // per worker (the ready-queue depth is queue_capacity * workers).
+  // Fused mode has no queues and ignores this.
   std::size_t queue_capacity = 2;
   // Band granularity target: bands are grown to at least this many blocks
-  // before cutting at the next row-aligned boundary. Small values expose
-  // more parallelism; large values amortize queue traffic.
+  // before cutting at the next row-aligned boundary.
   std::size_t blocks_per_band = 8;
+  // Bands with more blocks than this are re-cut at interior row-aligned
+  // boundaries (dynamic band splitting). 0 = auto: spread the matrix over
+  // at least 4 tasks per worker when the block count allows it.
+  std::size_t split_blocks_threshold = 0;
+  // Matrices with at most this many blocks (or runs with one worker, or
+  // a single task) run the fused loop inline on the calling thread.
+  std::size_t fused_inline_blocks = 16;
+  // Overrides the measured decode-fraction EWMA when > 0 (tests pin this
+  // to force the fused [>= 0.5] or split [< 0.5] path deterministically).
+  double decode_fraction_hint = 0.0;
   DecodeEngine engine = DecodeEngine::kSoftware;
-  // Decoded-band cache budget in bytes (0 = off). Bands whose decoded
-  // CSR streams (12 B/nnz) fit the budget are pinned after their first
-  // decode and skip the codec chain on later multiplies — the paper's
-  // "hot set in plain CSR, cold set compressed" memory-power tradeoff
-  // (Figs 16/17) as a runtime knob for iterative solvers. Output is
-  // bitwise-identical at any budget.
+  // Decoded-band cache budget in bytes (0 = off). See band_cache.h.
   std::size_t cache_budget_bytes = 0;
 };
 
 // A row band: consecutive blocks [first_block, first_block + block_count)
-// whose rows [first_row, end_row) no other band touches.
+// whose rows [first_row, end_row) no other band touches. Also the unit of
+// scheduling (a post-split band == one task).
 struct RowBand {
   std::size_t first_block = 0;
   std::size_t block_count = 0;
@@ -79,23 +118,56 @@ struct RowBand {
 std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
                                     std::size_t target_blocks);
 
+// Dynamic band splitting: bands with more than max_blocks blocks are
+// re-cut at interior row-aligned boundaries — each piece ends at the
+// latest boundary within max_blocks of its start, so a piece only
+// exceeds the cap when the nnz stream has no interior row boundary in
+// that window (long rows spanning many blocks). Bands at or under the
+// limit pass through unchanged. Returns the number of extra tasks
+// created via `splits` (nullable).
+std::vector<RowBand> split_row_bands(const sparse::Blocking& blocking,
+                                     const std::vector<RowBand>& bands,
+                                     std::size_t max_blocks,
+                                     std::size_t* splits = nullptr);
+
+// Decode/accumulate worker allocation for a pool of `workers` threads
+// given the measured decode fraction: decode-heavy runs (fraction >=
+// 0.5) fuse both stages on every worker (accumulators == 0); compute-
+// heavy runs dedicate round(workers * (1 - fraction)) accumulators,
+// always leaving at least one decoder. Exposed for the scheduler tests.
+struct WorkerPlan {
+  std::size_t decoders = 0;
+  std::size_t accumulators = 0;  // 0 == fused mode
+  bool fused() const { return accumulators == 0; }
+};
+WorkerPlan plan_worker_split(std::size_t workers, double decode_fraction);
+
 // Measured profile of the last multiply()/multiply_batch() call, the
 // input core::analyze_overlap() consumes.
 struct OverlapStats {
   double wall_seconds = 0.0;
-  double decode_busy_seconds = 0.0;   // summed across decoder workers
-  double compute_busy_seconds = 0.0;  // summed across compute workers
-  // Time workers spent blocked on pipeline queues (decode: waiting for a
-  // free slab or a full band queue; compute: waiting for decoded slabs).
+  double decode_busy_seconds = 0.0;   // summed across workers
+  double compute_busy_seconds = 0.0;  // summed across workers
+  // Time workers spent waiting: fused mode counts scheduler acquire
+  // spin (decode side); split mode adds ready/free queue waits.
   // Measured by the telemetry wait probes — 0 when RECODE_TELEMETRY=OFF.
   double decode_blocked_seconds = 0.0;
   double compute_blocked_seconds = 0.0;
+  // Worker allocation of the run: fused ? (workers, workers) : the
+  // split-mode (decoders, accumulators) — what analyze_overlap divides
+  // the busy sums by.
   std::size_t decode_threads = 0;
   std::size_t compute_threads = 0;
-  std::size_t bands = 0;
-  // Deepest any band queue got during the run (its capacity bounds it);
-  // capacity-sized values mean the consumers were the bottleneck.
-  std::size_t band_queue_high_water = 0;
+  std::size_t workers = 0;    // threads that actually ran
+  bool fused = true;          // mode of this run
+  bool inline_run = false;    // small-matrix path: no threads at all
+  std::size_t bands = 0;      // tasks scheduled (post-split partition)
+  std::size_t split_bands = 0;  // extra tasks created by dynamic splitting
+  // Scheduler activity: how tasks moved. High steal counts with low
+  // wall time are the design working (idle workers finding work), not a
+  // problem indicator like the old queue high-water mark was.
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
   std::uint64_t blocks_decoded = 0;
   std::uint64_t compressed_bytes = 0;
   std::uint64_t udp_cycles = 0;  // kUdpSimulated only
@@ -122,14 +194,22 @@ class StreamingExecutor {
 
   // Y = A*X for k right-hand sides, row-major (X is cols x k, Y is
   // rows x k, the spmm_csr layout). Each block is decoded once and
-  // multiplied against all k vectors — the decode amortization that makes
-  // iterative solvers and batched inference stream-friendly. k == 1 is
-  // exactly multiply().
+  // multiplied against all k vectors. k == 1 is exactly multiply().
   void multiply_batch(std::span<const double> x, std::span<double> y, int k);
 
+  // The scheduled task partition (bands after dynamic splitting).
   const std::vector<RowBand>& bands() const { return bands_; }
   const StreamingConfig& config() const { return config_; }
   const OverlapStats& last_stats() const { return stats_; }
+
+  // Decode fraction the next run's worker allocation will use: the
+  // config hint when set, else the EWMA of measured fractions (prior
+  // 0.95 — the BENCH_streaming measurement — before the first run).
+  double planning_decode_fraction() const;
+
+  // Tasks still queued in the scheduler; 0 whenever no multiply is in
+  // flight, including after an error (the drained-deques contract).
+  std::size_t scheduler_queued() const;
 
   // Switches the decode engine for subsequent multiplies. Invalidates
   // the decoded-band cache: pinned bands were produced by the previous
@@ -151,22 +231,45 @@ class StreamingExecutor {
   }
 
  private:
-  struct Slab;        // one decoded block in flight
-  struct WorkItem;    // decoded views + recycle slab, as queued to consumers
-  struct DecoderState;  // per-decoder slab pool + engine instance
-  struct Run;         // per-call pipeline state (queues, gate, error flag)
+  struct WorkerState;  // per-worker arenas, UDP engine, slabs, stat slot
+  struct TaskSlab;     // split mode: one decoded task in flight
+  struct ReadyItem;    // split mode: what travels to the accumulators
+  struct Run;          // per-call state (persistent core + split queues)
 
-  void decode_worker(Run& run, std::size_t worker);
-  void compute_worker(Run& run, std::size_t worker,
-                      std::span<const double> x, std::span<double> y, int k);
+  void fused_worker(std::size_t worker);
+  void decode_worker(std::size_t worker);
+  void accumulate_worker(std::size_t worker);
+  void run_inline(std::span<const double> x, std::span<double> y, int k,
+                  bool reverse);
+  void execute_task_fused(WorkerState& ws, std::size_t task,
+                          std::span<const double> x, std::span<double> y,
+                          int k);
+  void finish_run(double wall_seconds);
+  static void worker_trampoline(void* self, std::size_t worker);
 
   const codec::CompressedMatrix* cm_;
   StreamingConfig config_;
+  std::size_t workers_ = 0;
   std::vector<RowBand> bands_;
-  std::vector<std::unique_ptr<DecoderState>> decoders_;
-  std::unique_ptr<ThreadPool> pool_;  // decode_threads + compute_threads
+  std::size_t split_bands_ = 0;  // tasks added by dynamic splitting
+  // Seed orders, alternated per run (serpentine scan): a fixed scan
+  // direction plus an LRU band cache is the textbook sequential-thrash
+  // pattern — with a budget of half the matrix every pass would evict
+  // exactly the bands the next pass is about to ask for. Reversing
+  // direction each run makes consecutive passes re-touch the most
+  // recently pinned bands first. Legal because task order never affects
+  // output (disjoint row ranges).
+  std::vector<std::uint32_t> task_ids_fwd_;
+  std::vector<std::uint32_t> task_ids_rev_;
+  std::uint64_t run_counter_ = 0;
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::unique_ptr<WorkStealingScheduler<std::uint32_t>> scheduler_;
+  std::unique_ptr<WorkerTeam> team_;
+  std::unique_ptr<WorkerGate> gate_;
+  std::unique_ptr<Run> run_;          // persistent, reset per multiply
   std::unique_ptr<BandCache> cache_;  // null when cache_budget_bytes == 0
   OverlapStats stats_;
+  double decode_fraction_ewma_ = 0.95;  // prior: the measured BENCH gauge
   std::uint64_t total_blocks_decoded_ = 0;
   std::uint64_t total_compressed_bytes_ = 0;
   // Lifetime cache counters already published to telemetry, so each run

@@ -115,6 +115,64 @@ TEST(BandCachePolicy, EvictedBandSurvivesWhileReferenced) {
   EXPECT_EQ(held->blocks[0].indices.size(), 50u);  // still alive
 }
 
+TEST(BandCachePolicy, RunProtectionShieldsUntouchedResidents) {
+  // The work-stealing executor touches every band once per run in an
+  // order the scheduler does not fix. Bands resident at a begin_run()
+  // boundary must survive until this run consumes them — an insert that
+  // would need their bytes is refused, not serviced by thrashing.
+  BandCache cache(decoded_band_bytes(100));
+  cache.begin_run();
+  ASSERT_TRUE(cache.insert(0, fake_band(30)));
+  ASSERT_TRUE(cache.insert(1, fake_band(30)));
+  ASSERT_TRUE(cache.insert(2, fake_band(30)));
+  cache.begin_run();
+  // All three residents are owed a visit this run: no victim available.
+  EXPECT_FALSE(cache.insert(3, fake_band(30)));
+  EXPECT_EQ(cache.stats().bands_pinned, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // Once the run consumes band 0 it becomes an ordinary LRU victim,
+  // while untouched 1 and 2 stay shielded.
+  EXPECT_NE(cache.lookup(0), nullptr);
+  ASSERT_TRUE(cache.insert(3, fake_band(30)));
+  EXPECT_EQ(cache.lookup(0), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_NE(cache.lookup(2), nullptr);
+  EXPECT_NE(cache.lookup(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(BandCachePolicy, ProtectionLapsesAfterAnIdleRun) {
+  // A band that sits out an entire run is dead weight for a shifted
+  // working set — protection covers one run boundary, not forever.
+  BandCache cache(decoded_band_bytes(50));
+  cache.begin_run();
+  ASSERT_TRUE(cache.insert(0, fake_band(50)));
+  cache.begin_run();  // band 0 protected: owed a visit this run
+  EXPECT_FALSE(cache.insert(1, fake_band(50)));
+  cache.begin_run();  // band 0 went untouched a full run: victim again
+  ASSERT_TRUE(cache.insert(1, fake_band(50)));
+  EXPECT_EQ(cache.lookup(0), nullptr);
+  EXPECT_NE(cache.lookup(1), nullptr);
+}
+
+TEST(BandCachePolicy, RefusedInsertLeavesReplacementIntact) {
+  // Re-inserting a band that is itself resident must not drop the old
+  // copy when the insert is refused for lack of unprotected victims.
+  BandCache cache(decoded_band_bytes(100));
+  cache.begin_run();
+  ASSERT_TRUE(cache.insert(0, fake_band(40)));
+  ASSERT_TRUE(cache.insert(1, fake_band(60)));
+  cache.begin_run();
+  // Replacing band 0 with a bigger copy needs band 1's bytes too, but
+  // band 1 is protected — refuse, and band 0 must still be served.
+  EXPECT_FALSE(cache.insert(0, fake_band(80)));
+  const auto band = cache.lookup(0);
+  ASSERT_NE(band, nullptr);
+  EXPECT_EQ(band->bytes, decoded_band_bytes(40));
+  EXPECT_NE(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().bytes_pinned, decoded_band_bytes(100));
+}
+
 TEST(BandCachePolicy, ClearDropsEverything) {
   BandCache cache(decoded_band_bytes(100));
   ASSERT_TRUE(cache.insert(0, fake_band(30)));

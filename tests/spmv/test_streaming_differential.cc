@@ -173,6 +173,165 @@ TEST(StreamingDifferential, RepeatedCallsAreDeterministic) {
   EXPECT_EQ(exec.blocks_decoded(), cm.blocks.size() * 6);
 }
 
+// The scheduler-era contract: bitwise parallel ≡ serial for every
+// combination of thread count × engine × cache budget × execution mode
+// (fused and split, forced via decode_fraction_hint), warm and cold.
+// Every run of a combination must agree with serial exactly — cache
+// hits, steals, split-mode slab handoff and mode switches included.
+TEST(StreamingDifferential, FusedAndSplitModesBitwiseAcrossCacheBudgets) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    // UDP's cycle-level sim is slow; alternate engines across seeds and
+    // keep UDP matrices small.
+    const auto engine = seed % 2 == 0 ? DecodeEngine::kSoftware
+                                      : DecodeEngine::kUdpSimulated;
+    const auto n = static_cast<sparse::index_t>(
+        engine == DecodeEngine::kSoftware ? 1600 + 180 * seed
+                                          : 500 + 40 * seed);
+    const Csr a = random_matrix(seed, n);
+    const auto cm = codec::compress(a, pipeline_for(seed));
+    const auto x =
+        random_vector(static_cast<std::size_t>(a.cols), seed + 707);
+    std::vector<double> y_serial(static_cast<std::size_t>(a.rows));
+    RecodedSpmv serial(cm, engine);
+    serial.multiply(x, y_serial);
+
+    // Budget sweep: disabled, half the matrix (hits + misses + LRU
+    // churn), unlimited (fully warm after pass 1).
+    std::size_t decoded_total = 0;
+    for (const auto& range : cm.blocking.blocks) {
+      decoded_total += decoded_band_bytes(range.count);
+    }
+    const std::size_t budgets[] = {0, decoded_total / 2, SIZE_MAX};
+
+    for (const std::size_t threads : kThreadCounts) {
+      for (const double hint : {0.96, 0.2}) {  // fused / split
+        for (const std::size_t budget : budgets) {
+          StreamingConfig cfg;
+          cfg.engine = engine;
+          cfg.decode_threads = threads;
+          cfg.compute_threads = 1 + threads % 2;
+          cfg.blocks_per_band = 1 + seed % 3;
+          cfg.decode_fraction_hint = hint;
+          cfg.fused_inline_blocks = 0;  // force the scheduler path
+          cfg.cache_budget_bytes = budget;
+          StreamingExecutor exec(cm, cfg);
+          for (int pass = 0; pass < 3; ++pass) {
+            std::vector<double> y(y_serial.size(), -1.0);
+            exec.multiply(x, y);
+            ASSERT_EQ(0, std::memcmp(y.data(), y_serial.data(),
+                                     y.size() * sizeof(double)))
+                << "seed=" << seed << " engine="
+                << decode_engine_name(engine) << " threads=" << threads
+                << " hint=" << hint << " budget=" << budget
+                << " pass=" << pass << " fused=" << exec.last_stats().fused;
+          }
+          if (exec.bands().size() > 1) {
+            EXPECT_EQ(exec.last_stats().fused, hint >= 0.5)
+                << "decode_fraction_hint did not force the mode";
+          }
+          if (budget == SIZE_MAX) {
+            // Fully warm: the last pass decoded nothing.
+            EXPECT_EQ(exec.last_stats().blocks_decoded, 0u);
+            EXPECT_EQ(exec.last_stats().cache_hit_bands,
+                      exec.bands().size());
+          }
+        }
+      }
+    }
+  }
+}
+
+// Dynamic band splitting: oversized bands are re-cut at interior
+// row-aligned boundaries and the split partition must still produce
+// bitwise-serial output in both modes at any thread count.
+TEST(StreamingDifferential, DynamicallySplitBandsBitwise) {
+  std::size_t total_splits = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Csr a = random_matrix(seed, 2400);
+    const auto cm = codec::compress(a, pipeline_for(seed));
+    const auto x =
+        random_vector(static_cast<std::size_t>(a.cols), seed + 909);
+    std::vector<double> y_serial(static_cast<std::size_t>(a.rows));
+    RecodedSpmv serial(cm);
+    serial.multiply(x, y_serial);
+
+    const auto unsplit = make_row_bands(cm.blocking, 64);
+    std::size_t want_splits = 0;
+    const auto want =
+        split_row_bands(cm.blocking, unsplit, 2, &want_splits);
+    total_splits += want_splits;
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{7}}) {
+      for (const double hint : {0.96, 0.2}) {
+        StreamingConfig cfg;
+        cfg.decode_threads = threads;
+        cfg.blocks_per_band = 64;        // force huge bands...
+        cfg.split_blocks_threshold = 2;  // ...then split them hard
+        cfg.decode_fraction_hint = hint;
+        cfg.fused_inline_blocks = 0;
+        StreamingExecutor exec(cm, cfg);
+        EXPECT_EQ(exec.bands().size(), want.size());
+        std::vector<double> y(y_serial.size(), -1.0);
+        exec.multiply(x, y);
+        ASSERT_EQ(0, std::memcmp(y.data(), y_serial.data(),
+                                 y.size() * sizeof(double)))
+            << "seed=" << seed << " threads=" << threads
+            << " hint=" << hint << " tasks=" << exec.bands().size()
+            << " split_bands=" << exec.last_stats().split_bands;
+        EXPECT_EQ(exec.last_stats().split_bands, want_splits);
+      }
+    }
+  }
+  // The seed set must actually exercise splitting, not just tolerate it.
+  EXPECT_GT(total_splits, 0u);
+}
+
+TEST(StreamingDifferential, SplitRowBandsKeepPartitionInvariants) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Csr a = random_matrix(seed, 1800);
+    const auto cm = codec::compress(a, codec::PipelineConfig::udp_dsh());
+    for (const std::size_t coarse : {std::size_t{8}, std::size_t{100}}) {
+      const auto bands = make_row_bands(cm.blocking, coarse);
+      for (const std::size_t max_blocks :
+           {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+        std::size_t splits = 0;
+        const auto split =
+            split_row_bands(cm.blocking, bands, max_blocks, &splits);
+        EXPECT_EQ(split.size(), bands.size() + splits);
+        // Still a partition: blocks consecutive from 0, rows
+        // non-overlapping and increasing.
+        std::size_t next_block = 0;
+        sparse::index_t prev_end_row = 0;
+        for (const auto& band : split) {
+          EXPECT_EQ(band.first_block, next_block);
+          EXPECT_GE(band.first_row, prev_end_row);
+          EXPECT_GT(band.end_row, band.first_row);
+          next_block += band.block_count;
+          prev_end_row = band.end_row;
+        }
+        EXPECT_EQ(next_block, cm.blocks.size());
+        // No band over the limit unless it had no interior row-aligned
+        // boundary to cut at.
+        for (const auto& band : split) {
+          if (band.block_count <= max_blocks) continue;
+          bool has_interior_cut = false;
+          for (std::size_t b = band.first_block;
+               b + 1 < band.first_block + band.block_count; ++b) {
+            if (cm.blocking.blocks[b].last_row <
+                cm.blocking.blocks[b + 1].first_row) {
+              has_interior_cut = true;
+              break;
+            }
+          }
+          EXPECT_FALSE(has_interior_cut)
+              << "band with " << band.block_count
+              << " blocks was splittable but not split (max "
+              << max_blocks << ")";
+        }
+      }
+    }
+  }
+}
+
 TEST(StreamingDifferential, RowBandsPartitionRowsAndBlocks) {
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     const Csr a = random_matrix(seed, 1800);

@@ -2,19 +2,48 @@
 // paths: randomized band sizes, capacity-1 queues (maximum backpressure),
 // and mid-stream corruption injected with the PR 1 CorruptionEngine. The
 // contract under test: the pipeline always drains — every worker exits,
+// every deque and the injector end empty (scheduler_queued() == 0),
 // nothing deadlocks or leaks — and the first recode::Error is rethrown on
-// the caller's thread. Runs under the sanitize preset (and the tsan
-// preset) via the `concurrency` ctest label.
+// the caller's thread. The warmed fused path additionally runs under a
+// global operator-new counting hook asserting the zero-steady-state-
+// allocation guarantee (the PR 4 pattern). Runs under the sanitize preset
+// (and the tsan preset) via the `concurrency` ctest label.
 #include "spmv/streaming_executor.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 
+#include "codec/fast_decode.h"
 #include "codec/pipeline.h"
 #include "common/prng.h"
 #include "sparse/generators.h"
 #include "testing/corrupt.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation-counting hook (same pattern as test_fast_decode.cc).
+// Every heap allocation in this binary bumps the counter; the steady-state
+// test snapshots it around warmed multiply loops.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* counted_alloc(std::size_t n) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// ---------------------------------------------------------------------------
 
 namespace recode::spmv {
 namespace {
@@ -127,6 +156,9 @@ TEST(StreamingStress, CorruptionEngineInjectionNeverHangsOrCrashes) {
       } catch (const recode::Error&) {
         ++threw;
       }
+      // Error or not, the scheduler must end drained: cancel clears the
+      // injector and every worker drains its own deque on the way out.
+      EXPECT_EQ(exec.scheduler_queued(), 0u);
     }
   }
   // The corruption model is adversarial enough that at least one variant
@@ -149,6 +181,99 @@ TEST(StreamingStress, UdpEngineMidStreamErrorRethrows) {
   StreamingConfig cfg = tiny_queue_config(prng, DecodeEngine::kUdpSimulated);
   StreamingExecutor exec(cm, cfg);
   EXPECT_THROW(exec.multiply(x, y), recode::Error);
+}
+
+// ISSUE 6: mid-stream faults against the work-stealing scheduler in BOTH
+// execution modes. The faulting worker cancels the scheduler and drains
+// its own deque; cancel clears the injector; every other worker drains on
+// its next acquire — so after the rethrow scheduler_queued() must be 0,
+// and the executor must stay usable (throwing again, not deadlocking).
+TEST(StreamingStress, SchedulerDrainsAfterMidStreamFaultBothModes) {
+  const std::uint64_t seed = test_seed(46);
+  Prng prng(seed);
+  const Csr a = stress_matrix(seed + 17);
+  const auto clean = codec::compress(a, PipelineConfig::udp_dsh());
+  ASSERT_GT(clean.blocks.size(), 6u);
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), seed + 5);
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+
+  for (const double hint : {0.96, 0.2}) {  // fused / split
+    for (int iter = 0; iter < 6; ++iter) {
+      auto cm = clean;
+      // One to three faulted blocks scattered mid-stream: whichever
+      // worker hits one first wins the gate's first-error slot; the rest
+      // must not deadlock the drain.
+      const int faults = 1 + static_cast<int>(prng.next_below(3));
+      for (int f = 0; f < faults; ++f) {
+        const std::size_t bad = 1 + prng.next_below(static_cast<std::uint64_t>(
+                                        cm.blocks.size() - 1));
+        cm.blocks[bad].index_data.clear();
+      }
+      StreamingConfig cfg =
+          tiny_queue_config(prng, DecodeEngine::kSoftware);
+      cfg.decode_fraction_hint = hint;
+      cfg.fused_inline_blocks = 0;  // keep the scheduler engaged
+      StreamingExecutor exec(cm, cfg);
+      EXPECT_THROW(exec.multiply(x, y), recode::Error)
+          << "hint=" << hint << " iter=" << iter;
+      EXPECT_EQ(exec.scheduler_queued(), 0u)
+          << "hint=" << hint << " iter=" << iter;
+      EXPECT_THROW(exec.multiply(x, y), recode::Error)
+          << "hint=" << hint << " iter=" << iter;
+      EXPECT_EQ(exec.scheduler_queued(), 0u)
+          << "hint=" << hint << " iter=" << iter;
+    }
+  }
+}
+
+// ISSUE 6: the warmed fused/software/no-cache steady state performs ZERO
+// heap allocations per multiply. Everything persistent — worker team,
+// scheduler deques, gate, decode arenas, task id vectors, telemetry
+// series — is built during construction or the warm runs; after that the
+// only per-run work is seeding preallocated deques, decoding into grown
+// arenas, and accumulating.
+TEST(StreamingStress, WarmFusedMultiplyIsAllocationFree) {
+  if (!codec::fast::kEnabled) {
+    GTEST_SKIP() << "reference decoders allocate per block "
+                    "(RECODE_FAST_DECODE=OFF)";
+  }
+  const std::uint64_t seed = test_seed(47);
+  const Csr a = stress_matrix(seed + 29);
+  const auto cm = codec::compress(a, PipelineConfig::udp_dsh());
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), seed + 6);
+  std::vector<double> y_serial(static_cast<std::size_t>(a.rows));
+  RecodedSpmv serial(cm);
+  serial.multiply(x, y_serial);
+
+  StreamingConfig cfg;
+  cfg.engine = DecodeEngine::kSoftware;
+  cfg.decode_threads = 3;
+  cfg.compute_threads = 1;
+  cfg.blocks_per_band = 2;
+  cfg.decode_fraction_hint = 0.96;  // pin fused: the plan never flips
+  cfg.fused_inline_blocks = 0;      // scheduler + team engaged
+  cfg.cache_budget_bytes = 0;       // no cache copies
+  StreamingExecutor exec(cm, cfg);
+  std::vector<double> y(y_serial.size());
+  // Warm runs: spawn the team, grow every worker's arenas to the largest
+  // block, register the telemetry series, and cover both serpentine scan
+  // directions.
+  exec.multiply(x, y);
+  exec.multiply(x, y);
+
+  const std::uint64_t before =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 4; ++rep) {
+    exec.multiply(x, y);
+  }
+  const std::uint64_t after =
+      g_heap_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " heap allocations across 4 warmed multiplies";
+  ASSERT_EQ(0, std::memcmp(y.data(), y_serial.data(),
+                           y.size() * sizeof(double)));
+  EXPECT_TRUE(exec.last_stats().fused);
+  EXPECT_FALSE(exec.last_stats().inline_run);
 }
 
 TEST(StreamingStress, ParallelForPropagatesBodyExceptions) {

@@ -71,6 +71,7 @@ TEST(TelemetryPipeline, CountersTrackExecutorAccounting) {
 
   StreamingConfig cfg;
   cfg.decode_threads = 2;
+  cfg.fused_inline_blocks = 0;  // force the scheduler path
   StreamingExecutor exec(cm, cfg);
   exec.multiply(x, y);
 
@@ -86,18 +87,95 @@ TEST(TelemetryPipeline, CountersTrackExecutorAccounting) {
   EXPECT_EQ(bytes.value(), exec.compressed_bytes_streamed());
   EXPECT_EQ(runs.value(), 1u);
 
-  // Every popped slab went through the pop-wait probe, so the ready-queue
-  // histogram saw one sample per decoded block (single consumer), and
-  // occupancy was sampled once per push.
-  EXPECT_EQ(reg.histogram("spmv.band_queue.occupancy").count(),
-            exec.blocks_decoded());
+  // Scheduler accounting closes: every task was acquired exactly once,
+  // via a local pop, the injector, or a steal, and the own-deque
+  // occupancy histogram saw one sample per acquisition.
+  const std::uint64_t acquires =
+      reg.counter("spmv.steal.local_pops").value() +
+      reg.counter("spmv.steal.injector_pops").value() +
+      reg.counter("spmv.steal.count").value();
+  EXPECT_EQ(acquires, exec.bands().size());
+  EXPECT_EQ(reg.histogram("spmv.sched.deque_occupancy").count(),
+            exec.bands().size());
 
-  // The blocked-time split the overlap analysis consumes is populated.
+  // The blocked-time split the overlap analysis consumes is populated,
+  // and the run reports the scheduler's view of itself.
   const auto& st = exec.last_stats();
   EXPECT_GE(st.decode_blocked_seconds, 0.0);
   EXPECT_GE(st.compute_blocked_seconds, 0.0);
-  EXPECT_GE(st.band_queue_high_water, 1u);
-  EXPECT_LE(st.band_queue_high_water, cfg.queue_capacity);
+  EXPECT_TRUE(st.fused);
+  EXPECT_FALSE(st.inline_run);
+  EXPECT_EQ(st.workers, cfg.decode_threads + cfg.compute_threads);
+  EXPECT_EQ(st.steals, reg.counter("spmv.steal.count").value());
+}
+
+// ISSUE 6 schema contract: the bench/solver JSON consumers read the
+// work-stealing telemetry — steal counters and scheduler occupancy
+// histograms — and the retired per-band queue series must never
+// reappear under any name.
+TEST(TelemetryPipeline, SnapshotSchemaExportsStealSeriesNotBandQueues) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.reset();
+
+  const sparse::Csr a = test_matrix(41);
+  const auto cm = codec::compress(a, codec::PipelineConfig::udp_dsh());
+  const auto x = random_vector(static_cast<std::size_t>(a.cols), 42);
+  std::vector<double> y(static_cast<std::size_t>(a.rows));
+
+  StreamingConfig cfg;
+  cfg.decode_threads = 3;
+  cfg.compute_threads = 1;
+  cfg.fused_inline_blocks = 0;  // scheduler engaged: steal series live
+  StreamingExecutor exec(cm, cfg);
+  exec.multiply(x, y);
+
+  const telemetry::MetricsSnapshot snap = reg.snapshot();
+
+  // The retired per-band queue series died with the bounded-queue
+  // design; nothing may register under its prefix again — in the
+  // telemetry-off build either (instruments still register by name
+  // there, they just never record).
+  const std::string json = snap.to_json();
+  EXPECT_EQ(json.find("spmv.band_queue."), std::string::npos)
+      << "retired band-queue series resurfaced in the JSON export";
+  for (const auto& [n, v] : snap.counters) {
+    EXPECT_NE(n.rfind("spmv.band_queue.", 0), 0u) << n;
+  }
+  for (const auto& h : snap.histograms) {
+    EXPECT_NE(h.name.rfind("spmv.band_queue.", 0), 0u) << h.name;
+  }
+  if (!telemetry::kEnabled) return;
+
+  const auto has_counter = [&](const char* name) {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  const auto has_histogram = [&](const char* name) {
+    for (const auto& h : snap.histograms) {
+      if (h.name == name) return true;
+    }
+    return false;
+  };
+
+  // The scheduler series the bench JSON exports.
+  for (const char* name :
+       {"spmv.steal.count", "spmv.steal.attempts", "spmv.steal.local_pops",
+        "spmv.steal.injector_pops", "spmv.stream.runs",
+        "spmv.exec.fused_runs", "spmv.exec.split_runs",
+        "spmv.exec.inline_runs", "spmv.tasks.scheduled",
+        "spmv.tasks.split_bands"}) {
+    EXPECT_TRUE(has_counter(name)) << "missing counter " << name;
+  }
+  for (const char* name :
+       {"spmv.sched.deque_occupancy", "spmv.sched.acquire_wait_us"}) {
+    EXPECT_TRUE(has_histogram(name)) << "missing histogram " << name;
+  }
+
+  // And the JSON export carries the live series end-to-end.
+  EXPECT_NE(json.find("spmv.steal.count"), std::string::npos);
+  EXPECT_NE(json.find("spmv.sched.deque_occupancy"), std::string::npos);
 }
 
 TEST(TelemetryPipeline, CodecStageCountersAttributeBytes) {
