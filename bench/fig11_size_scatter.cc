@@ -20,17 +20,21 @@ int main(int argc, char** argv) {
   bench::print_header("Fig 11",
                       "bytes per non-zero vs # non-zeros (UDP DSH)");
 
-  std::vector<double> log_nnz, bpn;
-  Table table({"matrix", "family", "nnz", "dsh B/nnz"});
+  std::vector<double> log_nnz, bpn, bpn_adaptive;
+  Table table({"matrix", "family", "nnz", "dsh B/nnz", "adaptive B/nnz"});
   sparse::for_each_suite_matrix(opts, [&](int, const sparse::NamedMatrix& m) {
     const double b =
         codec::compress(m.csr, codec::PipelineConfig::udp_dsh())
             .bytes_per_nnz();
+    const double ba =
+        codec::compress(m.csr, codec::PipelineConfig::udp_adaptive())
+            .bytes_per_nnz();
     log_nnz.push_back(std::log10(static_cast<double>(m.csr.nnz())));
     bpn.push_back(b);
+    bpn_adaptive.push_back(ba);
     if (points) {
       table.add_row({m.name, m.family, std::to_string(m.csr.nnz()),
-                     Table::num(b, 2)});
+                     Table::num(b, 2), Table::num(ba, 2)});
     }
   });
   if (points) table.print();
@@ -48,9 +52,13 @@ int main(int argc, char** argv) {
       (sxx > 0 && syy > 0) ? sxy / std::sqrt(sxx * syy) : 0.0;
 
   const Summary s = summarize(bpn);
+  const Summary sa = summarize(bpn_adaptive);
   std::printf("\nmatrices: %zu  B/nnz geomean=%.2f median=%.2f "
               "min=%.2f max=%.2f\n",
               s.count, s.geomean, s.median, s.min, s.max);
+  std::printf("adaptive per-block: B/nnz geomean=%.2f median=%.2f "
+              "min=%.2f max=%.2f\n",
+              sa.geomean, sa.median, sa.min, sa.max);
   std::printf("correlation(log10 nnz, B/nnz) = %.3f\n", r);
   bench::print_expected(
       "no clear correlation between matrix size and compression ratio "

@@ -17,6 +17,7 @@
 #include "codec/fast_decode.h"
 #include "codec/huffman.h"
 #include "codec/pipeline.h"
+#include "codec/registry.h"
 #include "codec/snappy.h"
 #include "codec/varint_delta.h"
 #include "common/timer.h"
@@ -177,6 +178,23 @@ int run(int argc, char** argv) {
     record("varint_delta", ref_s, fast_s);
   }
 
+  // Byte-transposition inverse transform (plane-major -> record-major),
+  // the registry's value transform for shared-exponent blocks.
+  {
+    Prng prng(seed + 6);
+    Bytes raw(size);
+    for (auto& b : raw) b = static_cast<std::uint8_t>(prng.next_below(256));
+    const Bytes enc = codec::byte_transpose(raw);
+    const double ref_s = best_seconds(reps, min_s, [&] {
+      g_sink += codec::byte_untranspose(enc).size();
+    });
+    std::uint8_t* dst = arena.slab(DecodeArena::kScratchA, size);
+    const double fast_s = best_seconds(reps, min_s, [&] {
+      g_sink += codec::fast::byte_untranspose(enc, dst);
+    });
+    record("transpose", ref_s, fast_s);
+  }
+
   // Full block decode through the pipeline: the reference Bytes-chain
   // path vs the fused arena path (decompress_block_fast), over every
   // block of a DSH-compressed FEM-like matrix.
@@ -208,6 +226,37 @@ int run(int argc, char** argv) {
     report.add_result("ref_block_dsh_decode_gbps", block_gb / ref_s);
     report.add_result("fast_block_dsh_decode_gbps", block_gb / fast_s);
     report.add_result("speedup_block_dsh", ref_s / fast_s);
+  }
+  // Per-block adaptive selection (registry exhaustive trial-encode):
+  // stream size vs the fixed DSH pipeline on the same matrix, plus the
+  // fast-path decode rate over the resulting mixed-id block stream.
+  {
+    const sparse::Csr a = sparse::gen_fem_like(
+        20000, 12, 400, sparse::ValueModel::kSmoothField, seed + 5);
+    const auto single = codec::compress(a, codec::PipelineConfig::udp_dsh());
+    const auto cm = codec::compress(a, codec::PipelineConfig::udp_adaptive());
+    const double block_gb = static_cast<double>(a.nnz()) *
+                            (sizeof(sparse::index_t) + sizeof(double)) / 1e9;
+    DecodeArena scratch, out;
+    const double fast_s = best_seconds(reps, min_s, [&] {
+      for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+        const auto d = codec::decompress_block_fast(cm, b, scratch, out);
+        g_sink += d.indices.size();
+      }
+    });
+    table.add_row({"block(adaptive)", std::to_string(a.nnz() * 12), "-",
+                   Table::num(block_gb / fast_s, 2), "-"});
+    report.add_result("fast_block_adaptive_decode_gbps", block_gb / fast_s);
+    report.add_result("dsh_bytes_per_nnz", single.bytes_per_nnz());
+    report.add_result("adaptive_bytes_per_nnz", cm.bytes_per_nnz());
+    report.add_result(
+        "adaptive_switched_block_frac",
+        static_cast<double>(cm.selection_stats.switched_blocks) /
+            static_cast<double>(cm.blocks.size()));
+    std::printf("adaptive: %.3f B/nnz vs %.3f dsh (%zu/%zu blocks "
+                "switched)\n",
+                cm.bytes_per_nnz(), single.bytes_per_nnz(),
+                cm.selection_stats.switched_blocks, cm.blocks.size());
   }
   table.print();
 

@@ -3,7 +3,7 @@
 // inspect a container, verify it on the UDP simulator, or decompress
 // back to Matrix Market.
 //
-//   rcm_tool --mode=compress   --mtx in.mtx --out m.rcm [--pipeline dsh|ds|snappy|vsh|auto]
+//   rcm_tool --mode=compress   --mtx in.mtx --out m.rcm [--pipeline dsh|ds|snappy|vsh|adaptive|auto]
 //   rcm_tool --mode=info       --rcm m.rcm
 //   rcm_tool --mode=verify     --rcm m.rcm [--udp]
 //   rcm_tool --mode=decompress --rcm m.rcm --out out.mtx
@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "codec/container.h"
+#include "codec/registry.h"
 #include "codec/selector.h"
 #include "common/cli.h"
 #include "common/table.h"
@@ -30,8 +31,9 @@ codec::PipelineConfig pipeline_by_name(const std::string& name,
   if (name == "ds") return codec::PipelineConfig::udp_ds();
   if (name == "snappy") return codec::PipelineConfig::cpu_snappy();
   if (name == "vsh") return codec::PipelineConfig::udp_vsh();
+  if (name == "adaptive") return codec::PipelineConfig::udp_adaptive();
   if (name == "auto") return codec::select_pipeline(csr);
-  fail("unknown --pipeline: " + name + " (dsh|ds|snappy|vsh|auto)");
+  fail("unknown --pipeline: " + name + " (dsh|ds|snappy|vsh|adaptive|auto)");
 }
 
 int mode_compress(const std::string& mtx, const std::string& out,
@@ -73,6 +75,14 @@ int mode_info(const std::string& rcm) {
              codec::transform_name(cm.config.value_transform)});
   t.add_row({"snappy", cm.config.snappy ? "yes" : "no"});
   t.add_row({"huffman", cm.config.huffman ? "yes" : "no"});
+  t.add_row({"codec selection",
+             codec::codec_selection_name(cm.config.selection)});
+  std::size_t switched = 0;
+  const auto base_id = codec::codec_id_for(cm.config);
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    if (cm.block_codec_id(b) != base_id) ++switched;
+  }
+  t.add_row({"blocks off baseline codec", std::to_string(switched)});
   t.add_row({"stream bytes", std::to_string(cm.stream_bytes())});
   t.add_row({"bytes/nnz", Table::num(cm.bytes_per_nnz(), 3)});
   t.print();
@@ -118,7 +128,7 @@ int main(int argc, char** argv) {
   const std::string out =
       cli.get_string("out", "matrix.rcm", "output path");
   const std::string pipeline = cli.get_string(
-      "pipeline", "dsh", "dsh | ds | snappy | vsh | auto (compress)");
+      "pipeline", "dsh", "dsh | ds | snappy | vsh | adaptive | auto (compress)");
   const bool udp =
       cli.get_bool("udp", false, "also verify on the UDP simulator");
   cli.done();

@@ -17,6 +17,7 @@
 #include "udpprog/huffman_prog.h"
 #include "udpprog/snappy_encode_prog.h"
 #include "udpprog/snappy_prog.h"
+#include "udpprog/transpose_prog.h"
 #include "udpprog/varint_delta_prog.h"
 
 using namespace recode;
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
       {"varint-delta-decode", udpprog::build_varint_delta_decode_program()},
       {"snappy-decode", udpprog::build_snappy_decode_program()},
       {"huffman-decode", udpprog::build_huffman_decode_program(table)},
+      {"transpose-decode", udpprog::build_transpose_decode_program()},
       {"delta-encode", udpprog::build_delta_encode_program()},
       {"snappy-encode", udpprog::build_snappy_encode_program()},
       {"huffman-encode", udpprog::build_huffman_encode_program(table)},

@@ -6,6 +6,7 @@
 #include <limits>
 #include <ostream>
 
+#include "codec/registry.h"
 #include "common/error.h"
 #include "common/varint.h"
 
@@ -96,6 +97,7 @@ void write_compressed(std::ostream& out, const CompressedMatrix& cm) {
   put_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cm.config.value_transform));
   put_pod<std::uint8_t>(out, cm.config.snappy ? 1 : 0);
   put_pod<std::uint8_t>(out, cm.config.huffman ? 1 : 0);
+  put_pod<std::uint8_t>(out, static_cast<std::uint8_t>(cm.config.selection));
   put_pod<double>(out, cm.config.huffman_sample_fraction);
   put_pod<std::uint64_t>(out, cm.config.sample_seed);
 
@@ -117,9 +119,10 @@ void write_compressed(std::ostream& out, const CompressedMatrix& cm) {
   }
 
   put_varint(out, cm.blocks.size());
-  for (const auto& b : cm.blocks) {
-    put_blob(out, b.index_data);
-    put_blob(out, b.value_data);
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    put_pod<std::uint8_t>(out, cm.block_codec_id(b));
+    put_blob(out, cm.blocks[b].index_data);
+    put_blob(out, cm.blocks[b].value_data);
   }
   if (!out) fail("rcm: write failed");
 }
@@ -129,7 +132,7 @@ CompressedMatrix read_compressed(std::istream& in) {
   get_bytes(in, magic, 4);
   if (std::memcmp(magic, kMagic, 4) != 0) fail("rcm: bad magic");
   const auto version = get_pod<std::uint32_t>(in);
-  if (version != kContainerVersion) {
+  if (version != kContainerVersionV1 && version != kContainerVersion) {
     fail("rcm: unsupported version " + std::to_string(version));
   }
 
@@ -145,11 +148,19 @@ CompressedMatrix read_compressed(std::istream& in) {
   if (cm.config.nnz_per_block > (1u << 24)) fail("rcm: block size too large");
   const auto it_raw = get_pod<std::uint8_t>(in);
   const auto vt_raw = get_pod<std::uint8_t>(in);
-  if (it_raw > 2 || vt_raw > 2) fail("rcm: unknown transform");
+  // v1 predates the byte-transposition value transform (id 3).
+  if (it_raw > 2 || vt_raw > (version == kContainerVersionV1 ? 2 : 3)) {
+    fail("rcm: unknown transform");
+  }
   cm.config.index_transform = static_cast<Transform>(it_raw);
   cm.config.value_transform = static_cast<Transform>(vt_raw);
   cm.config.snappy = get_pod<std::uint8_t>(in) != 0;
   cm.config.huffman = get_pod<std::uint8_t>(in) != 0;
+  if (version >= kContainerVersion) {
+    const auto sel_raw = get_pod<std::uint8_t>(in);
+    if (sel_raw > 2) fail("rcm: unknown codec selection mode");
+    cm.config.selection = static_cast<CodecSelection>(sel_raw);
+  }
   cm.config.huffman_sample_fraction = get_pod<double>(in);
   cm.config.sample_seed = get_pod<std::uint64_t>(in);
 
@@ -205,10 +216,18 @@ CompressedMatrix read_compressed(std::istream& in) {
       sparse::make_blocking(std::span<const sparse::offset_t>(cm.row_ptr),
                             cm.config.nnz_per_block);
   cm.blocks.resize(block_count);
-  for (auto& b : cm.blocks) {
-    b.index_data = get_blob(in);
-    b.value_data = get_blob(in);
+  cm.block_codecs.assign(block_count, codec_id_for(cm.config));
+  for (std::size_t b = 0; b < block_count; ++b) {
+    if (version >= kContainerVersion) {
+      cm.block_codecs[b] = get_pod<std::uint8_t>(in);
+    }
+    cm.blocks[b].index_data = get_blob(in);
+    cm.blocks[b].value_data = get_blob(in);
   }
+  // Validate every per-block id through the registry gate before handing
+  // the matrix to a decode engine: unknown ids and huffman-stage ids in a
+  // tableless container fail here with the engines' exact messages.
+  for (std::size_t b = 0; b < block_count; ++b) block_codec_checked(cm, b);
   for (const auto& b : cm.blocks) {
     cm.index_stages.after_huffman += b.index_data.size();
     cm.value_stages.after_huffman += b.value_data.size();

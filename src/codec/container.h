@@ -6,15 +6,28 @@
 // run time — the deployment model the paper assumes (matrices are
 // compressed ahead of time; only decompression is on the critical path).
 //
-// Layout (little-endian):
-//   magic "RCM1" | u32 version
+// Layout v2 (little-endian) — written by write_compressed:
+//   magic "RCM1" | u32 version (= 2)
 //   i32 rows | i32 cols | u64 nnz_per_block
 //   u8 index_transform | u8 value_transform | u8 snappy | u8 huffman
+//   u8 selection                      (CodecSelection; new in v2)
 //   f64 huffman_sample_fraction | u64 sample_seed
 //   varint row count, then varint deltas of row_ptr
 //   [if huffman] 128 B index table | 128 B value table
 //   varint block count, then per block:
+//     u8 codec_id                     (registry packed id; new in v2)
 //     varint index bytes | data | varint value bytes | data
+//
+// v1 (version = 1) lacks the selection byte and the per-block codec-id
+// byte: every block implicitly uses the config's single pipeline.
+// read_compressed still accepts v1 and synthesizes the uniform
+// block_codecs vector, so pre-registry .rcm files keep loading bitwise
+// (the golden-fixture regression test pins this).
+//
+// Per-block codec ids are validated on read through the registry gate
+// (codec/registry.h): reserved bits, out-of-range fields, or a
+// huffman-stage id in a container without tables throw recode::Error
+// with the same messages the decode engines use.
 #pragma once
 
 #include <iosfwd>
@@ -24,7 +37,8 @@
 
 namespace recode::codec {
 
-inline constexpr std::uint32_t kContainerVersion = 1;
+inline constexpr std::uint32_t kContainerVersionV1 = 1;
+inline constexpr std::uint32_t kContainerVersion = 2;
 
 void write_compressed(std::ostream& out, const CompressedMatrix& cm);
 void write_compressed_file(const std::string& path,

@@ -247,4 +247,23 @@ std::size_t varint_delta_decode(ByteSpan input, std::uint8_t* dst,
   return out;
 }
 
+std::size_t byte_untranspose(ByteSpan input, std::uint8_t* dst) {
+  const std::size_t n = input.size() / 8;
+  const std::uint8_t* p = input.data();
+  // Gather each record's 8 plane bytes into one word, store with a single
+  // 8-byte write. Plane j's byte sits at bit 8*j, so the little-endian
+  // store lands it at record offset j.
+  for (std::size_t r = 0; r < n; ++r) {
+    std::uint64_t w = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      w |= static_cast<std::uint64_t>(p[j * n + r]) << (8 * j);
+    }
+    std::memcpy(dst + r * 8, &w, 8);
+  }
+  if (const std::size_t tail = input.size() - n * 8; tail != 0) {
+    std::memcpy(dst + n * 8, p + n * 8, tail);
+  }
+  return input.size();
+}
+
 }  // namespace recode::codec::fast

@@ -69,4 +69,10 @@ std::size_t delta_decode(ByteSpan input, std::uint8_t* dst);
 std::size_t varint_delta_decode(ByteSpan input, std::uint8_t* dst,
                                 std::size_t dst_cap);
 
+// Inverse of codec::byte_transpose: gathers the 8 plane bytes of each
+// 8-byte record with word-wise stores (output size == input size; dst
+// needs input.size() + kArenaSlop bytes). Returns the output size. A pure
+// permutation — no error cases, matching the reference byte_untranspose.
+std::size_t byte_untranspose(ByteSpan input, std::uint8_t* dst);
+
 }  // namespace recode::codec::fast

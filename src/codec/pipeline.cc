@@ -6,11 +6,14 @@
 #include "codec/arena.h"
 #include "codec/delta.h"
 #include "codec/fast_decode.h"
+#include "codec/registry.h"
+#include "codec/selector.h"
 #include "codec/snappy.h"
 #include "codec/varint_delta.h"
 #include "common/error.h"
 #include "common/prng.h"
 #include "common/varint.h"
+#include "sparse/stats.h"
 #include "telemetry/telemetry.h"
 
 namespace recode::codec {
@@ -85,6 +88,16 @@ const char* transform_name(Transform t) {
     case Transform::kNone: return "none";
     case Transform::kDelta32: return "delta32";
     case Transform::kVarintDelta: return "varint-delta";
+    case Transform::kByteTranspose: return "byte-transpose";
+  }
+  return "?";
+}
+
+const char* codec_selection_name(CodecSelection s) {
+  switch (s) {
+    case CodecSelection::kSingle: return "single";
+    case CodecSelection::kHeuristic: return "heuristic";
+    case CodecSelection::kExhaustive: return "exhaustive";
   }
   return "?";
 }
@@ -94,6 +107,7 @@ Bytes apply_transform(Transform t, ByteSpan raw) {
     case Transform::kNone: return Bytes(raw.begin(), raw.end());
     case Transform::kDelta32: return DeltaCodec().encode(raw);
     case Transform::kVarintDelta: return VarintDeltaCodec().encode(raw);
+    case Transform::kByteTranspose: return byte_transpose(raw);
   }
   fail("unknown transform");
 }
@@ -103,6 +117,7 @@ Bytes invert_transform(Transform t, ByteSpan encoded) {
     case Transform::kNone: return Bytes(encoded.begin(), encoded.end());
     case Transform::kDelta32: return DeltaCodec().decode(encoded);
     case Transform::kVarintDelta: return VarintDeltaCodec().decode(encoded);
+    case Transform::kByteTranspose: return byte_untranspose(encoded);
   }
   fail("unknown transform");
 }
@@ -129,9 +144,23 @@ PipelineConfig PipelineConfig::udp_vsh() {
   return cfg;
 }
 
+PipelineConfig PipelineConfig::udp_adaptive() {
+  PipelineConfig cfg;
+  cfg.selection = CodecSelection::kExhaustive;
+  return cfg;
+}
+
+CodecId CompressedMatrix::block_codec_id(std::size_t b) const {
+  return block_codecs.empty() ? codec_id_for(config) : block_codecs[b];
+}
+
 std::size_t CompressedMatrix::stream_bytes() const {
   std::size_t total = 0;
   for (const auto& b : blocks) total += b.bytes();
+  // One codec-id byte per block is streamed alongside the block data in
+  // container v2 — count it so the adaptive-vs-single comparison pays
+  // for its own dispatch metadata.
+  total += blocks.size();
   if (index_table) total += 128;
   if (value_table) total += 128;
   return total;
@@ -216,27 +245,115 @@ CompressedMatrix compress(const sparse::Csr& csr, const PipelineConfig& cfg) {
     }
   }
 
-  // Pass 2: Huffman with the trained tables.
+  // Pass 2: train the per-matrix tables on the sampled baseline mid
+  // streams, then finish each block — uniformly (kSingle, the v1
+  // behavior, bit-for-bit) or through per-block codec selection.
   cm.blocks.resize(nblocks);
   if (cfg.huffman) {
     cm.index_table =
         std::make_shared<const HuffmanTable>(HuffmanTable::build(index_hist));
     cm.value_table =
         std::make_shared<const HuffmanTable>(HuffmanTable::build(value_hist));
-    const HuffmanCodec index_hc(cm.index_table);
-    const HuffmanCodec value_hc(cm.value_table);
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      cm.blocks[b].index_data = index_hc.encode(index_mid[b]);
-      cm.blocks[b].value_data = value_hc.encode(value_mid[b]);
-      index_mid[b].clear();
-      value_mid[b].clear();
-    }
-  } else {
-    for (std::size_t b = 0; b < nblocks; ++b) {
-      cm.blocks[b].index_data = std::move(index_mid[b]);
-      cm.blocks[b].value_data = std::move(value_mid[b]);
-    }
   }
+  const CodecId base_id = codec_id_for(cfg);
+  cm.block_codecs.assign(nblocks, base_id);
+
+  if (cfg.selection == CodecSelection::kSingle) {
+    if (cfg.huffman) {
+      const HuffmanCodec index_hc(cm.index_table);
+      const HuffmanCodec value_hc(cm.value_table);
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        cm.blocks[b].index_data = index_hc.encode(index_mid[b]);
+        cm.blocks[b].value_data = value_hc.encode(value_mid[b]);
+        index_mid[b].clear();
+        value_mid[b].clear();
+      }
+    } else {
+      for (std::size_t b = 0; b < nblocks; ++b) {
+        cm.blocks[b].index_data = std::move(index_mid[b]);
+        cm.blocks[b].value_data = std::move(value_mid[b]);
+      }
+    }
+    cm.selection_stats.baseline_bytes = cm.selection_stats.adaptive_bytes =
+        cm.index_stages.after_huffman + cm.value_stages.after_huffman;
+  } else {
+    // Per-block selection. The baseline candidate is finished from the
+    // pass-1 mid streams (bitwise what kSingle stores), so exhaustive
+    // trial-encode can never lose to the single pipeline: the winner is
+    // at most the baseline's size for every block.
+    auto& reg = telemetry::MetricsRegistry::global();
+    const std::vector<CodecId> candidates = candidate_codecs(cfg);
+    const HuffmanTable* itab = cm.index_table.get();
+    const HuffmanTable* vtab = cm.value_table.get();
+    cm.index_stages.after_snappy = 0;
+    cm.value_stages.after_snappy = 0;
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      const auto& range = cm.blocking.blocks[b];
+      const auto idx_span = sparse::block_indices(csr, range);
+      const auto val_span = sparse::block_values(csr, range);
+
+      std::size_t chosen_mid[2] = {index_mid[b].size(), value_mid[b].size()};
+      CompressedBlock chosen_block;
+      if (cfg.huffman) {
+        const HuffmanCodec index_hc(cm.index_table);
+        const HuffmanCodec value_hc(cm.value_table);
+        chosen_block.index_data = index_hc.encode(index_mid[b]);
+        chosen_block.value_data = value_hc.encode(value_mid[b]);
+      } else {
+        chosen_block.index_data = std::move(index_mid[b]);
+        chosen_block.value_data = std::move(value_mid[b]);
+      }
+      const std::size_t baseline_bytes = chosen_block.bytes();
+      CodecId chosen = base_id;
+
+      if (cfg.selection == CodecSelection::kHeuristic) {
+        const CodecId picked = select_block_codec(
+            sparse::compute_block_stats(idx_span, val_span), cfg);
+        if (picked != chosen) {
+          std::size_t mid[2];
+          chosen_block = encode_block(idx_span, val_span,
+                                      codec_from_id(picked), itab, vtab, mid);
+          chosen = picked;
+          chosen_mid[0] = mid[0];
+          chosen_mid[1] = mid[1];
+        }
+      } else {  // kExhaustive: smallest total bytes, ties keep the baseline
+        for (const CodecId cand : candidates) {
+          if (cand == base_id) continue;
+          std::size_t mid[2];
+          CompressedBlock trial = encode_block(
+              idx_span, val_span, codec_from_id(cand), itab, vtab, mid);
+          if (trial.bytes() < chosen_block.bytes()) {
+            chosen_block = std::move(trial);
+            chosen = cand;
+            chosen_mid[0] = mid[0];
+            chosen_mid[1] = mid[1];
+          }
+        }
+      }
+
+      cm.selection_stats.baseline_bytes += baseline_bytes;
+      cm.selection_stats.adaptive_bytes += chosen_block.bytes();
+      if (chosen != base_id) ++cm.selection_stats.switched_blocks;
+      reg.counter("codec.select.id." + codec_name(chosen) + ".blocks").add(1);
+      cm.index_stages.after_snappy += chosen_mid[0];
+      cm.value_stages.after_snappy += chosen_mid[1];
+      cm.blocks[b] = std::move(chosen_block);
+      cm.block_codecs[b] = chosen;
+    }
+    reg.counter("codec.select.blocks").add(nblocks);
+    reg.counter("codec.select.switched_blocks")
+        .add(cm.selection_stats.switched_blocks);
+    reg.counter("codec.select.bytes_baseline")
+        .add(cm.selection_stats.baseline_bytes);
+    reg.counter("codec.select.bytes_adaptive")
+        .add(cm.selection_stats.adaptive_bytes);
+    reg.counter("codec.select.bytes_saved")
+        .add(cm.selection_stats.baseline_bytes -
+             std::min(cm.selection_stats.baseline_bytes,
+                      cm.selection_stats.adaptive_bytes));
+  }
+
   for (const auto& b : cm.blocks) {
     cm.index_stages.after_huffman += b.index_data.size();
     cm.value_stages.after_huffman += b.value_data.size();
@@ -263,7 +380,7 @@ struct ArenaStream {
 // Every slab is sized only after the reference decoders' own
 // untrusted-length checks, so a corrupt stream fails with the reference
 // error before it can demand an attacker-chosen allocation.
-ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
+ArenaStream decode_stream_arena(bool huffman, bool snappy, ByteSpan data,
                                 Transform transform,
                                 const HuffmanTable* table,
                                 std::size_t expect_bytes, DecodeArena& scratch,
@@ -273,7 +390,7 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
   const std::uint8_t* cur = data.data();
   std::size_t cur_size = data.size();
 
-  if (cfg.huffman) {
+  if (huffman) {
     telem.decode_huffman.bytes_in.add(cur_size);
     RECODE_TRACE_SPAN("codec", "huffman_decode");
     telemetry::StageTimer t(telem.decode_huffman.ns);
@@ -282,7 +399,7 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
     if (n > (static_cast<std::uint64_t>(cur_size) - pos) * 8) {
       fail("huffman: declared count exceeds stream capacity");
     }
-    std::uint8_t* dst = (cfg.snappy || transform_on)
+    std::uint8_t* dst = (snappy || transform_on)
                             ? scratch.slab(DecodeArena::kScratchA,
                                            static_cast<std::size_t>(n))
                             : out.slab(out_slot, static_cast<std::size_t>(n));
@@ -301,7 +418,7 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
     telem.decode_huffman.bytes_out.add(cur_size);
   }
 
-  if (cfg.snappy) {
+  if (snappy) {
     telem.decode_snappy.bytes_in.add(cur_size);
     RECODE_TRACE_SPAN("codec", "snappy_decode");
     telemetry::StageTimer t(telem.decode_snappy.ns);
@@ -312,8 +429,8 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
     }
     std::uint8_t* dst =
         transform_on
-            ? scratch.slab(cfg.huffman ? DecodeArena::kScratchB
-                                       : DecodeArena::kScratchA,
+            ? scratch.slab(huffman ? DecodeArena::kScratchB
+                                   : DecodeArena::kScratchA,
                            static_cast<std::size_t>(n))
             : out.slab(out_slot, static_cast<std::size_t>(n));
     if constexpr (fast::kEnabled) {
@@ -337,7 +454,7 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
       // Earlier stages already landed in the out slab. With no stage at
       // all, copy the raw stream in so the caller always reads (aligned)
       // arena memory.
-      if (!cfg.huffman && !cfg.snappy) {
+      if (!huffman && !snappy) {
         std::uint8_t* dst = out.slab(out_slot, cur_size);
         std::memcpy(dst, cur, cur_size);
         cur = dst;
@@ -374,6 +491,20 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
       cur = dst;
       break;
     }
+    case Transform::kByteTranspose: {
+      std::uint8_t* dst = out.slab(out_slot, cur_size);
+      if constexpr (fast::kEnabled) {
+        cur_size = fast::byte_untranspose({cur, cur_size}, dst);
+        telem.decode_transform.fast_streams.add(1);
+      } else {
+        const Bytes decoded = byte_untranspose({cur, cur_size});
+        std::memcpy(dst, decoded.data(), decoded.size());
+        cur_size = decoded.size();
+        telem.decode_transform.ref_streams.add(1);
+      }
+      cur = dst;
+      break;
+    }
   }
   telem.decode_transform.bytes_out.add(cur_size);
   return ArenaStream{cur, cur_size};
@@ -384,7 +515,7 @@ ArenaStream decode_stream_arena(const PipelineConfig& cfg, ByteSpan data,
 DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
                                    DecodeArena& scratch, DecodeArena& out) {
   RECODE_CHECK(b < cm.blocks.size());
-  const auto& cfg = cm.config;
+  const BlockCodec bc = block_codec_checked(cm, b);
   const auto& block = cm.blocks[b];
   CodecTelemetry& telem = CodecTelemetry::get();
   telem.decode_blocks.add(1);
@@ -392,12 +523,13 @@ DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
 
   const std::size_t count = cm.blocking.blocks[b].count;
   const ArenaStream idx = decode_stream_arena(
-      cfg, block.index_data, cfg.index_transform, cm.index_table.get(),
-      count * sizeof(sparse::index_t), scratch, out, DecodeArena::kIndexOut,
-      telem);
+      bc.huffman, bc.snappy, block.index_data, bc.index_transform,
+      cm.index_table.get(), count * sizeof(sparse::index_t), scratch, out,
+      DecodeArena::kIndexOut, telem);
   const ArenaStream val = decode_stream_arena(
-      cfg, block.value_data, cfg.value_transform, cm.value_table.get(),
-      count * sizeof(double), scratch, out, DecodeArena::kValueOut, telem);
+      bc.huffman, bc.snappy, block.value_data, bc.value_transform,
+      cm.value_table.get(), count * sizeof(double), scratch, out,
+      DecodeArena::kValueOut, telem);
   if (idx.size != count * sizeof(sparse::index_t)) {
     fail("decompress_block: index stream size mismatch");
   }
@@ -423,7 +555,7 @@ void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
                                 std::vector<sparse::index_t>& indices,
                                 std::vector<double>& values) {
   RECODE_CHECK(b < cm.blocks.size());
-  const auto& cfg = cm.config;
+  const BlockCodec bc = block_codec_checked(cm, b);
   const auto& block = cm.blocks[b];
   CodecTelemetry& telem = CodecTelemetry::get();
   telem.decode_blocks.add(1);
@@ -432,7 +564,7 @@ void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
   auto decode_stream = [&](ByteSpan data, Transform transform,
                            const std::shared_ptr<const HuffmanTable>& table) {
     Bytes buf(data.begin(), data.end());
-    if (cfg.huffman) {
+    if (bc.huffman) {
       telem.decode_huffman.bytes_in.add(buf.size());
       RECODE_TRACE_SPAN("codec", "huffman_decode");
       telemetry::StageTimer t(telem.decode_huffman.ns);
@@ -441,7 +573,7 @@ void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
       telem.decode_huffman.bytes_out.add(buf.size());
       telem.decode_huffman.ref_streams.add(1);
     }
-    if (cfg.snappy) {
+    if (bc.snappy) {
       telem.decode_snappy.bytes_in.add(buf.size());
       RECODE_TRACE_SPAN("codec", "snappy_decode");
       telemetry::StageTimer t(telem.decode_snappy.ns);
@@ -462,9 +594,9 @@ void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
   };
 
   const Bytes idx_bytes =
-      decode_stream(block.index_data, cfg.index_transform, cm.index_table);
+      decode_stream(block.index_data, bc.index_transform, cm.index_table);
   const Bytes val_bytes =
-      decode_stream(block.value_data, cfg.value_transform, cm.value_table);
+      decode_stream(block.value_data, bc.value_transform, cm.value_table);
 
   const std::size_t count = cm.blocking.blocks[b].count;
   if (idx_bytes.size() != count * sizeof(sparse::index_t)) {

@@ -24,17 +24,35 @@ namespace recode::codec {
 // Per-stream pre-transform applied before Snappy/Huffman.
 enum class Transform : std::uint8_t {
   kNone,
-  kDelta32,       // fixed-width zigzag first differences (the paper's Delta)
-  kVarintDelta,   // LEB128 zigzag deltas (§VII custom-encoding direction)
+  kDelta32,        // fixed-width zigzag first differences (the paper's Delta)
+  kVarintDelta,    // LEB128 zigzag deltas (§VII custom-encoding direction)
+  kByteTranspose,  // plane-major regrouping of 8-byte records (value streams)
 };
 
 const char* transform_name(Transform t);
+
+// Stable one-byte block codec identifier (packed field code, see
+// codec/registry.h). Recorded per block in container v2 and dispatched
+// on by every decode engine.
+using CodecId = std::uint8_t;
+
+// How the encoder picks each block's codec.
+enum class CodecSelection : std::uint8_t {
+  kSingle,      // every block uses the config's pipeline (the v1 behavior)
+  kHeuristic,   // per-block pick from sparse/stats.h block statistics
+  kExhaustive,  // per-block trial-encode of candidate_codecs(), min bytes
+};
+
+const char* codec_selection_name(CodecSelection s);
 
 struct PipelineConfig {
   Transform index_transform = Transform::kDelta32;  // on the col_idx stream
   Transform value_transform = Transform::kNone;     // (ablation only)
   bool snappy = true;
   bool huffman = true;
+  // Per-block adaptive codec selection (codec/registry.h). kSingle keeps
+  // the paper's one-pipeline-per-matrix behavior bit-for-bit.
+  CodecSelection selection = CodecSelection::kSingle;
   std::size_t nnz_per_block = sparse::kDefaultNnzPerBlock;  // 1024 => 8 KB value blocks
   double huffman_sample_fraction = 0.4;  // fraction of blocks used to train
   std::uint64_t sample_seed = 1;
@@ -45,6 +63,9 @@ struct PipelineConfig {
   static PipelineConfig cpu_snappy();   // Snappy only, 32 KB blocks (CPU baseline)
   // §VII custom encoding: varint-delta indices + Snappy + Huffman.
   static PipelineConfig udp_vsh();
+  // Per-block adaptive trial-encode on top of the DSH stages — the
+  // configuration that moves the fig10/fig11 frontier.
+  static PipelineConfig udp_adaptive();
 };
 
 struct CompressedBlock {
@@ -61,6 +82,14 @@ struct StageSizes {
   std::size_t after_huffman = 0;  // == after_snappy when huffman disabled
 };
 
+// Encoder selection accounting: what the adaptive pass saved over the
+// single-pipeline baseline (same stages, same tables) on this matrix.
+struct SelectionStats {
+  std::size_t baseline_bytes = 0;  // sum of per-block baseline-codec bytes
+  std::size_t adaptive_bytes = 0;  // sum of per-block winning-codec bytes
+  std::size_t switched_blocks = 0; // blocks whose winner != baseline codec
+};
+
 // A fully compressed matrix plus everything needed to decompress it.
 struct CompressedMatrix {
   sparse::index_t rows = 0;
@@ -71,16 +100,25 @@ struct CompressedMatrix {
   std::shared_ptr<const HuffmanTable> index_table;  // null if !huffman
   std::shared_ptr<const HuffmanTable> value_table;
   std::vector<CompressedBlock> blocks;
+  // One CodecId per block (codec/registry.h). Empty means uniform: every
+  // block uses the config's pipeline (hand-built matrices, pre-registry
+  // callers); compress() and read_compressed() always populate it.
+  std::vector<CodecId> block_codecs;
   StageSizes index_stages;
   StageSizes value_stages;
+  SelectionStats selection_stats;
 
   std::size_t nnz() const {
     return row_ptr.empty() ? 0 : static_cast<std::size_t>(row_ptr.back());
   }
 
-  // Bytes streamed from memory per SpMV pass: compressed blocks plus the
-  // (tiny) Huffman tables. Excludes row_ptr, matching the 12 B/nnz
-  // baseline convention.
+  // Block b's codec id: the recorded per-block id, or the uniform id the
+  // config implies when block_codecs is empty.
+  CodecId block_codec_id(std::size_t b) const;
+
+  // Bytes streamed from memory per SpMV pass: compressed blocks, their
+  // per-block codec-id bytes, plus the (tiny) Huffman tables. Excludes
+  // row_ptr, matching the 12 B/nnz baseline convention.
   std::size_t stream_bytes() const;
 
   // The paper's headline metric.

@@ -1,5 +1,7 @@
 #include "codec/selector.h"
 
+#include "codec/registry.h"
+
 namespace recode::codec {
 
 PipelineConfig select_pipeline(const sparse::MatrixStats& stats) {
@@ -21,6 +23,30 @@ PipelineConfig select_pipeline(const sparse::MatrixStats& stats) {
 
 PipelineConfig select_pipeline(const sparse::Csr& csr) {
   return select_pipeline(sparse::compute_stats(csr));
+}
+
+CodecId select_block_codec(const sparse::BlockStats& stats,
+                           const PipelineConfig& cfg) {
+  BlockCodec c{cfg.index_transform, cfg.value_transform, cfg.snappy,
+               cfg.huffman};
+  // Index stream: when ~all successive deltas zigzag into one LEB128
+  // byte, varint-delta stores the block in ~a quarter of the fixed-width
+  // words; otherwise the fixed-width delta stays the safe default
+  // (varint can expand scattered indices to 5 bytes per delta).
+  if (stats.count >= 2 && stats.fraction_small_gaps >= 0.9) {
+    c.index_transform = Transform::kVarintDelta;
+  } else {
+    c.index_transform = Transform::kDelta32;
+  }
+  // Value stream: plane-major regrouping pays when the block shares a
+  // handful of sign/exponent patterns (real-valued data of one scale) —
+  // the top-byte planes become long runs. Constant blocks are already
+  // Snappy's best case; transposing would only break the 8-byte repeats.
+  if (!stats.constant_values && stats.count >= 64 &&
+      stats.distinct_exponents * 8 <= stats.count) {
+    c.value_transform = Transform::kByteTranspose;
+  }
+  return codec_id(c);
 }
 
 }  // namespace recode::codec

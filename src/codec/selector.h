@@ -21,4 +21,14 @@ PipelineConfig select_pipeline(const sparse::MatrixStats& stats);
 // Convenience: compute stats and select in one step.
 PipelineConfig select_pipeline(const sparse::Csr& csr);
 
+// Per-block codec pick for CodecSelection::kHeuristic — one O(block)
+// statistics pass instead of trial-encoding every candidate. Dense runs
+// (deltas fitting one varint byte) take varint-delta indices, scattered
+// blocks keep fixed-width delta; shared-exponent value blocks take the
+// byte-transposition, constant-value blocks stay on the config's value
+// transform (they are already Snappy's best case). Entropy stages always
+// follow the config so the block stays decodable with the matrix tables.
+CodecId select_block_codec(const sparse::BlockStats& stats,
+                           const PipelineConfig& cfg);
+
 }  // namespace recode::codec

@@ -1,7 +1,9 @@
 #include "sparse/stats.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstring>
 
 namespace recode::sparse {
 
@@ -83,6 +85,50 @@ MatrixStats compute_stats(const Csr& csr) {
     s.shape = MatrixStats::Shape::kBlocky;
   } else {
     s.shape = MatrixStats::Shape::kUnstructured;
+  }
+  return s;
+}
+
+BlockStats compute_block_stats(std::span<const index_t> indices,
+                               std::span<const double> values) {
+  BlockStats s;
+  s.count = indices.size();
+
+  std::size_t gaps = 0, unit = 0, small = 0;
+  double abs_sum = 0.0;
+  for (std::size_t i = 1; i < indices.size(); ++i) {
+    const auto d = static_cast<std::int64_t>(indices[i]) -
+                   static_cast<std::int64_t>(indices[i - 1]);
+    ++gaps;
+    abs_sum += static_cast<double>(d < 0 ? -d : d);
+    if (d == 1) ++unit;
+    const auto zz = static_cast<std::uint64_t>((d << 1) ^ (d >> 63));
+    if (zz < 128) ++small;
+  }
+  if (gaps > 0) {
+    s.mean_abs_gap = abs_sum / static_cast<double>(gaps);
+    s.fraction_unit_gaps =
+        static_cast<double>(unit) / static_cast<double>(gaps);
+    s.fraction_small_gaps =
+        static_cast<double>(small) / static_cast<double>(gaps);
+  }
+
+  if (!values.empty()) {
+    std::uint64_t first = 0;
+    std::memcpy(&first, &values[0], sizeof(first));
+    bool constant = true;
+    std::array<bool, 4096> seen{};  // 12-bit sign+exponent space
+    for (const double v : values) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &v, sizeof(bits));
+      constant = constant && bits == first;
+      auto& slot = seen[static_cast<std::size_t>(bits >> 52)];
+      if (!slot) {
+        slot = true;
+        ++s.distinct_exponents;
+      }
+    }
+    s.constant_values = constant;
   }
   return s;
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "sparse/formats.h"
@@ -43,5 +44,25 @@ struct MatrixStats {
 MatrixStats compute_stats(const Csr& csr);
 
 const char* shape_name(MatrixStats::Shape shape);
+
+// Per-block structural statistics, the input to the per-block codec
+// selector (codec/registry.h). Computed from one block's flat col_idx /
+// val slices, so deltas at row boundaries appear as (possibly negative)
+// jumps — exactly what the block's delta encoder will see.
+struct BlockStats {
+  std::size_t count = 0;  // nnz in the block
+
+  // Successive col-index deltas (signed, across row boundaries).
+  double mean_abs_gap = 0.0;
+  double fraction_unit_gaps = 0.0;   // delta == 1 (dense runs)
+  double fraction_small_gaps = 0.0;  // zigzag(delta) fits one varint byte
+
+  // Value-stream structure.
+  bool constant_values = false;       // all values bitwise identical
+  std::size_t distinct_exponents = 0; // distinct sign+exponent (top 12 bits)
+};
+
+BlockStats compute_block_stats(std::span<const index_t> indices,
+                               std::span<const double> values);
 
 }  // namespace recode::sparse

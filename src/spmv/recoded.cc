@@ -123,7 +123,9 @@ void RecodedSpmv::multiply_batch(std::span<const double> x,
     }
     check_block_indices(indices, cm_->cols);
     ++blocks_decoded_;
-    compressed_bytes_streamed_ += cm_->blocks[b].bytes();
+    // +1: the block's codec-id dispatch byte travels with its streams
+    // (container v2), matching CompressedMatrix::stream_bytes().
+    compressed_bytes_streamed_ += cm_->blocks[b].bytes() + 1;
 
     if (k == 1) {
       accumulate_block(range, cm_->row_ptr, indices, values, x, y);

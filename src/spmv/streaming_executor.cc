@@ -401,7 +401,7 @@ void StreamingExecutor::execute_task_fused(WorkerState& ws, std::size_t task,
       ws.decode_busy += timer.seconds();
     }
     ++ws.blocks;
-    ws.bytes += cm_->blocks[b].bytes();
+    ws.bytes += cm_->blocks[b].bytes() + 1;  // +1: codec-id dispatch byte
     if (pending) {
       CachedBlock cb;
       cb.block = b;
@@ -549,7 +549,7 @@ void StreamingExecutor::decode_worker(std::size_t worker) {
           check_block_indices(buf.indices, cm_->cols);
           ws.decode_busy += timer.seconds();
           ++ws.blocks;
-          ws.bytes += cm_->blocks[b].bytes();
+          ws.bytes += cm_->blocks[b].bytes() + 1;  // +1: codec-id byte
           if (pending) {
             CachedBlock cb;
             cb.block = b;

@@ -2,23 +2,35 @@
 
 #include <cstring>
 
+#include "codec/registry.h"
 #include "common/error.h"
 #include "udpprog/delta_prog.h"
 #include "udpprog/varint_delta_prog.h"
 #include "udpprog/huffman_prog.h"
 #include "udpprog/snappy_prog.h"
+#include "udpprog/transpose_prog.h"
 
 namespace recode::udpprog {
 
 UdpPipelineDecoder::UdpPipelineDecoder(const codec::CompressedMatrix& cm,
                                        udp::LaneConfig lane_config)
     : cm_(&cm) {
-  const auto& cfg = cm.config;
-  const bool uses_delta = cfg.index_transform == codec::Transform::kDelta32 ||
-                          cfg.value_transform == codec::Transform::kDelta32;
-  const bool uses_varint =
-      cfg.index_transform == codec::Transform::kVarintDelta ||
-      cfg.value_transform == codec::Transform::kVarintDelta;
+  // The lane loads one program per stage actually present in the
+  // matrix's per-block codecs. Validating every id up front routes
+  // hostile containers through the same registry gate (and the same
+  // recode::Error messages) as the host decode engines.
+  bool uses_delta = false, uses_varint = false, uses_transpose = false;
+  bool uses_snappy = false, uses_huffman = false;
+  for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    const codec::BlockCodec bc = codec::block_codec_checked(cm, b);
+    for (const codec::Transform t : {bc.index_transform, bc.value_transform}) {
+      uses_delta |= t == codec::Transform::kDelta32;
+      uses_varint |= t == codec::Transform::kVarintDelta;
+      uses_transpose |= t == codec::Transform::kByteTranspose;
+    }
+    uses_snappy |= bc.snappy;
+    uses_huffman |= bc.huffman;
+  }
   if (uses_delta) {
     delta_program_ = build_delta_decode_program();
     delta_layout_ = std::make_unique<udp::Layout>(delta_program_);
@@ -27,15 +39,16 @@ UdpPipelineDecoder::UdpPipelineDecoder(const codec::CompressedMatrix& cm,
     varint_delta_program_ = build_varint_delta_decode_program();
     varint_delta_layout_ = std::make_unique<udp::Layout>(varint_delta_program_);
   }
-  if (cfg.snappy) {
+  if (uses_transpose) {
+    transpose_program_ = build_transpose_decode_program();
+    transpose_layout_ = std::make_unique<udp::Layout>(transpose_program_);
+  }
+  if (uses_snappy) {
     snappy_program_ = build_snappy_decode_program();
     snappy_layout_ = std::make_unique<udp::Layout>(snappy_program_);
   }
-  if (cfg.huffman) {
-    // A tampered container can claim Huffman with the tables missing;
-    // that is bad input, not a programming error.
-    RECODE_PARSE_CHECK(cm.index_table && cm.value_table,
-                       "udp decoder: huffman config without tables");
+  if (uses_huffman) {
+    // block_codec_checked already proved the tables exist.
     index_huffman_program_ = build_huffman_decode_program(*cm.index_table);
     index_huffman_layout_ =
         std::make_unique<udp::Layout>(index_huffman_program_);
@@ -82,13 +95,12 @@ codec::ByteSpan UdpPipelineDecoder::run_stage(const udp::Layout& layout,
 }
 
 codec::ByteSpan UdpPipelineDecoder::decode_stream(
-    codec::ByteSpan data, codec::Transform transform,
-    const udp::Layout* huffman_layout, std::size_t expect_bytes,
-    std::size_t out_slot, StageCycles& cycles) {
-  const bool snappy_on = cm_->config.snappy;
+    codec::ByteSpan data, bool huffman_on, bool snappy_on,
+    codec::Transform transform, const udp::Layout* huffman_layout,
+    std::size_t expect_bytes, std::size_t out_slot, StageCycles& cycles) {
   const bool transform_on = transform != codec::Transform::kNone;
   codec::ByteSpan buf = data;
-  if (cm_->config.huffman) {
+  if (huffman_on) {
     RECODE_CHECK(huffman_layout != nullptr);
     buf = run_stage(*huffman_layout, buf, 0, cycles.huffman,
                     (snappy_on || transform_on) ? codec::DecodeArena::kScratchA
@@ -96,7 +108,7 @@ codec::ByteSpan UdpPipelineDecoder::decode_stream(
   }
   if (snappy_on) {
     buf = run_stage(*snappy_layout_, buf, 0, cycles.snappy,
-                    transform_on ? (cm_->config.huffman
+                    transform_on ? (huffman_on
                                         ? codec::DecodeArena::kScratchB
                                         : codec::DecodeArena::kScratchA)
                                  : out_slot);
@@ -109,6 +121,10 @@ codec::ByteSpan UdpPipelineDecoder::decode_stream(
     // The word count comes from the blocking plan, not the byte stream.
     buf = run_stage(*varint_delta_layout_, buf, expect_bytes / 4,
                     cycles.delta, out_slot);
+  } else if (transform == codec::Transform::kByteTranspose) {
+    if (buf.size() % 8 != 0) fail("udp stage: transpose input misaligned");
+    buf = run_stage(*transpose_layout_, buf, buf.size() / 8, cycles.delta,
+                    out_slot);
   }
   if (buf.size() != expect_bytes) {
     fail("udp stage: decoded size mismatch (got " +
@@ -120,16 +136,17 @@ codec::ByteSpan UdpPipelineDecoder::decode_stream(
 
 BlockResult UdpPipelineDecoder::decode_block(std::size_t b) {
   RECODE_CHECK(b < cm_->blocks.size());
+  const codec::BlockCodec bc = codec::block_codec_checked(*cm_, b);
   const auto& block = cm_->blocks[b];
   const std::size_t count = cm_->blocking.blocks[b].count;
 
   BlockResult result;
   const codec::ByteSpan idx_bytes = decode_stream(
-      block.index_data, cm_->config.index_transform,
+      block.index_data, bc.huffman, bc.snappy, bc.index_transform,
       index_huffman_layout_.get(), count * sizeof(sparse::index_t),
       codec::DecodeArena::kIndexOut, result.index_cycles);
   const codec::ByteSpan val_bytes = decode_stream(
-      block.value_data, cm_->config.value_transform,
+      block.value_data, bc.huffman, bc.snappy, bc.value_transform,
       value_huffman_layout_.get(), count * sizeof(double),
       codec::DecodeArena::kValueOut, result.value_cycles);
 
@@ -144,8 +161,8 @@ double UdpPipelineDecoder::min_layout_density() const {
   double density = 1.0;
   for (const udp::Layout* l :
        {delta_layout_.get(), varint_delta_layout_.get(),
-        snappy_layout_.get(), index_huffman_layout_.get(),
-        value_huffman_layout_.get()}) {
+        transpose_layout_.get(), snappy_layout_.get(),
+        index_huffman_layout_.get(), value_huffman_layout_.get()}) {
     if (l != nullptr) density = std::min(density, l->density());
   }
   return density;
@@ -155,8 +172,8 @@ std::size_t UdpPipelineDecoder::total_table_slots() const {
   std::size_t slots = 0;
   for (const udp::Layout* l :
        {delta_layout_.get(), varint_delta_layout_.get(),
-        snappy_layout_.get(), index_huffman_layout_.get(),
-        value_huffman_layout_.get()}) {
+        transpose_layout_.get(), snappy_layout_.get(),
+        index_huffman_layout_.get(), value_huffman_layout_.get()}) {
     if (l != nullptr) slots += l->table_size();
   }
   return slots;

@@ -69,8 +69,10 @@ class UdpPipelineDecoder {
   // Stage intermediates ping-pong between the arena's scratch slabs; the
   // last stage lands in out_slot. Zero heap allocations once the arena is
   // warm (the lane's own scratchpad aside — that models UDP hardware).
-  codec::ByteSpan decode_stream(codec::ByteSpan data,
-                                codec::Transform transform,
+  // The stage flags come from the block's codec (codec/registry.h), so
+  // mixed-id streams dispatch per block like the host engines.
+  codec::ByteSpan decode_stream(codec::ByteSpan data, bool huffman_on,
+                                bool snappy_on, codec::Transform transform,
                                 const udp::Layout* huffman_layout,
                                 std::size_t expect_bytes, std::size_t out_slot,
                                 StageCycles& cycles);
@@ -79,11 +81,13 @@ class UdpPipelineDecoder {
   codec::DecodeArena arena_;
   udp::Program delta_program_;
   udp::Program varint_delta_program_;
+  udp::Program transpose_program_;
   udp::Program snappy_program_;
   udp::Program index_huffman_program_;
   udp::Program value_huffman_program_;
   std::unique_ptr<udp::Layout> delta_layout_;
   std::unique_ptr<udp::Layout> varint_delta_layout_;
+  std::unique_ptr<udp::Layout> transpose_layout_;
   std::unique_ptr<udp::Layout> snappy_layout_;
   std::unique_ptr<udp::Layout> index_huffman_layout_;
   std::unique_ptr<udp::Layout> value_huffman_layout_;

@@ -1,0 +1,91 @@
+#include "udpprog/transpose_prog.h"
+
+#include "udpprog/delta_prog.h"
+
+namespace recode::udpprog {
+
+using namespace udp;         // NOLINT: program builders read better unqualified
+using udp::Operand;
+
+udp::Program build_transpose_decode_program() {
+  Program p;
+
+  // Registers: R1 count, R2 plane counter, R3 inner counter, R4 byte,
+  // R5 out, R6 plane's first output address, R7 saved base, R8 cursor.
+  constexpr int kR1 = kDeltaCountReg;
+  constexpr int kR2 = 2;
+  constexpr int kR3 = 3;
+  constexpr int kR4 = 4;
+  constexpr int kR5 = kDeltaOutReg;
+  constexpr int kR6 = 6;
+  constexpr int kR7 = 7;
+  constexpr int kR8 = 8;
+
+  DispatchSpec direct;
+  direct.kind = DispatchKind::kDirect;
+  const StateId init = p.add_state("init", direct);
+  const StateId fin = p.add_state("fin", direct);
+
+  DispatchSpec outer_spec;
+  outer_spec.kind = DispatchKind::kRegisterBool;
+  outer_spec.reg = kR2;
+  const StateId outer = p.add_state("outer", outer_spec);
+
+  DispatchSpec inner_spec;
+  inner_spec.kind = DispatchKind::kRegisterBool;
+  inner_spec.reg = kR3;
+  const StateId inner = p.add_state("inner", inner_spec);
+
+  DispatchSpec halt_spec;
+  halt_spec.kind = DispatchKind::kHalt;
+  const StateId halt = p.add_state("halt", halt_spec);
+
+  // init: save the base, arm the 8-plane outer loop.
+  p.add_arc(init, 0,
+            {
+                act::move(kR7, kR5),
+                act::set_imm(kR2, 8),
+                act::move(kR6, kR5),
+            },
+            outer);
+
+  // outer: planes exhausted -> fin; else rewind the cursor to this
+  // plane's first record byte and run the inner scatter.
+  p.add_arc(outer, 0, {}, fin);
+  p.add_arc(outer, 1,
+            {
+                act::move(kR3, kR1),
+                act::move(kR8, kR6),
+            },
+            inner);
+
+  // inner: scatter one plane byte per iteration with a stride-8 store.
+  p.add_arc(inner, 0,
+            {
+                act::add(kR6, kR6, Operand::immediate(1)),
+                act::sub(kR2, kR2, Operand::immediate(1)),
+            },
+            outer);
+  p.add_arc(inner, 1,
+            {
+                act::stream_read_le(kR4, 1),
+                act::store_le(kR4, kR8, 0, 1),
+                act::add(kR8, kR8, Operand::immediate(8)),
+                act::sub(kR3, kR3, Operand::immediate(1)),
+            },
+            inner);
+
+  // fin: report the output length (8 * count past the base).
+  p.add_arc(fin, 0,
+            {
+                act::shl(kR4, kR1, Operand::immediate(3)),
+                act::add(kR5, kR7, Operand::r(kR4)),
+            },
+            halt);
+
+  p.set_entry(init);
+  p.validate();
+  return p;
+}
+
+}  // namespace recode::udpprog

@@ -1,0 +1,24 @@
+// Inverse byte-transposition (codec::byte_untranspose) as a UDP program.
+//
+// The encoder's byte-transpose stores a value block plane-major: all
+// byte-0s of the 8-byte records, then all byte-1s, ... The inverse reads
+// the stream sequentially — plane after plane, exactly the streaming
+// access the UDP wants — and scatters each byte to record-major order in
+// the scratchpad: plane j's r-th byte lands at out_base + r*8 + j.
+//
+// Register convention (shared with the delta programs):
+//   R1 (in)  record count n (input must be exactly 8*n bytes)
+//   R5 (in)  scratchpad output base; (out) one past the last byte written
+//
+// Structure: two nested loops. `outer` counts the 8 planes, `inner`
+// scatters one plane's n bytes with a stride-8 store; both are
+// register-bool dispatches, so the lane never executes a comparison.
+#pragma once
+
+#include "udp/program.h"
+
+namespace recode::udpprog {
+
+udp::Program build_transpose_decode_program();
+
+}  // namespace recode::udpprog

@@ -1,6 +1,12 @@
 #include "codec/selector.h"
 
+#include "codec/registry.h"
+
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "sparse/generators.h"
 
@@ -52,6 +58,84 @@ TEST(Selector, StatsOverloadMatchesCsrOverload) {
   const auto a = select_pipeline(csr);
   const auto b = select_pipeline(sparse::compute_stats(csr));
   EXPECT_EQ(a.index_transform, b.index_transform);
+}
+
+// ---- Per-block selector (codec/registry.h) on constructed extremes ----
+
+std::vector<sparse::index_t> iota_indices(std::size_t n) {
+  std::vector<sparse::index_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<sparse::index_t>(i);
+  return idx;
+}
+
+TEST(BlockSelector, DenseRunsPickVarintDeltaIndices) {
+  // Unit gaps throughout: every zigzag delta is one varint byte.
+  const auto idx = iota_indices(256);
+  std::vector<double> val(256);
+  for (std::size_t i = 0; i < val.size(); ++i) {
+    val[i] = 1.0 + static_cast<double>(i % 7) * 0.001;  // shared exponent
+  }
+  const auto stats = sparse::compute_block_stats(idx, val);
+  EXPECT_DOUBLE_EQ(1.0, stats.fraction_unit_gaps);
+  const BlockCodec bc = codec_from_id(
+      select_block_codec(stats, PipelineConfig::udp_dsh()));
+  EXPECT_EQ(Transform::kVarintDelta, bc.index_transform);
+}
+
+TEST(BlockSelector, ScatteredIndicesKeepFixedWidthDelta) {
+  std::vector<sparse::index_t> idx(256);
+  std::uint32_t x = 12345;
+  for (auto& v : idx) {  // large pseudo-random jumps, far beyond one byte
+    x = x * 1664525u + 1013904223u;
+    v = static_cast<sparse::index_t>(x % 1000000);
+  }
+  std::vector<double> val(idx.size(), 0.0);
+  std::uint64_t m = 1;
+  for (auto& v : val) {  // wide magnitude spread: many distinct exponents
+    m = m * 6364136223846793005ull + 1442695040888963407ull;
+    v = std::ldexp(1.0 + static_cast<double>(m % 1000) / 1000.0,
+                   static_cast<int>(m % 600) - 300);
+    if (m % 2 == 0) v = -v;
+  }
+  const auto stats = sparse::compute_block_stats(idx, val);
+  const BlockCodec bc = codec_from_id(
+      select_block_codec(stats, PipelineConfig::udp_dsh()));
+  EXPECT_EQ(Transform::kDelta32, bc.index_transform);
+  EXPECT_EQ(Transform::kNone, bc.value_transform);
+}
+
+TEST(BlockSelector, ConstantValuesKeepIdentityValueTransform) {
+  const auto idx = iota_indices(256);
+  const std::vector<double> val(256, 2.5);
+  const auto stats = sparse::compute_block_stats(idx, val);
+  EXPECT_TRUE(stats.constant_values);
+  const BlockCodec bc = codec_from_id(
+      select_block_codec(stats, PipelineConfig::udp_dsh()));
+  EXPECT_EQ(Transform::kNone, bc.value_transform);
+}
+
+TEST(BlockSelector, SharedExponentValuesPickByteTransposition) {
+  const auto idx = iota_indices(256);
+  std::vector<double> val(256);
+  for (std::size_t i = 0; i < val.size(); ++i) {
+    val[i] = 1.0 + static_cast<double>(i) / 1024.0;  // all in [1, 2)
+  }
+  const auto stats = sparse::compute_block_stats(idx, val);
+  EXPECT_FALSE(stats.constant_values);
+  EXPECT_EQ(1u, stats.distinct_exponents);
+  const BlockCodec bc = codec_from_id(
+      select_block_codec(stats, PipelineConfig::udp_dsh()));
+  EXPECT_EQ(Transform::kByteTranspose, bc.value_transform);
+}
+
+TEST(BlockSelector, EntropyStagesAlwaysFollowTheConfig) {
+  const auto idx = iota_indices(128);
+  const std::vector<double> val(128, 1.0);
+  const auto stats = sparse::compute_block_stats(idx, val);
+  const BlockCodec ds = codec_from_id(
+      select_block_codec(stats, PipelineConfig::udp_ds()));
+  EXPECT_TRUE(ds.snappy);
+  EXPECT_FALSE(ds.huffman);  // no tables exist without cfg.huffman
 }
 
 }  // namespace

@@ -82,6 +82,41 @@ TEST(Stats, ShapeNamesResolve) {
   EXPECT_STREQ(shape_name(MatrixStats::Shape::kUnstructured), "unstructured");
 }
 
+TEST(BlockStats, GapAndValueStructure) {
+  // Mixed gaps: 0->1->2 (unit), 2->100 (multi-byte), 100->90 (negative).
+  const std::vector<index_t> idx = {0, 1, 2, 100, 90};
+  const std::vector<double> val = {1.0, 1.5, 1.25, 1.75, 1.125};
+  const BlockStats s = compute_block_stats(idx, val);
+  EXPECT_EQ(5u, s.count);
+  EXPECT_DOUBLE_EQ(0.5, s.fraction_unit_gaps);    // 2 of 4 deltas
+  EXPECT_DOUBLE_EQ(0.75, s.fraction_small_gaps);  // 98 and -10 zigzag > 1B? no:
+  // deltas {1, 1, 98, -10}: zigzag {2, 2, 196, 19} -> 3 of 4 fit one byte.
+  EXPECT_DOUBLE_EQ((1.0 + 1.0 + 98.0 + 10.0) / 4.0, s.mean_abs_gap);
+  EXPECT_FALSE(s.constant_values);
+  EXPECT_EQ(1u, s.distinct_exponents);  // all values in [1, 2)
+}
+
+TEST(BlockStats, ConstantAndEmptyBlocks) {
+  const std::vector<index_t> idx = {7, 7, 7};
+  const std::vector<double> val = {3.0, 3.0, 3.0};
+  const BlockStats s = compute_block_stats(idx, val);
+  EXPECT_TRUE(s.constant_values);
+  EXPECT_DOUBLE_EQ(0.0, s.mean_abs_gap);
+  EXPECT_DOUBLE_EQ(1.0, s.fraction_small_gaps);
+  const BlockStats empty = compute_block_stats({}, {});
+  EXPECT_EQ(0u, empty.count);
+  EXPECT_FALSE(empty.constant_values);
+  EXPECT_EQ(0u, empty.distinct_exponents);
+}
+
+TEST(BlockStats, DistinctExponentsCountsSignAndExponentPlanes) {
+  // 1.5 and -1.5 share an exponent but differ in sign: two patterns.
+  const std::vector<index_t> idx = {0, 1};
+  const BlockStats s =
+      compute_block_stats(idx, std::vector<double>{1.5, -1.5});
+  EXPECT_EQ(2u, s.distinct_exponents);
+}
+
 TEST(Stats, EmptyMatrix) {
   Coo coo;
   coo.rows = coo.cols = 5;

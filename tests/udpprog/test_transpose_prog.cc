@@ -1,0 +1,83 @@
+#include "udpprog/transpose_prog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codec/registry.h"
+#include "common/prng.h"
+#include "udpprog/delta_prog.h"
+#include "udp/lane.h"
+
+namespace recode::udpprog {
+namespace {
+
+codec::Bytes run_udp_untranspose(const codec::Bytes& encoded) {
+  const udp::Program program = build_transpose_decode_program();
+  const udp::Layout layout(program);
+  udp::Lane lane(layout);
+  const std::pair<int, std::uint64_t> init[] = {
+      {kDeltaCountReg, encoded.size() / 8},
+      {kDeltaOutReg, 0},
+  };
+  lane.run(encoded, init);
+  const auto out_len = lane.reg(kDeltaOutReg);
+  const auto scratch = lane.scratch();
+  return codec::Bytes(scratch.begin(),
+                      scratch.begin() + static_cast<std::ptrdiff_t>(out_len));
+}
+
+TEST(TransposeProg, MatchesReferenceUntranspose) {
+  codec::Bytes raw(8 * 37);
+  recode::Prng prng(7);
+  for (auto& b : raw) b = static_cast<std::uint8_t>(prng.next_below(256));
+  const codec::Bytes t = codec::byte_transpose(raw);
+  EXPECT_EQ(run_udp_untranspose(t), raw);
+}
+
+TEST(TransposeProg, EmptyInput) {
+  EXPECT_TRUE(run_udp_untranspose({}).empty());
+}
+
+class TransposeProgFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransposeProgFuzz, MatchesReferenceOnRandomRecords) {
+  recode::Prng prng(GetParam());
+  codec::Bytes raw(8 * (1 + prng.next_below(600)));
+  for (auto& b : raw) b = static_cast<std::uint8_t>(prng.next_below(256));
+  const codec::Bytes t = codec::byte_transpose(raw);
+  EXPECT_EQ(codec::byte_untranspose(t), raw);  // reference self-check
+  EXPECT_EQ(run_udp_untranspose(t), raw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransposeProgFuzz,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(TransposeProg, CycleCostIsLinearInBytes) {
+  const udp::Program program = build_transpose_decode_program();
+  const udp::Layout layout(program);
+  auto cycles_for = [&](std::size_t records) {
+    codec::Bytes input(records * 8, 0xAB);
+    udp::Lane lane(layout);
+    const std::pair<int, std::uint64_t> init[] = {
+        {kDeltaCountReg, records}, {kDeltaOutReg, 0}};
+    return lane.run(input, init).cycles;
+  };
+  const auto c100 = cycles_for(100);
+  const auto c200 = cycles_for(200);
+  const double per_byte_100 = static_cast<double>(c100) / (100.0 * 8);
+  const double per_byte_200 = static_cast<double>(c200) / (200.0 * 8);
+  EXPECT_NEAR(per_byte_100, per_byte_200, 0.5);
+  // A byte costs a handful of cycles (fetch + stride store + count).
+  EXPECT_LT(per_byte_200, 12.0);
+  EXPECT_GE(per_byte_200, 3.0);
+}
+
+TEST(TransposeProg, LayoutIsDense) {
+  const udp::Program program = build_transpose_decode_program();
+  const udp::Layout layout(program);
+  EXPECT_GT(layout.density(), 0.9);
+}
+
+}  // namespace
+}  // namespace recode::udpprog
