@@ -9,6 +9,7 @@
 #include <cctype>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/prng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "sparse/suite.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
@@ -90,17 +92,21 @@ inline double scale_from_cli(Cli& cli, double default_scale = 0.25) {
       "representative-matrix size scale in (0,1]; 1.0 = published dims");
 }
 
-// Machine-readable bench output: registers --json=<path> and
-// --trace=<path> on the Cli (construct before cli.done()), starts the
-// tracer when a trace was requested, collects named results during the
-// run, and on write() emits:
+// Machine-readable bench output: registers --json=<path>, --trace=<path>
+// and --report=<path> on the Cli (construct before cli.done()), starts
+// the tracer when a trace was requested, collects named results during
+// the run, and on write() emits:
 //
-//   --trace: Chrome trace_event JSON (chrome://tracing / Perfetto),
-//   --json:  {"schema":"recode-bench-v1","experiment":...,
-//             "results":{...},"metrics":<MetricsRegistry snapshot>}.
+//   --trace:  Chrome trace_event JSON (chrome://tracing / Perfetto),
+//   --json:   {"schema":"recode-bench-v1","experiment":...,
+//              "results":{...},"run":<recode-run-v1>,"metrics":...},
+//   --report: the recode-run-v1 movement-ledger report alone.
 //
-// Both default off, so table output and exit codes are unchanged when
-// the flags are absent.
+// The run report covers the window bracketed by run_begin()/run_end()
+// (benches place it around the measured decode+kernel work, excluding
+// compression and any decode-without-kernel projections, so the byte
+// conservation check binds). All flags default off, so table output and
+// exit codes are unchanged when they are absent.
 class BenchReport {
  public:
   BenchReport(Cli& cli, std::string experiment)
@@ -109,7 +115,10 @@ class BenchReport {
             "json", "", "write a recode-bench-v1 results+metrics JSON here")),
         trace_path_(cli.get_string(
             "trace", "",
-            "write a Chrome trace_event JSON here (Perfetto-loadable)")) {
+            "write a Chrome trace_event JSON here (Perfetto-loadable)")),
+        report_path_(cli.get_string(
+            "report", "",
+            "write the recode-run-v1 movement-ledger report JSON here")) {
     if (!trace_path_.empty()) telemetry::Tracer::global().start();
   }
 
@@ -122,15 +131,62 @@ class BenchReport {
     results_.push_back({key, 0.0, v, false});
   }
 
+  // Brackets the measured region the movement-ledger run report covers.
+  // run_begin() names the run ("fig14", engine "software"/"udp-sim"/"");
+  // run_end() freezes the window. Nestable calls are not supported — the
+  // last complete window wins.
+  void run_begin(const std::string& label, const std::string& engine = "") {
+    run_label_ = label;
+    run_engine_ = engine;
+    run_start_ = telemetry::MovementLedger::global().snapshot();
+    run_timer_.reset();
+    run_open_ = true;
+  }
+
+  void run_end() {
+    if (!run_open_) return;
+    run_open_ = false;
+    report_ = telemetry::make_run_report(
+        run_label_, run_start_,
+        telemetry::MovementLedger::global().snapshot(), run_timer_.seconds());
+    report_.engine = run_engine_;
+    report_.host_cores =
+        static_cast<int>(std::thread::hardware_concurrency());
+    have_report_ = true;
+  }
+
+  bool have_run_report() const { return have_report_; }
+  const telemetry::RunReport& run_report() const { return report_; }
+
+  // The run window's byte-conservation verdict: true when no window was
+  // captured or telemetry is off (nothing to check), so callers can fold
+  // it into their exit code unconditionally.
+  bool run_conservation_ok() const {
+    return !have_report_ || report_.conservation_check();
+  }
+
   // Writes whichever outputs were requested. Call once, after the last
   // measured work; stops the tracer so the trace ends at the bench's end.
   void write() {
+    if (run_open_) run_end();  // forgive a missing run_end()
     if (!trace_path_.empty()) {
       auto& tracer = telemetry::Tracer::global();
       tracer.stop();
       tracer.write_chrome_trace(trace_path_);
       std::fprintf(stderr, "[recode] wrote Chrome trace (%zu events) to %s\n",
                    tracer.event_count(), trace_path_.c_str());
+    }
+    if (have_report_ && !report_path_.empty()) {
+      telemetry::write_run_report_file(report_path_, report_);
+      std::fprintf(stderr, "[recode] wrote run report to %s\n",
+                   report_path_.c_str());
+    }
+    if (have_report_ && telemetry::kEnabled) {
+      std::string why;
+      if (!report_.conservation_check(&why)) {
+        std::fprintf(stderr, "[recode] ledger conservation FAILED: %s\n",
+                     why.c_str());
+      }
     }
     if (json_path_.empty()) return;
     telemetry::JsonWriter w;
@@ -148,6 +204,10 @@ class BenchReport {
       }
     }
     w.end_object();
+    if (have_report_) {
+      w.key("run");
+      w.raw(report_.to_json_string());
+    }
     w.key("metrics");
     w.raw(telemetry::MetricsRegistry::global().snapshot().to_json());
     w.end_object();
@@ -176,7 +236,15 @@ class BenchReport {
   std::string experiment_;
   std::string json_path_;
   std::string trace_path_;
+  std::string report_path_;
   std::vector<Result> results_;
+  std::string run_label_;
+  std::string run_engine_;
+  telemetry::LedgerSnapshot run_start_;
+  Timer run_timer_;
+  bool run_open_ = false;
+  bool have_report_ = false;
+  telemetry::RunReport report_;
 };
 
 }  // namespace recode::bench

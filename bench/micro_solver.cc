@@ -81,6 +81,13 @@ int run(int argc, char** argv) {
   report.add_result("compressed_bytes_per_nnz", cm.bytes_per_nnz());
 
   const auto b = random_vector(n, 7);
+  report.add_result(
+      "host_cores",
+      static_cast<double>(std::thread::hardware_concurrency()));
+
+  // Movement-ledger window over every solve (all decode work below feeds
+  // a kernel, so the flow graph conserves across the whole sweep).
+  report.run_begin("micro_solver", engine_name);
 
   struct BudgetPoint {
     const char* name;
@@ -177,13 +184,19 @@ int run(int argc, char** argv) {
     report.add_result("power_eigenvalue", pi.eigenvalue);
   }
 
+  report.run_end();
+  const bool conservation_ok = report.run_conservation_ok();
+  report.add_result("conservation_ok", conservation_ok ? 1.0 : 0.0);
+  if (telemetry::kEnabled) {
+    std::printf("%s", report.run_report().render_table().c_str());
+  }
   report.write();
   print_expected(
       "warm applications approach the decode-free multiply (Fig 12's CSR "
       "row) as the budget covers the matrix; CG wall time drops "
       "accordingly while the answer stays bitwise-identical — the Figs "
       "16/17 memory-power tradeoff exercised as a runtime knob.");
-  return 0;
+  return conservation_ok ? 0 : 1;
 }
 
 }  // namespace

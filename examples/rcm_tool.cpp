@@ -4,21 +4,28 @@
 // back to Matrix Market.
 //
 //   rcm_tool --mode=compress   --mtx in.mtx --out m.rcm [--pipeline dsh|ds|snappy|vsh|adaptive|auto]
-//   rcm_tool --mode=info       --rcm m.rcm
+//   rcm_tool --mode=info       --rcm m.rcm [--report[=r.json]]
 //   rcm_tool --mode=verify     --rcm m.rcm [--udp]
 //   rcm_tool --mode=decompress --rcm m.rcm --out out.mtx
 //
 // With no --mtx, compress generates a demo FEM-like matrix first.
+// info --report runs one decode pass through the movement ledger and
+// prints the byte-flow table (recode-run-v1 JSON too when given a path).
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "codec/container.h"
+#include "codec/pipeline.h"
 #include "codec/registry.h"
 #include "codec/selector.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "sparse/generators.h"
 #include "sparse/matrix_market.h"
 #include "sparse/stats.h"
+#include "telemetry/telemetry.h"
 #include "udpprog/matrix_decoder.h"
 
 using namespace recode;
@@ -61,7 +68,7 @@ int mode_compress(const std::string& mtx, const std::string& out,
   return 0;
 }
 
-int mode_info(const std::string& rcm) {
+int mode_info(const std::string& rcm, const std::string& report) {
   const auto cm = codec::read_compressed_file(rcm);
   Table t({"field", "value"});
   t.add_row({"rows", std::to_string(cm.rows)});
@@ -86,6 +93,32 @@ int mode_info(const std::string& rcm) {
   t.add_row({"stream bytes", std::to_string(cm.stream_bytes())});
   t.add_row({"bytes/nnz", Table::num(cm.bytes_per_nnz(), 3)});
   t.print();
+
+  if (!report.empty()) {
+    // One full decode pass inside a ledger window. No kernel runs, so
+    // the conservation check stops at the transform hop (a decode-only
+    // run is a legal flow graph).
+    const auto begin = telemetry::MovementLedger::global().snapshot();
+    Timer timer;
+    std::vector<sparse::index_t> indices;
+    std::vector<double> values;
+    for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+      codec::decompress_block(cm, b, indices, values);
+    }
+    auto run = telemetry::make_run_report(
+        "rcm_tool info " + rcm, begin,
+        telemetry::MovementLedger::global().snapshot(), timer.seconds());
+    run.engine = "software";
+    run.host_cores = static_cast<int>(std::thread::hardware_concurrency());
+    std::printf("%s", run.render_table().c_str());
+    // A bare --report parses as the value "true": print only. Anything
+    // else is a path for the recode-run-v1 JSON.
+    if (report != "true") {
+      telemetry::write_run_report_file(report, run);
+      std::printf("wrote run report to %s\n", report.c_str());
+    }
+    if (!run.conservation_check()) return 1;
+  }
   return 0;
 }
 
@@ -131,11 +164,15 @@ int main(int argc, char** argv) {
       "pipeline", "dsh", "dsh | ds | snappy | vsh | adaptive | auto (compress)");
   const bool udp =
       cli.get_bool("udp", false, "also verify on the UDP simulator");
+  const std::string report = cli.get_string(
+      "report", "",
+      "info: decode once and print the movement-ledger table; give a "
+      "path to also write the recode-run-v1 JSON");
   cli.done();
 
   try {
     if (mode == "compress") return mode_compress(mtx, out, pipeline);
-    if (mode == "info") return mode_info(rcm);
+    if (mode == "info") return mode_info(rcm, report);
     if (mode == "verify") return mode_verify(rcm, udp);
     if (mode == "decompress") return mode_decompress(rcm, out);
     fail("unknown --mode: " + mode);

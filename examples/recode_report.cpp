@@ -1,0 +1,175 @@
+// recode_report — render and diff recode-run-v1 movement-ledger reports.
+//
+//   recode_report --in=run.json                 # render one report
+//   recode_report --in=a.json --diff=b.json     # diff two reports
+//
+// Accepts either a bare recode-run-v1 file (rcm_tool info --report=...,
+// any bench's --report=...) or a recode-bench-v1 file with an embedded
+// "run" block (--json output). Rendering reproduces the byte-flow table
+// the producing tool printed; diffing puts the two runs' hops side by
+// side with byte and bandwidth deltas — the intended workflow for
+// before/after comparisons of a codec or executor change.
+//
+// Exit codes: 0 ok, 1 conservation failure in any input, 2 usage/parse.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/minijson.h"
+#include "common/table.h"
+
+using namespace recode;
+namespace mj = recode::minijson;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("recode_report: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Extracts the recode-run-v1 object from `path` (bare, or embedded as
+// "run" in a recode-bench-v1 document).
+mj::Value load_run(const std::string& path) {
+  bool ok = false;
+  mj::Value v = mj::parse(read_file(path), ok);
+  if (!ok || !v.is_object()) fail("recode_report: " + path + " is not JSON");
+  if (v.has("schema") && v.at("schema").str() == "recode-run-v1") return v;
+  if (v.has("run")) return v.at("run");
+  fail("recode_report: " + path + " has no recode-run-v1 report");
+}
+
+const char* kHops[] = {"container", "huffman", "snappy",
+                       "transform", "cache",   "kernel"};
+
+double hop_num(const mj::Value& run, const std::string& hop,
+               const std::string& field) {
+  const mj::Value& h = run.at("hops").at(hop);
+  if (!h.has(field) || !h.at(field).is_number()) return std::nan("");
+  return h.at(field).num();
+}
+
+std::string fmt_bytes(double b) {
+  char buf[32];
+  if (b >= 100.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / 1e6);
+  } else if (b >= 100.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", b);
+  }
+  return buf;
+}
+
+std::string describe(const mj::Value& run) {
+  std::string out = run.has("label") ? run.at("label").str() : "(unlabeled)";
+  if (run.has("engine")) out += " (" + run.at("engine").str() + ")";
+  if (run.has("wall_seconds")) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), ", %.1f ms wall",
+                  run.at("wall_seconds").num() * 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+bool conservation_ok(const mj::Value& run) {
+  return run.has("conservation_ok") && run.at("conservation_ok").boolean();
+}
+
+int render(const mj::Value& run) {
+  std::printf("movement ledger: %s\n", describe(run).c_str());
+  Table t({"hop", "bytes in", "bytes out", "ops", "wall GB/s", "busy GB/s"});
+  for (const char* hop : kHops) {
+    const double busy = hop_num(run, hop, "busy_gbps");
+    t.add_row({hop, fmt_bytes(hop_num(run, hop, "bytes_in")),
+               fmt_bytes(hop_num(run, hop, "bytes_out")),
+               Table::num(hop_num(run, hop, "ops"), 0),
+               Table::num(hop_num(run, hop, "wall_gbps"), 2),
+               std::isnan(busy) ? "-" : Table::num(busy, 2)});
+  }
+  t.print();
+  const bool ok = conservation_ok(run);
+  std::printf("conservation: %s\n", ok ? "OK" : "FAIL");
+  if (run.has("roofline")) {
+    const auto& r = run.at("roofline").object();
+    Table rt({"roofline metric", "value"});
+    for (const auto& [k, v] : r) {
+      rt.add_row({k, v.is_number() ? Table::num(v.num(), 4) : "-"});
+    }
+    rt.print();
+  }
+  return ok ? 0 : 1;
+}
+
+int diff(const mj::Value& a, const mj::Value& b) {
+  std::printf("A: %s\nB: %s\n", describe(a).c_str(), describe(b).c_str());
+  Table t({"hop", "A bytes out", "B bytes out", "bytes delta", "A wall GB/s",
+           "B wall GB/s", "bw delta"});
+  for (const char* hop : kHops) {
+    const double ab = hop_num(a, hop, "bytes_out");
+    const double bb = hop_num(b, hop, "bytes_out");
+    const double ag = hop_num(a, hop, "wall_gbps");
+    const double bg = hop_num(b, hop, "wall_gbps");
+    const auto pct = [](double from, double to) -> std::string {
+      if (!(std::fabs(from) > 0)) return "-";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%+.1f%%", 100.0 * (to - from) / from);
+      return buf;
+    };
+    t.add_row({hop, fmt_bytes(ab), fmt_bytes(bb), pct(ab, bb),
+               Table::num(ag, 2), Table::num(bg, 2), pct(ag, bg)});
+  }
+  t.print();
+  if (a.has("roofline") && b.has("roofline")) {
+    Table rt({"roofline metric", "A", "B"});
+    for (const auto& [k, va] : a.at("roofline").object()) {
+      const auto& rb = b.at("roofline").object();
+      const auto it = rb.find(k);
+      rt.add_row({k, va.is_number() ? Table::num(va.num(), 4) : "-",
+                  it != rb.end() && it->second.is_number()
+                      ? Table::num(it->second.num(), 4)
+                      : "(missing)"});
+    }
+    rt.print();
+  }
+  const bool ok = conservation_ok(a) && conservation_ok(b);
+  std::printf("conservation: A %s, B %s\n",
+              conservation_ok(a) ? "OK" : "FAIL",
+              conservation_ok(b) ? "OK" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+int run_main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string in =
+      cli.get_string("in", "", "recode-run-v1 report (or bench JSON)");
+  const std::string other =
+      cli.get_string("diff", "", "second report to diff against --in");
+  cli.done();
+  if (in.empty()) {
+    std::fprintf(stderr, "recode_report: --in is required\n");
+    return 2;
+  }
+  const mj::Value a = load_run(in);
+  if (other.empty()) return render(a);
+  return diff(a, load_run(other));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "recode_report: error: %s\n", e.what());
+    return 2;
+  }
+}

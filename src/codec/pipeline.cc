@@ -389,11 +389,14 @@ ArenaStream decode_stream_arena(bool huffman, bool snappy, ByteSpan data,
   const bool transform_on = transform != Transform::kNone;
   const std::uint8_t* cur = data.data();
   std::size_t cur_size = data.size();
+  telemetry::MovementLedger& ledger = telemetry::MovementLedger::global();
 
   if (huffman) {
+    const std::size_t stage_in = cur_size;
     telem.decode_huffman.bytes_in.add(cur_size);
     RECODE_TRACE_SPAN("codec", "huffman_decode");
     telemetry::StageTimer t(telem.decode_huffman.ns);
+    telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kHuffman).ns);
     std::size_t pos = 0;
     const std::uint64_t n = varint_read(cur, cur_size, pos);
     if (n > (static_cast<std::uint64_t>(cur_size) - pos) * 8) {
@@ -416,12 +419,17 @@ ArenaStream decode_stream_arena(bool huffman, bool snappy, ByteSpan data,
     cur = dst;
     cur_size = static_cast<std::size_t>(n);
     telem.decode_huffman.bytes_out.add(cur_size);
+    ledger.flow(telemetry::Hop::kHuffman, stage_in, cur_size);
+  } else {
+    ledger.pass_through(telemetry::Hop::kHuffman, cur_size);
   }
 
   if (snappy) {
+    const std::size_t stage_in = cur_size;
     telem.decode_snappy.bytes_in.add(cur_size);
     RECODE_TRACE_SPAN("codec", "snappy_decode");
     telemetry::StageTimer t(telem.decode_snappy.ns);
+    telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kSnappy).ns);
     std::size_t pos = 0;
     const std::uint64_t n = varint_read(cur, cur_size, pos);
     if (n > static_cast<std::uint64_t>(cur_size - pos) * 24 + 8) {
@@ -444,11 +452,16 @@ ArenaStream decode_stream_arena(bool huffman, bool snappy, ByteSpan data,
     cur = dst;
     cur_size = static_cast<std::size_t>(n);
     telem.decode_snappy.bytes_out.add(cur_size);
+    ledger.flow(telemetry::Hop::kSnappy, stage_in, cur_size);
+  } else {
+    ledger.pass_through(telemetry::Hop::kSnappy, cur_size);
   }
 
+  const std::size_t transform_in = cur_size;
   telem.decode_transform.bytes_in.add(cur_size);
   RECODE_TRACE_SPAN("codec", "transform_decode");
   telemetry::StageTimer t(telem.decode_transform.ns);
+  telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kTransform).ns);
   switch (transform) {
     case Transform::kNone: {
       // Earlier stages already landed in the out slab. With no stage at
@@ -507,6 +520,7 @@ ArenaStream decode_stream_arena(bool huffman, bool snappy, ByteSpan data,
     }
   }
   telem.decode_transform.bytes_out.add(cur_size);
+  ledger.flow(telemetry::Hop::kTransform, transform_in, cur_size);
   return ArenaStream{cur, cur_size};
 }
 
@@ -519,6 +533,10 @@ DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
   const auto& block = cm.blocks[b];
   CodecTelemetry& telem = CodecTelemetry::get();
   telem.decode_blocks.add(1);
+  // Container hop: the compressed read includes the per-block codec-id
+  // dispatch byte (container v2); the payload goes on to the codec chain.
+  telemetry::MovementLedger::global().flow(telemetry::Hop::kContainer,
+                                           block.bytes() + 1, block.bytes());
   RECODE_TRACE_SPAN_ARG("codec", "decompress_block", "block", b);
 
   const std::size_t count = cm.blocking.blocks[b].count;
@@ -559,34 +577,48 @@ void decompress_block_reference(const CompressedMatrix& cm, std::size_t b,
   const auto& block = cm.blocks[b];
   CodecTelemetry& telem = CodecTelemetry::get();
   telem.decode_blocks.add(1);
+  telemetry::MovementLedger& ledger = telemetry::MovementLedger::global();
+  ledger.flow(telemetry::Hop::kContainer, block.bytes() + 1, block.bytes());
   RECODE_TRACE_SPAN_ARG("codec", "decompress_block", "block", b);
 
   auto decode_stream = [&](ByteSpan data, Transform transform,
                            const std::shared_ptr<const HuffmanTable>& table) {
     Bytes buf(data.begin(), data.end());
     if (bc.huffman) {
+      const std::size_t stage_in = buf.size();
       telem.decode_huffman.bytes_in.add(buf.size());
       RECODE_TRACE_SPAN("codec", "huffman_decode");
       telemetry::StageTimer t(telem.decode_huffman.ns);
+      telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kHuffman).ns);
       const HuffmanCodec hc(table);
       buf = hc.decode(buf);
       telem.decode_huffman.bytes_out.add(buf.size());
       telem.decode_huffman.ref_streams.add(1);
+      ledger.flow(telemetry::Hop::kHuffman, stage_in, buf.size());
+    } else {
+      ledger.pass_through(telemetry::Hop::kHuffman, buf.size());
     }
     if (bc.snappy) {
+      const std::size_t stage_in = buf.size();
       telem.decode_snappy.bytes_in.add(buf.size());
       RECODE_TRACE_SPAN("codec", "snappy_decode");
       telemetry::StageTimer t(telem.decode_snappy.ns);
+      telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kSnappy).ns);
       const SnappyCodec sc;
       buf = sc.decode(buf);
       telem.decode_snappy.bytes_out.add(buf.size());
       telem.decode_snappy.ref_streams.add(1);
+      ledger.flow(telemetry::Hop::kSnappy, stage_in, buf.size());
+    } else {
+      ledger.pass_through(telemetry::Hop::kSnappy, buf.size());
     }
     telem.decode_transform.bytes_in.add(buf.size());
     RECODE_TRACE_SPAN("codec", "transform_decode");
     telemetry::StageTimer t(telem.decode_transform.ns);
+    telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kTransform).ns);
     Bytes out = invert_transform(transform, buf);
     telem.decode_transform.bytes_out.add(out.size());
+    ledger.flow(telemetry::Hop::kTransform, buf.size(), out.size());
     if (transform != Transform::kNone) {
       telem.decode_transform.ref_streams.add(1);
     }

@@ -1,10 +1,19 @@
 #include "spmv/band_cache.h"
 
+#include "telemetry/telemetry.h"
+
 namespace recode::spmv {
 
 BandCache::BandCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
 
 std::shared_ptr<const CachedBand> BandCache::lookup(std::size_t band) {
+  // Ledger cache hop, fed at the single point every executor mode goes
+  // through: bytes_out = decoded payload served from the cache (the
+  // bytes the codec chain did NOT have to produce again).
+  telemetry::StageTimer ledger_timer(
+      telemetry::MovementLedger::global()
+          .hop(telemetry::Hop::kCache)
+          .ns);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(band);
   if (it == entries_.end()) {
@@ -14,6 +23,8 @@ std::shared_ptr<const CachedBand> BandCache::lookup(std::size_t band) {
   ++hits_;
   it->second.last_epoch = epoch_;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  telemetry::MovementLedger::global().flow(telemetry::Hop::kCache, 0,
+                                           it->second.data->bytes);
   return it->second.data;
 }
 
@@ -64,6 +75,9 @@ bool BandCache::insert(std::size_t band,
   entries_.emplace(band, Entry{std::move(data), lru_.begin(), epoch_});
   bytes_pinned_ += bytes;
   ++inserts_;
+  // bytes_in = decoded payload pinned (a copy of transform-stage output,
+  // so cache.in <= transform.out holds by construction).
+  telemetry::MovementLedger::global().flow(telemetry::Hop::kCache, bytes, 0);
   return true;
 }
 

@@ -3,10 +3,34 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 
 namespace recode::spmv {
 
 namespace {
+
+// Kernel-hop ledger feed, one call per accumulated block (never per nnz).
+// Byte model: the kernel consumes the decoded matrix stream (4 B index +
+// 8 B value per nnz) and writes the block's result rows; vector traffic
+// is the x gathers plus the y read-modify-write, both scaled by the
+// batch width k.
+inline void ledger_kernel_block(const sparse::BlockRange& range, int k) {
+  if constexpr (telemetry::kEnabled) {
+    const auto count = static_cast<std::uint64_t>(range.count);
+    const std::uint64_t rows = static_cast<std::uint64_t>(range.last_row) -
+                               static_cast<std::uint64_t>(range.first_row) + 1;
+    const auto kk = static_cast<std::uint64_t>(k);
+    telemetry::MovementLedger& ledger = telemetry::MovementLedger::global();
+    telemetry::MovementLedger::HopFlow& f =
+        ledger.hop(telemetry::Hop::kKernel);
+    f.bytes_in.add(count * 12);
+    f.bytes_out.add(rows * 8 * kk);
+    f.ops.add(1);
+    ledger.kernel_vector_bytes().add(count * 8 * kk + rows * 16 * kk);
+    ledger.kernel_flops().add(2 * count * kk);
+    ledger.kernel_nnz().add(count);
+  }
+}
 
 // The gather x[col_idx[i]] is the only irregular access in the Fig 7 loop
 // and dominates its stalls on large matrices. Hint the loads a fixed
@@ -38,6 +62,8 @@ void accumulate_block(const sparse::BlockRange& range,
                       std::span<const sparse::index_t> indices,
                       std::span<const double> values,
                       std::span<const double> x, std::span<double> y) {
+  telemetry::StageTimer ledger_timer(
+      telemetry::MovementLedger::global().hop(telemetry::Hop::kKernel).ns);
   // Walk the decoded streams, advancing the row as nnz positions cross
   // row_ptr boundaries (the Fig 7 inner loop, block-tiled).
   sparse::index_t row = range.first_row;
@@ -50,6 +76,7 @@ void accumulate_block(const sparse::BlockRange& range,
     y[static_cast<std::size_t>(row)] +=
         values[i] * x[static_cast<std::size_t>(indices[i])];
   }
+  ledger_kernel_block(range, 1);
 }
 
 void check_block_indices(std::span<const sparse::index_t> indices,
@@ -66,6 +93,8 @@ void accumulate_block_batch(const sparse::BlockRange& range,
                             std::span<const double> values,
                             std::span<const double> x, std::span<double> y,
                             int k) {
+  telemetry::StageTimer ledger_timer(
+      telemetry::MovementLedger::global().hop(telemetry::Hop::kKernel).ns);
   sparse::index_t row = range.first_row;
   for (std::size_t i = 0; i < range.count; ++i) {
     if (i + kPrefetchDistance < range.count) {
@@ -81,6 +110,7 @@ void accumulate_block_batch(const sparse::BlockRange& range,
         &y[static_cast<std::size_t>(row) * static_cast<std::size_t>(k)];
     for (int j = 0; j < k; ++j) yr[j] += v * xr[j];
   }
+  ledger_kernel_block(range, k);
 }
 
 RecodedSpmv::RecodedSpmv(const codec::CompressedMatrix& cm,

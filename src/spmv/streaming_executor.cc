@@ -91,6 +91,25 @@ std::uint64_t to_ns(double seconds) {
   return static_cast<std::uint64_t>(seconds * 1e9);
 }
 
+// Counter tracks alongside the spans: cumulative ledger byte totals
+// sampled once per completed task, so Perfetto renders the slope of each
+// track as the corresponding bandwidth over time (decoded, cache-served,
+// kernel-consumed). One snapshot per *task*, only while tracing.
+void trace_ledger_counters() {
+  if constexpr (telemetry::kEnabled) {
+    telemetry::Tracer& tracer = telemetry::Tracer::global();
+    if (!tracer.enabled()) return;
+    const telemetry::LedgerSnapshot s =
+        telemetry::MovementLedger::global().snapshot();
+    tracer.counter("ledger", "bytes_decoded", "bytes",
+                   s.hop(telemetry::Hop::kTransform).bytes_out);
+    tracer.counter("ledger", "bytes_cache_served", "bytes",
+                   s.hop(telemetry::Hop::kCache).bytes_out);
+    tracer.counter("ledger", "bytes_kernel", "bytes",
+                   s.hop(telemetry::Hop::kKernel).bytes_in);
+  }
+}
+
 }  // namespace
 
 std::vector<RowBand> make_row_bands(const sparse::Blocking& blocking,
@@ -443,6 +462,7 @@ void StreamingExecutor::fused_worker(std::size_t worker) {
       telem.deque_occupancy.observe(
           static_cast<double>(scheduler_->deque_size(worker)));
       execute_task_fused(ws, task, run_->x, run_->y, run_->k);
+      trace_ledger_counters();
       scheduler_->complete();
     }
   } catch (...) {
@@ -573,6 +593,7 @@ void StreamingExecutor::decode_worker(std::size_t worker) {
       }
       if (!pushed) break;  // cancelled
       telem.ready_occupancy.observe(static_cast<double>(depth));
+      trace_ledger_counters();
       scheduler_->complete();
     }
   } catch (...) {
@@ -653,6 +674,7 @@ void StreamingExecutor::accumulate_worker(std::size_t worker) {
         }
         if (!run_->free_qs[slab->owner]->push(slab)) break;  // cancelled
       }
+      trace_ledger_counters();
     }
   } catch (...) {
     ws.error = std::current_exception();

@@ -1,0 +1,338 @@
+#include "telemetry/ledger.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.h"
+#include "common/table.h"
+#include "telemetry/json_writer.h"
+
+namespace recode::telemetry {
+
+namespace {
+
+constexpr Hop kAllHops[kHopCount] = {Hop::kContainer, Hop::kHuffman,
+                                     Hop::kSnappy,    Hop::kTransform,
+                                     Hop::kCache,     Hop::kKernel};
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// The bytes a hop "moved": its output, except for the kernel, which is
+// a sink — what it consumed is the meaningful flow.
+std::uint64_t moved_bytes(const LedgerSnapshot& s, Hop h) {
+  const LedgerSnapshot::Flow& f = s.hop(h);
+  return h == Hop::kKernel ? f.bytes_in : f.bytes_out;
+}
+
+std::string format_bytes(std::uint64_t b) {
+  char buf[32];
+  if (b >= 100ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", static_cast<double>(b) / 1e6);
+  } else if (b >= 100 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", static_cast<double>(b) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace
+
+const char* hop_name(Hop hop) {
+  switch (hop) {
+    case Hop::kContainer: return "container";
+    case Hop::kHuffman: return "huffman";
+    case Hop::kSnappy: return "snappy";
+    case Hop::kTransform: return "transform";
+    case Hop::kCache: return "cache";
+    case Hop::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+LedgerSnapshot LedgerSnapshot::since(const LedgerSnapshot& earlier) const {
+  LedgerSnapshot d;
+  for (int i = 0; i < kHopCount; ++i) {
+    d.hops[i].bytes_in = hops[i].bytes_in - earlier.hops[i].bytes_in;
+    d.hops[i].bytes_out = hops[i].bytes_out - earlier.hops[i].bytes_out;
+    d.hops[i].ns = hops[i].ns - earlier.hops[i].ns;
+    d.hops[i].ops = hops[i].ops - earlier.hops[i].ops;
+  }
+  d.kernel_vector_bytes = kernel_vector_bytes - earlier.kernel_vector_bytes;
+  d.kernel_flops = kernel_flops - earlier.kernel_flops;
+  d.kernel_nnz = kernel_nnz - earlier.kernel_nnz;
+  return d;
+}
+
+MovementLedger::MovementLedger()
+    : hops_{
+          {MetricsRegistry::global().counter("ledger.container.bytes_in"),
+           MetricsRegistry::global().counter("ledger.container.bytes_out"),
+           MetricsRegistry::global().counter("ledger.container.ns"),
+           MetricsRegistry::global().counter("ledger.container.ops")},
+          {MetricsRegistry::global().counter("ledger.huffman.bytes_in"),
+           MetricsRegistry::global().counter("ledger.huffman.bytes_out"),
+           MetricsRegistry::global().counter("ledger.huffman.ns"),
+           MetricsRegistry::global().counter("ledger.huffman.ops")},
+          {MetricsRegistry::global().counter("ledger.snappy.bytes_in"),
+           MetricsRegistry::global().counter("ledger.snappy.bytes_out"),
+           MetricsRegistry::global().counter("ledger.snappy.ns"),
+           MetricsRegistry::global().counter("ledger.snappy.ops")},
+          {MetricsRegistry::global().counter("ledger.transform.bytes_in"),
+           MetricsRegistry::global().counter("ledger.transform.bytes_out"),
+           MetricsRegistry::global().counter("ledger.transform.ns"),
+           MetricsRegistry::global().counter("ledger.transform.ops")},
+          {MetricsRegistry::global().counter("ledger.cache.bytes_in"),
+           MetricsRegistry::global().counter("ledger.cache.bytes_out"),
+           MetricsRegistry::global().counter("ledger.cache.ns"),
+           MetricsRegistry::global().counter("ledger.cache.ops")},
+          {MetricsRegistry::global().counter("ledger.kernel.bytes_in"),
+           MetricsRegistry::global().counter("ledger.kernel.bytes_out"),
+           MetricsRegistry::global().counter("ledger.kernel.ns"),
+           MetricsRegistry::global().counter("ledger.kernel.ops")},
+      },
+      kernel_vector_bytes_(
+          MetricsRegistry::global().counter("ledger.kernel.vector_bytes")),
+      kernel_flops_(MetricsRegistry::global().counter("ledger.kernel.flops")),
+      kernel_nnz_(MetricsRegistry::global().counter("ledger.kernel.nnz")) {}
+
+MovementLedger& MovementLedger::global() {
+  static MovementLedger* ledger = new MovementLedger();  // never dies
+  return *ledger;
+}
+
+LedgerSnapshot MovementLedger::snapshot() const {
+  LedgerSnapshot s;
+  for (int i = 0; i < kHopCount; ++i) {
+    s.hops[i].bytes_in = hops_[i].bytes_in.value();
+    s.hops[i].bytes_out = hops_[i].bytes_out.value();
+    s.hops[i].ns = hops_[i].ns.value();
+    s.hops[i].ops = hops_[i].ops.value();
+  }
+  s.kernel_vector_bytes = kernel_vector_bytes_.value();
+  s.kernel_flops = kernel_flops_.value();
+  s.kernel_nnz = kernel_nnz_.value();
+  return s;
+}
+
+double RunReport::hop_wall_gbps(Hop h) const {
+  if (wall_seconds <= 0.0) return kNaN;
+  return static_cast<double>(moved_bytes(flows, h)) / wall_seconds / 1e9;
+}
+
+double RunReport::hop_busy_gbps(Hop h) const {
+  const std::uint64_t ns = flows.hop(h).ns;
+  if (ns == 0) return kNaN;
+  return static_cast<double>(moved_bytes(flows, h)) /
+         (static_cast<double>(ns) / 1e9) / 1e9;
+}
+
+double RunReport::compressed_bytes_per_nnz() const {
+  if (flows.kernel_nnz == 0) return kNaN;
+  return static_cast<double>(flows.hop(Hop::kContainer).bytes_in) /
+         static_cast<double>(flows.kernel_nnz);
+}
+
+double RunReport::decoded_bytes_per_nnz() const {
+  if (flows.kernel_nnz == 0) return kNaN;
+  return static_cast<double>(flows.hop(Hop::kTransform).bytes_out) /
+         static_cast<double>(flows.kernel_nnz);
+}
+
+double RunReport::kernel_bytes_per_nnz() const {
+  if (flows.kernel_nnz == 0) return kNaN;
+  return static_cast<double>(flows.hop(Hop::kKernel).bytes_in +
+                             flows.kernel_vector_bytes) /
+         static_cast<double>(flows.kernel_nnz);
+}
+
+double RunReport::arithmetic_intensity() const {
+  const std::uint64_t bytes =
+      flows.hop(Hop::kKernel).bytes_in + flows.kernel_vector_bytes;
+  if (bytes == 0) return kNaN;
+  return static_cast<double>(flows.kernel_flops) / static_cast<double>(bytes);
+}
+
+double RunReport::cache_served_fraction() const {
+  const std::uint64_t consumed = flows.hop(Hop::kKernel).bytes_in;
+  if (consumed == 0) return kNaN;
+  return static_cast<double>(flows.hop(Hop::kCache).bytes_out) /
+         static_cast<double>(consumed);
+}
+
+double RunReport::decode_served_fraction() const {
+  const std::uint64_t consumed = flows.hop(Hop::kKernel).bytes_in;
+  if (consumed == 0) return kNaN;
+  return static_cast<double>(flows.hop(Hop::kTransform).bytes_out) /
+         static_cast<double>(consumed);
+}
+
+double RunReport::storage_bytes_per_kernel_byte() const {
+  const std::uint64_t consumed = flows.hop(Hop::kKernel).bytes_in;
+  if (consumed == 0) return kNaN;
+  return static_cast<double>(flows.hop(Hop::kContainer).bytes_in) /
+         static_cast<double>(consumed);
+}
+
+bool RunReport::conservation_check(std::string* why) const {
+  const auto fail_edge = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  const auto eq = [&](std::uint64_t a, std::uint64_t b,
+                      const char* edge) {
+    if (a == b) return true;
+    if (why != nullptr) {
+      *why = std::string(edge) + ": " + std::to_string(a) +
+             " != " + std::to_string(b);
+    }
+    return false;
+  };
+  const LedgerSnapshot& f = flows;
+  if (!eq(f.hop(Hop::kContainer).bytes_out, f.hop(Hop::kHuffman).bytes_in,
+          "container.out vs huffman.in")) {
+    return false;
+  }
+  if (!eq(f.hop(Hop::kHuffman).bytes_out, f.hop(Hop::kSnappy).bytes_in,
+          "huffman.out vs snappy.in")) {
+    return false;
+  }
+  if (!eq(f.hop(Hop::kSnappy).bytes_out, f.hop(Hop::kTransform).bytes_in,
+          "snappy.out vs transform.in")) {
+    return false;
+  }
+  // The kernel edge only binds when a kernel actually ran in the window
+  // (decode-only runs — rcm_tool info --report — legitimately stop at
+  // the transform hop).
+  if (f.hop(Hop::kKernel).ops > 0 &&
+      !eq(f.hop(Hop::kTransform).bytes_out + f.hop(Hop::kCache).bytes_out,
+          f.hop(Hop::kKernel).bytes_in,
+          "decoded + cache-served vs kernel-consumed")) {
+    return false;
+  }
+  if (f.hop(Hop::kCache).bytes_in > f.hop(Hop::kTransform).bytes_out) {
+    return fail_edge("cache.in " +
+                     std::to_string(f.hop(Hop::kCache).bytes_in) +
+                     " exceeds decoded bytes " +
+                     std::to_string(f.hop(Hop::kTransform).bytes_out));
+  }
+  return true;
+}
+
+void RunReport::to_json(JsonWriter& w) const {
+  std::string why;
+  const bool ok = conservation_check(&why);
+  w.begin_object();
+  w.kv("schema", "recode-run-v1");
+  w.kv("label", label);
+  if (!engine.empty()) w.kv("engine", engine);
+  w.kv("telemetry_enabled", kEnabled);
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("host_cores", static_cast<std::uint64_t>(host_cores));
+  w.kv("conservation_ok", ok);
+  if (!ok) w.kv("conservation_error", std::string_view(why));
+  w.key("hops");
+  w.begin_object();
+  for (const Hop h : kAllHops) {
+    const LedgerSnapshot::Flow& f = flows.hop(h);
+    w.key(hop_name(h));
+    w.begin_object();
+    w.kv("bytes_in", f.bytes_in);
+    w.kv("bytes_out", f.bytes_out);
+    w.kv("ns", f.ns);
+    w.kv("ops", f.ops);
+    w.kv("wall_gbps", hop_wall_gbps(h));
+    w.kv("busy_gbps", hop_busy_gbps(h));
+    w.end_object();
+  }
+  w.end_object();
+  w.key("kernel");
+  w.begin_object();
+  w.kv("vector_bytes", flows.kernel_vector_bytes);
+  w.kv("flops", flows.kernel_flops);
+  w.kv("nnz", flows.kernel_nnz);
+  w.end_object();
+  w.key("roofline");
+  w.begin_object();
+  w.kv("compressed_bytes_per_nnz", compressed_bytes_per_nnz());
+  w.kv("decoded_bytes_per_nnz", decoded_bytes_per_nnz());
+  w.kv("kernel_bytes_per_nnz", kernel_bytes_per_nnz());
+  w.kv("arithmetic_intensity", arithmetic_intensity());
+  w.kv("cache_served_fraction", cache_served_fraction());
+  w.kv("decode_served_fraction", decode_served_fraction());
+  w.kv("storage_bytes_per_kernel_byte", storage_bytes_per_kernel_byte());
+  w.end_object();
+  w.end_object();
+}
+
+std::string RunReport::to_json_string() const {
+  JsonWriter w;
+  to_json(w);
+  return w.take();
+}
+
+std::string RunReport::render_table() const {
+  std::string out;
+  out += "movement ledger";
+  if (!label.empty()) out += ": " + label;
+  if (!engine.empty()) out += " (" + engine + ")";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ", %.1f ms wall\n", wall_seconds * 1e3);
+  out += buf;
+
+  Table t({"hop", "bytes in", "bytes out", "ops", "busy ms", "wall GB/s",
+           "busy GB/s"});
+  for (const Hop h : kAllHops) {
+    const LedgerSnapshot::Flow& f = flows.hop(h);
+    const double busy = hop_busy_gbps(h);
+    t.add_row({hop_name(h), format_bytes(f.bytes_in),
+               format_bytes(f.bytes_out), std::to_string(f.ops),
+               Table::num(static_cast<double>(f.ns) / 1e6, 2),
+               Table::num(hop_wall_gbps(h), 2),
+               std::isnan(busy) ? "-" : Table::num(busy, 2)});
+  }
+  out += t.to_string();
+
+  std::string why;
+  const bool ok = conservation_check(&why);
+  out += "conservation: ";
+  out += ok ? "OK" : ("FAIL (" + why + ")");
+  out += "\n";
+  if (flows.kernel_nnz > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "roofline: %.2f B/nnz compressed, %.2f B/nnz decoded, "
+                  "%.2f B/nnz kernel\n",
+                  compressed_bytes_per_nnz(), decoded_bytes_per_nnz(),
+                  kernel_bytes_per_nnz());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "served: %.1f%% cache, %.1f%% decode; AI %.3f flop/B\n",
+                  100.0 * cache_served_fraction(),
+                  100.0 * decode_served_fraction(), arithmetic_intensity());
+    out += buf;
+  }
+  return out;
+}
+
+RunReport make_run_report(const std::string& label,
+                          const LedgerSnapshot& begin,
+                          const LedgerSnapshot& end, double wall_seconds) {
+  RunReport r;
+  r.label = label;
+  r.wall_seconds = wall_seconds;
+  r.flows = end.since(begin);
+  return r;
+}
+
+void write_run_report_file(const std::string& path, const RunReport& report) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) fail("run report: cannot open " + path + " for writing");
+  const std::string json = report.to_json_string();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  if (std::fclose(f) != 0) fail("run report: failed writing " + path);
+}
+
+}  // namespace recode::telemetry

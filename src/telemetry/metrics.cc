@@ -1,5 +1,7 @@
 #include "telemetry/metrics.h"
 
+#include <algorithm>
+
 #include "telemetry/json_writer.h"
 
 namespace recode::telemetry {
@@ -19,6 +21,35 @@ HistogramSnapshot Histogram::snapshot() const {
   }
 #endif
   return s;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank in [1, count]: the observation at position ceil(q * count).
+  const double target = std::max(1.0, q * static_cast<double>(count));
+  std::uint64_t cum = 0;
+  for (const HistogramBucket& b : buckets) {
+    const double prev = static_cast<double>(cum);
+    cum += b.count;
+    if (static_cast<double>(cum) < target) continue;
+    // Fraction of the way through this bucket's occupants.
+    const double frac = (target - prev) / static_cast<double>(b.count);
+    const double lower = b.upper <= 1.0 ? 0.0 : b.upper / 2.0;
+    double v;
+    if (lower <= 0.0) {
+      v = frac * b.upper;  // [0,1): linear, no log scale exists
+    } else {
+      // Log-linear within the bucket: lower * (upper/lower)^frac, and
+      // upper/lower == 2 for every log2 bucket.
+      v = lower * std::exp2(frac);
+    }
+    // The buckets only bound the value; the exact extremes were tracked.
+    if (v < min) v = min;
+    if (v > max) v = max;
+    return v;
+  }
+  return max;  // q == 1 edge (cum ended exactly at count)
 }
 
 void Histogram::reset() {
@@ -54,6 +85,9 @@ std::string MetricsSnapshot::to_json() const {
     w.kv("min", h.min);  // null when empty (NaN convention)
     w.kv("max", h.max);
     w.kv("mean", h.mean());
+    w.kv("p50", h.p50());  // null when empty (NaN convention)
+    w.kv("p95", h.p95());
+    w.kv("p99", h.p99());
     w.key("buckets");
     w.begin_array();
     for (const auto& b : h.buckets) {

@@ -114,6 +114,16 @@ struct HistogramSnapshot {
   double mean() const {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
   }
+
+  // Quantile estimate from the log2 buckets: finds the bucket holding
+  // the rank-q observation and interpolates log-linearly inside it
+  // (geometric within [2^(i-1), 2^i), linear within the [0,1) bucket),
+  // then clamps to the observed min/max. NaN when empty.
+  double quantile(double q) const;
+
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 // Log2-bucketed histogram over non-negative values (wait times in

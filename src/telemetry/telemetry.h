@@ -9,5 +9,6 @@
 // bitwise-identical either way (tests/telemetry/test_telemetry_pipeline).
 #pragma once
 
+#include "telemetry/ledger.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"

@@ -96,12 +96,13 @@ std::string Tracer::chrome_trace_json() const {
       w.begin_object();
       w.kv("name", e.name);
       w.kv("cat", e.cat);
-      w.kv("ph", "X");
+      const char ph_str[2] = {e.ph, '\0'};
+      w.kv("ph", ph_str);
       w.kv("pid", std::uint64_t{1});
       w.kv("tid", std::uint64_t{b->tid});
       // trace_event timestamps are microseconds.
       w.kv("ts", static_cast<double>(e.ts_ns) / 1e3);
-      w.kv("dur", static_cast<double>(e.dur_ns) / 1e3);
+      if (e.ph == 'X') w.kv("dur", static_cast<double>(e.dur_ns) / 1e3);
       if (e.arg_name != nullptr) {
         w.key("args");
         w.begin_object();

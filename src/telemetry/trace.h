@@ -31,9 +31,12 @@ namespace recode::telemetry {
 struct TraceEvent {
   const char* cat = "";   // static string (category filter in the viewer)
   const char* name = "";  // static string
+  char ph = 'X';          // "X" complete span or "C" counter sample
   std::uint64_t ts_ns = 0;   // start, relative to the tracer epoch
   std::uint64_t dur_ns = 0;
-  const char* arg_name = nullptr;  // optional single integer argument
+  const char* arg_name = nullptr;  // optional single integer argument;
+                                   // for ph == 'C' this is the counter
+                                   // series and arg_value the sample
   std::uint64_t arg_value = 0;
 };
 
@@ -64,6 +67,30 @@ class Tracer {
 
   // Appends `e` to the calling thread's buffer (recording must be on).
   void record(const TraceEvent& e);
+
+  // Records one counter-track sample ("C" event): Perfetto renders each
+  // (name, series) as a value-over-time track next to the spans, so a
+  // cumulative byte counter sampled per task reads as bandwidth. A call
+  // on a stopped tracer is one relaxed load; names must be literals.
+  void counter(const char* cat, const char* name, const char* series,
+               std::uint64_t value) {
+#if RECODE_TELEMETRY_ENABLED
+    if (!enabled()) return;
+    TraceEvent e;
+    e.cat = cat;
+    e.name = name;
+    e.ph = 'C';
+    e.ts_ns = now_ns();
+    e.arg_name = series;
+    e.arg_value = value;
+    record(e);
+#else
+    static_cast<void>(cat);
+    static_cast<void>(name);
+    static_cast<void>(series);
+    static_cast<void>(value);
+#endif
+  }
 
   std::size_t event_count() const;
 

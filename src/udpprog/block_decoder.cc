@@ -4,6 +4,7 @@
 
 #include "codec/registry.h"
 #include "common/error.h"
+#include "telemetry/telemetry.h"
 #include "udpprog/delta_prog.h"
 #include "udpprog/varint_delta_prog.h"
 #include "udpprog/huffman_prog.h"
@@ -99,33 +100,51 @@ codec::ByteSpan UdpPipelineDecoder::decode_stream(
     codec::Transform transform, const udp::Layout* huffman_layout,
     std::size_t expect_bytes, std::size_t out_slot, StageCycles& cycles) {
   const bool transform_on = transform != codec::Transform::kNone;
+  // The ledger sees the lane simulation's stage edges exactly as the host
+  // engines': bytes through each hop, wall time of the simulated stage.
+  telemetry::MovementLedger& ledger = telemetry::MovementLedger::global();
   codec::ByteSpan buf = data;
   if (huffman_on) {
     RECODE_CHECK(huffman_layout != nullptr);
+    const std::size_t stage_in = buf.size();
+    telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kHuffman).ns);
     buf = run_stage(*huffman_layout, buf, 0, cycles.huffman,
                     (snappy_on || transform_on) ? codec::DecodeArena::kScratchA
                                                 : out_slot);
+    ledger.flow(telemetry::Hop::kHuffman, stage_in, buf.size());
+  } else {
+    ledger.pass_through(telemetry::Hop::kHuffman, buf.size());
   }
   if (snappy_on) {
+    const std::size_t stage_in = buf.size();
+    telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kSnappy).ns);
     buf = run_stage(*snappy_layout_, buf, 0, cycles.snappy,
                     transform_on ? (huffman_on
                                         ? codec::DecodeArena::kScratchB
                                         : codec::DecodeArena::kScratchA)
                                  : out_slot);
+    ledger.flow(telemetry::Hop::kSnappy, stage_in, buf.size());
+  } else {
+    ledger.pass_through(telemetry::Hop::kSnappy, buf.size());
   }
-  if (transform == codec::Transform::kDelta32) {
-    if (buf.size() % 4 != 0) fail("udp stage: delta input misaligned");
-    buf = run_stage(*delta_layout_, buf, buf.size() / 4, cycles.delta,
-                    out_slot);
-  } else if (transform == codec::Transform::kVarintDelta) {
-    // The word count comes from the blocking plan, not the byte stream.
-    buf = run_stage(*varint_delta_layout_, buf, expect_bytes / 4,
-                    cycles.delta, out_slot);
-  } else if (transform == codec::Transform::kByteTranspose) {
-    if (buf.size() % 8 != 0) fail("udp stage: transpose input misaligned");
-    buf = run_stage(*transpose_layout_, buf, buf.size() / 8, cycles.delta,
-                    out_slot);
+  const std::size_t transform_in = buf.size();
+  {
+    telemetry::StageTimer lt(ledger.hop(telemetry::Hop::kTransform).ns);
+    if (transform == codec::Transform::kDelta32) {
+      if (buf.size() % 4 != 0) fail("udp stage: delta input misaligned");
+      buf = run_stage(*delta_layout_, buf, buf.size() / 4, cycles.delta,
+                      out_slot);
+    } else if (transform == codec::Transform::kVarintDelta) {
+      // The word count comes from the blocking plan, not the byte stream.
+      buf = run_stage(*varint_delta_layout_, buf, expect_bytes / 4,
+                      cycles.delta, out_slot);
+    } else if (transform == codec::Transform::kByteTranspose) {
+      if (buf.size() % 8 != 0) fail("udp stage: transpose input misaligned");
+      buf = run_stage(*transpose_layout_, buf, buf.size() / 8, cycles.delta,
+                      out_slot);
+    }
   }
+  ledger.flow(telemetry::Hop::kTransform, transform_in, buf.size());
   if (buf.size() != expect_bytes) {
     fail("udp stage: decoded size mismatch (got " +
          std::to_string(buf.size()) + ", want " +
@@ -139,6 +158,8 @@ BlockResult UdpPipelineDecoder::decode_block(std::size_t b) {
   const codec::BlockCodec bc = codec::block_codec_checked(*cm_, b);
   const auto& block = cm_->blocks[b];
   const std::size_t count = cm_->blocking.blocks[b].count;
+  telemetry::MovementLedger::global().flow(telemetry::Hop::kContainer,
+                                           block.bytes() + 1, block.bytes());
 
   BlockResult result;
   const codec::ByteSpan idx_bytes = decode_stream(

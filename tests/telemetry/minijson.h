@@ -1,236 +1,10 @@
-// Tiny recursive-descent JSON parser for the telemetry tests: validates
-// syntax and exposes just enough structure (objects, arrays, strings,
-// numbers) to assert on the exported metrics / Chrome-trace schemas.
-// Test-only — the library itself only ever emits JSON (json_writer.h).
+// Forwarding header: the parser moved to src/common/minijson.h so the
+// report/diff tools can share it. The old test-local namespace stays as
+// an alias for the existing schema tests.
 #pragma once
 
-#include <cctype>
-#include <map>
-#include <memory>
-#include <string>
-#include <variant>
-#include <vector>
+#include "common/minijson.h"
 
-namespace recode::testing::minijson {
-
-struct Value;
-using Object = std::map<std::string, Value>;
-using Array = std::vector<Value>;
-
-struct Value {
-  // null is monostate; numbers are doubles (fine for test asserts).
-  std::variant<std::monostate, bool, double, std::string,
-               std::shared_ptr<Object>, std::shared_ptr<Array>>
-      v;
-
-  bool is_null() const { return std::holds_alternative<std::monostate>(v); }
-  bool is_object() const {
-    return std::holds_alternative<std::shared_ptr<Object>>(v);
-  }
-  bool is_array() const {
-    return std::holds_alternative<std::shared_ptr<Array>>(v);
-  }
-  bool is_string() const { return std::holds_alternative<std::string>(v); }
-  bool is_number() const { return std::holds_alternative<double>(v); }
-
-  const Object& object() const { return *std::get<std::shared_ptr<Object>>(v); }
-  const Array& array() const { return *std::get<std::shared_ptr<Array>>(v); }
-  const std::string& str() const { return std::get<std::string>(v); }
-  double num() const { return std::get<double>(v); }
-  bool boolean() const { return std::get<bool>(v); }
-
-  bool has(const std::string& key) const {
-    return is_object() && object().count(key) != 0;
-  }
-  const Value& at(const std::string& key) const { return object().at(key); }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  // Parses one JSON document; sets ok=false (with a position) on any
-  // syntax error or trailing garbage.
-  Value parse(bool& ok) {
-    ok = true;
-    Value v = value(ok);
-    skip_ws();
-    if (pos_ != text_.size()) ok = false;
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  Value value(bool& ok) {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      ok = false;
-      return {};
-    }
-    const char c = text_[pos_];
-    if (c == '{') return object_value(ok);
-    if (c == '[') return array_value(ok);
-    if (c == '"') return string_value(ok);
-    if (c == 't') {
-      if (!literal("true")) ok = false;
-      return Value{true};
-    }
-    if (c == 'f') {
-      if (!literal("false")) ok = false;
-      return Value{false};
-    }
-    if (c == 'n') {
-      if (!literal("null")) ok = false;
-      return Value{};
-    }
-    return number_value(ok);
-  }
-
-  Value object_value(bool& ok) {
-    auto obj = std::make_shared<Object>();
-    consume('{');
-    skip_ws();
-    if (consume('}')) return Value{obj};
-    while (ok) {
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != '"') {
-        ok = false;
-        break;
-      }
-      Value key = string_value(ok);
-      if (!ok || !consume(':')) {
-        ok = false;
-        break;
-      }
-      (*obj)[key.str()] = value(ok);
-      if (!ok) break;
-      if (consume(',')) continue;
-      if (consume('}')) break;
-      ok = false;
-    }
-    return Value{obj};
-  }
-
-  Value array_value(bool& ok) {
-    auto arr = std::make_shared<Array>();
-    consume('[');
-    skip_ws();
-    if (consume(']')) return Value{arr};
-    while (ok) {
-      arr->push_back(value(ok));
-      if (!ok) break;
-      if (consume(',')) continue;
-      if (consume(']')) break;
-      ok = false;
-    }
-    return Value{arr};
-  }
-
-  Value string_value(bool& ok) {
-    consume('"');
-    std::string out;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_++];
-      if (c == '"') return Value{out};
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              ok = false;
-              return Value{out};
-            }
-            // Decoded only far enough for the tests: keep the escape's
-            // low byte (all writer-emitted \u escapes are control chars).
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code += static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code += static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code += static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                ok = false;
-                return Value{out};
-              }
-            }
-            out += static_cast<char>(code & 0xff);
-            break;
-          }
-          default:
-            ok = false;
-            return Value{out};
-        }
-        continue;
-      }
-      out += c;
-    }
-    ok = false;  // unterminated string
-    return Value{out};
-  }
-
-  Value number_value(bool& ok) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      ok = false;
-      return {};
-    }
-    try {
-      return Value{std::stod(std::string(text_.substr(start, pos_ - start)))};
-    } catch (...) {
-      ok = false;
-      return {};
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-inline Value parse(std::string_view text, bool& ok) {
-  return Parser(text).parse(ok);
-}
-
-}  // namespace recode::testing::minijson
+namespace recode::testing {
+namespace minijson = ::recode::minijson;
+}  // namespace recode::testing

@@ -1,0 +1,130 @@
+// HistogramSnapshot quantile estimates (ISSUE 8 satellite): p50/p95/p99
+// from the log2 buckets, log-linear interpolation inside a bucket,
+// linear inside the [0,1) bucket, min/max clamping, and the JSON
+// emission. Most cases build HistogramSnapshot structs directly so the
+// arithmetic is checked bit-for-bit even when telemetry is compiled out
+// (the snapshot struct is unconditional); the observe() path is gated.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "minijson.h"
+#include "telemetry/telemetry.h"
+
+namespace recode::telemetry {
+namespace {
+
+namespace mj = recode::testing::minijson;
+
+HistogramSnapshot synth(std::vector<HistogramBucket> buckets, double mn,
+                        double mx) {
+  HistogramSnapshot s;
+  s.buckets = std::move(buckets);
+  for (const auto& b : s.buckets) s.count += b.count;
+  s.min = mn;
+  s.max = mx;
+  return s;
+}
+
+TEST(Quantile, EmptyIsNaN) {
+  HistogramSnapshot s;
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(s.p50()));
+  EXPECT_TRUE(std::isnan(s.p95()));
+  EXPECT_TRUE(std::isnan(s.p99()));
+}
+
+TEST(Quantile, SingleObservationClampsToExtremes) {
+  // One value of 5 lands in [4, 8); every quantile must report exactly 5
+  // (the bucket only bounds the value, the extremes were tracked).
+  const HistogramSnapshot s = synth({{8.0, 1}}, 5.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(s.p95(), 5.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+}
+
+TEST(Quantile, LinearWithinUnitBucket) {
+  // Bucket [0, 1) has no log scale; interpolation is linear in rank.
+  const HistogramSnapshot s = synth({{1.0, 4}}, 0.1, 0.9);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 0.25);  // rank 1 of 4
+  EXPECT_DOUBLE_EQ(s.p50(), 0.5);            // rank 2 of 4
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.9);    // rank 4 -> 1.0, clamped to max
+}
+
+TEST(Quantile, LogLinearWithinLog2Bucket) {
+  // Inside [2, 4): lower * 2^frac. Rank 1 of 2 -> frac 0.5 -> 2*sqrt(2).
+  const HistogramSnapshot s = synth({{4.0, 2}}, 2.0, 3.9);
+  EXPECT_NEAR(s.p50(), 2.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Quantile, BucketBoundarySelection) {
+  // 50 observations in [1,2), 50 in [2,4): the median is the last
+  // occupant of the first bucket, p95 is 90% through the second.
+  const HistogramSnapshot s = synth({{2.0, 50}, {4.0, 50}}, 1.0, 3.9);
+  EXPECT_DOUBLE_EQ(s.p50(), 2.0);  // frac 1.0 through [1,2)
+  EXPECT_NEAR(s.quantile(0.51), 2.0 * std::exp2(0.02), 1e-12);
+  EXPECT_NEAR(s.p95(), 2.0 * std::exp2(0.9), 1e-12);
+  // p99 interpolates past max (2 * 2^0.98 > 3.9) and clamps.
+  EXPECT_DOUBLE_EQ(s.p99(), 3.9);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 3.9);  // upper bound 4.0, clamped
+  // q=0 is the rank-1 observation, still >= min.
+  EXPECT_NEAR(s.quantile(0.0), std::exp2(0.02), 1e-12);
+  EXPECT_GE(s.quantile(0.0), s.min);
+}
+
+TEST(Quantile, MonotoneInQ) {
+  const HistogramSnapshot s =
+      synth({{1.0, 3}, {2.0, 7}, {16.0, 5}, {256.0, 2}}, 0.2, 200.0);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev) << "quantile not monotone at q=" << q;
+    EXPECT_GE(v, s.min);
+    EXPECT_LE(v, s.max);
+    prev = v;
+  }
+}
+
+TEST(Quantile, ObservePathMatchesHandComputation) {
+  Histogram h;
+  for (const double v : {1.0, 2.0, 4.0, 8.0}) h.observe(v);
+  const HistogramSnapshot s = h.snapshot();
+  if (!kEnabled) {
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_TRUE(std::isnan(s.p50()));
+    return;
+  }
+  ASSERT_EQ(s.count, 4u);
+  // Rank 2 of 4 is the last occupant of [2,4): frac 1.0 -> 4.0.
+  EXPECT_DOUBLE_EQ(s.p50(), 4.0);
+  // p99 overshoots the top bucket's range and clamps to the true max.
+  EXPECT_DOUBLE_EQ(s.p99(), 8.0);
+  // Rank 1 fills its single-occupant bucket [1,2) entirely (frac 1.0),
+  // so the estimate is that bucket's upper edge.
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 2.0);
+}
+
+TEST(Quantile, JsonEmitsQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q.test");
+  h.observe(5.0);
+  bool ok = false;
+  const mj::Value doc = mj::parse(reg.snapshot().to_json(), ok);
+  ASSERT_TRUE(ok);
+  const mj::Value& hist = doc.at("histograms").at("q.test");
+  ASSERT_TRUE(hist.has("p50"));
+  ASSERT_TRUE(hist.has("p95"));
+  ASSERT_TRUE(hist.has("p99"));
+  if (kEnabled) {
+    EXPECT_DOUBLE_EQ(hist.at("p50").num(), 5.0);
+    EXPECT_DOUBLE_EQ(hist.at("p99").num(), 5.0);
+  } else {
+    // Empty histogram: quantiles are NaN, serialized as null.
+    EXPECT_TRUE(hist.at("p50").is_null());
+  }
+}
+
+}  // namespace
+}  // namespace recode::telemetry
