@@ -3,7 +3,7 @@
 // inspect a container, verify it on the UDP simulator, or decompress
 // back to Matrix Market.
 //
-//   rcm_tool --mode=compress   --mtx in.mtx --out m.rcm [--pipeline dsh|ds|snappy|vsh|adaptive|auto]
+//   rcm_tool --mode=compress   --mtx in.mtx --out m.rcm [--pipeline dsh|ds|snappy|vsh|adaptive|auto] [--index]
 //   rcm_tool --mode=info       --rcm m.rcm [--report[=r.json]]
 //   rcm_tool --mode=verify     --rcm m.rcm [--udp]
 //   rcm_tool --mode=decompress --rcm m.rcm --out out.mtx
@@ -11,6 +11,8 @@
 // With no --mtx, compress generates a demo FEM-like matrix first.
 // info --report runs one decode pass through the movement ledger and
 // prints the byte-flow table (recode-run-v1 JSON too when given a path).
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -44,7 +46,7 @@ codec::PipelineConfig pipeline_by_name(const std::string& name,
 }
 
 int mode_compress(const std::string& mtx, const std::string& out,
-                  const std::string& pipeline) {
+                  const std::string& pipeline, bool with_index) {
   sparse::Csr csr;
   if (mtx.empty()) {
     std::printf("no --mtx given; generating a demo FEM-like matrix\n");
@@ -55,7 +57,11 @@ int mode_compress(const std::string& mtx, const std::string& out,
   }
   const auto cfg = pipeline_by_name(pipeline, csr);
   const auto cm = codec::compress(csr, cfg);
-  codec::write_compressed_file(out, cm);
+  codec::write_compressed_file(out, cm, with_index);
+  if (with_index) {
+    std::printf("block-offset index: %zu entries + footer appended\n",
+                cm.blocks.size() + 1);
+  }
   std::printf("%s: %d x %d, %zu nnz -> %s\n",
               mtx.empty() ? "generated" : mtx.c_str(), csr.rows, csr.cols,
               csr.nnz(), out.c_str());
@@ -92,6 +98,26 @@ int mode_info(const std::string& rcm, const std::string& report) {
   t.add_row({"blocks off baseline codec", std::to_string(switched)});
   t.add_row({"stream bytes", std::to_string(cm.stream_bytes())});
   t.add_row({"bytes/nnz", Table::num(cm.bytes_per_nnz(), 3)});
+  // The block-offset index out-of-core sources navigate by: footer-backed
+  // when compress ran with --index, otherwise reconstructed here by one
+  // scan of the record framing (what an index-less open would do).
+  const auto layout = codec::read_container_layout_file(rcm);
+  t.add_row({"block index",
+             layout.index.from_footer ? "footer" : "scanned (no footer)"});
+  if (layout.index.from_footer) {
+    t.add_row({"index bytes",
+               std::to_string(layout.file_size -
+                              layout.index.offsets.back())});
+  }
+  if (!layout.index.offsets.empty()) {
+    std::uint64_t max_extent = 0;
+    for (std::size_t b = 0; b < layout.index.block_count(); ++b) {
+      max_extent = std::max(max_extent, layout.index.extent_bytes(b));
+    }
+    t.add_row({"block section offset",
+               std::to_string(layout.block_section_offset)});
+    t.add_row({"largest block extent", std::to_string(max_extent)});
+  }
   t.print();
 
   if (!report.empty()) {
@@ -164,6 +190,10 @@ int main(int argc, char** argv) {
       "pipeline", "dsh", "dsh | ds | snappy | vsh | adaptive | auto (compress)");
   const bool udp =
       cli.get_bool("udp", false, "also verify on the UDP simulator");
+  const bool with_index = cli.get_bool(
+      "index", false,
+      "compress: append the block-offset index + footer for out-of-core "
+      "sources");
   const std::string report = cli.get_string(
       "report", "",
       "info: decode once and print the movement-ledger table; give a "
@@ -171,7 +201,7 @@ int main(int argc, char** argv) {
   cli.done();
 
   try {
-    if (mode == "compress") return mode_compress(mtx, out, pipeline);
+    if (mode == "compress") return mode_compress(mtx, out, pipeline, with_index);
     if (mode == "info") return mode_info(rcm, report);
     if (mode == "verify") return mode_verify(rcm, udp);
     if (mode == "decompress") return mode_decompress(rcm, out);

@@ -85,9 +85,27 @@ Bytes get_blob(std::istream& in) {
   return data;
 }
 
+// Stream position as an unsigned file offset; fails when the stream is
+// not seekable (the index and layout paths need real offsets).
+std::uint64_t tell_out(std::ostream& out) {
+  const std::ostream::pos_type p = out.tellp();
+  if (p == std::ostream::pos_type(-1)) {
+    fail("rcm: index requires a seekable stream");
+  }
+  return static_cast<std::uint64_t>(p);
+}
+
+std::uint64_t tell_in(std::istream& in) {
+  const std::istream::pos_type p = in.tellg();
+  if (p == std::istream::pos_type(-1)) {
+    fail("rcm: layout requires a seekable stream");
+  }
+  return static_cast<std::uint64_t>(p);
+}
+
 }  // namespace
 
-void write_compressed(std::ostream& out, const CompressedMatrix& cm) {
+void write_container_header(std::ostream& out, const CompressedMatrix& cm) {
   put_bytes(out, kMagic, 4);
   put_pod<std::uint32_t>(out, kContainerVersion);
   put_pod<std::int32_t>(out, cm.rows);
@@ -117,17 +135,48 @@ void write_compressed(std::ostream& out, const CompressedMatrix& cm) {
     put_bytes(out, it.data(), it.size());
     put_bytes(out, vt.data(), vt.size());
   }
+}
 
+void write_compressed(std::ostream& out, const CompressedMatrix& cm,
+                      bool with_index) {
+  write_container_header(out, cm);
   put_varint(out, cm.blocks.size());
+  BlockIndex index;
+  if (with_index) index.offsets.reserve(cm.blocks.size() + 1);
   for (std::size_t b = 0; b < cm.blocks.size(); ++b) {
+    if (with_index) {
+      index.offsets.push_back(tell_out(out));
+      index.codec_ids.push_back(cm.block_codec_id(b));
+    }
     put_pod<std::uint8_t>(out, cm.block_codec_id(b));
     put_blob(out, cm.blocks[b].index_data);
     put_blob(out, cm.blocks[b].value_data);
   }
+  if (with_index) {
+    const std::uint64_t index_offset = tell_out(out);
+    index.offsets.push_back(index_offset);
+    for (const std::uint64_t off : index.offsets) {
+      put_pod<std::uint64_t>(out, off);
+    }
+    put_bytes(out, index.codec_ids.data(), index.codec_ids.size());
+    put_pod<std::uint64_t>(out, index_offset);
+    put_bytes(out, kIndexFooterMagic, sizeof(kIndexFooterMagic));
+  }
   if (!out) fail("rcm: write failed");
 }
 
-CompressedMatrix read_compressed(std::istream& in) {
+namespace {
+
+// Everything before the block records: magic through the block count,
+// with all header validations, blocking plan, and the uniform
+// block_codecs default. Leaves the stream positioned at the first
+// block record. Returns the container version and block count.
+struct HeaderInfo {
+  std::uint32_t version = 0;
+  std::uint64_t block_count = 0;
+};
+
+HeaderInfo read_header(std::istream& in, CompressedMatrix& cm) {
   char magic[4];
   get_bytes(in, magic, 4);
   if (std::memcmp(magic, kMagic, 4) != 0) fail("rcm: bad magic");
@@ -136,7 +185,6 @@ CompressedMatrix read_compressed(std::istream& in) {
     fail("rcm: unsupported version " + std::to_string(version));
   }
 
-  CompressedMatrix cm;
   cm.rows = get_pod<std::int32_t>(in);
   cm.cols = get_pod<std::int32_t>(in);
   if (cm.rows < 0 || cm.cols < 0) fail("rcm: negative dimensions");
@@ -215,10 +263,18 @@ CompressedMatrix read_compressed(std::istream& in) {
   cm.blocking =
       sparse::make_blocking(std::span<const sparse::offset_t>(cm.row_ptr),
                             cm.config.nnz_per_block);
-  cm.blocks.resize(block_count);
   cm.block_codecs.assign(block_count, codec_id_for(cm.config));
-  for (std::size_t b = 0; b < block_count; ++b) {
-    if (version >= kContainerVersion) {
+  return {version, block_count};
+}
+
+}  // namespace
+
+CompressedMatrix read_compressed(std::istream& in) {
+  CompressedMatrix cm;
+  const HeaderInfo hdr = read_header(in, cm);
+  cm.blocks.resize(hdr.block_count);
+  for (std::size_t b = 0; b < hdr.block_count; ++b) {
+    if (hdr.version >= kContainerVersion) {
       cm.block_codecs[b] = get_pod<std::uint8_t>(in);
     }
     cm.blocks[b].index_data = get_blob(in);
@@ -227,7 +283,7 @@ CompressedMatrix read_compressed(std::istream& in) {
   // Validate every per-block id through the registry gate before handing
   // the matrix to a decode engine: unknown ids and huffman-stage ids in a
   // tableless container fail here with the engines' exact messages.
-  for (std::size_t b = 0; b < block_count; ++b) block_codec_checked(cm, b);
+  for (std::size_t b = 0; b < hdr.block_count; ++b) block_codec_checked(cm, b);
   for (const auto& b : cm.blocks) {
     cm.index_stages.after_huffman += b.index_data.size();
     cm.value_stages.after_huffman += b.value_data.size();
@@ -235,17 +291,138 @@ CompressedMatrix read_compressed(std::istream& in) {
   return cm;
 }
 
-void write_compressed_file(const std::string& path,
-                           const CompressedMatrix& cm) {
+namespace {
+
+// Loads the footer index when the file ends with one. Returns false
+// when there is no footer (caller falls back to scanning); throws on a
+// footer whose arithmetic or offsets are inconsistent — a present but
+// broken index is corruption, not a missing feature.
+bool try_read_footer_index(std::istream& in, std::uint64_t file_size,
+                           std::uint64_t block_section_offset,
+                           std::uint64_t block_count, BlockIndex& index) {
+  if (file_size < block_section_offset + kIndexFooterBytes) return false;
+  in.clear();
+  in.seekg(static_cast<std::streamoff>(file_size - kIndexFooterBytes));
+  const auto index_offset = get_pod<std::uint64_t>(in);
+  char magic[sizeof(kIndexFooterMagic)];
+  get_bytes(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kIndexFooterMagic, sizeof(magic)) != 0) return false;
+
+  // (n + 1) u64 offsets + n codec-id bytes + the footer itself must end
+  // exactly at EOF, and the section must sit after the block records.
+  const std::uint64_t index_bytes = (block_count + 1) * 8 + block_count;
+  if (index_offset < block_section_offset ||
+      index_offset + index_bytes + kIndexFooterBytes != file_size) {
+    fail("rcm: index footer arithmetic mismatch");
+  }
+  in.seekg(static_cast<std::streamoff>(index_offset));
+  index.offsets.resize(block_count + 1);
+  for (auto& off : index.offsets) off = get_pod<std::uint64_t>(in);
+  index.codec_ids.resize(block_count);
+  if (block_count > 0) {
+    get_bytes(in, index.codec_ids.data(), index.codec_ids.size());
+  }
+  if (index.offsets.front() != block_section_offset) {
+    fail("rcm: index does not start at block section");
+  }
+  if (index.offsets.back() != index_offset) {
+    fail("rcm: index offsets exceed block section");
+  }
+  for (std::size_t b = 0; b < block_count; ++b) {
+    // Strictly increasing: every record is at least its codec-id byte
+    // plus two length prefixes, so equal or reordered offsets mean
+    // overlapping extents.
+    if (index.offsets[b + 1] <= index.offsets[b]) {
+      fail("rcm: index offsets not increasing");
+    }
+  }
+  index.from_footer = true;
+  return true;
+}
+
+// Rebuilds the index with one forward scan of the record framing
+// (codec-id byte + two length-prefixed blobs), seeking past payloads.
+BlockIndex scan_block_index(std::istream& in, std::uint64_t file_size,
+                            std::uint32_t version, std::uint64_t block_count,
+                            const CompressedMatrix& cm) {
+  BlockIndex index;
+  index.offsets.reserve(block_count + 1);
+  index.codec_ids.reserve(block_count);
+  for (std::uint64_t b = 0; b < block_count; ++b) {
+    index.offsets.push_back(tell_in(in));
+    std::uint8_t id = cm.block_codec_id(static_cast<std::size_t>(b));
+    if (version >= kContainerVersion) id = get_pod<std::uint8_t>(in);
+    index.codec_ids.push_back(id);
+    for (int stream = 0; stream < 2; ++stream) {
+      const std::uint64_t len = get_varint(in);
+      const std::uint64_t here = tell_in(in);
+      if (len > file_size - here) fail("rcm: blob length exceeds stream");
+      in.seekg(static_cast<std::streamoff>(len), std::ios::cur);
+    }
+  }
+  index.offsets.push_back(tell_in(in));
+  index.from_footer = false;
+  return index;
+}
+
+}  // namespace
+
+ContainerLayout read_container_layout(std::istream& in) {
+  ContainerLayout layout;
+  const std::istream::pos_type start = in.tellg();
+  if (start == std::istream::pos_type(-1)) {
+    fail("rcm: layout requires a seekable stream");
+  }
+  in.seekg(0, std::ios::end);
+  layout.file_size = tell_in(in);
+  in.seekg(start);
+
+  const HeaderInfo hdr = read_header(in, layout.matrix);
+  layout.version = hdr.version;
+  layout.block_section_offset = tell_in(in);
+  if (!try_read_footer_index(in, layout.file_size,
+                             layout.block_section_offset, hdr.block_count,
+                             layout.index)) {
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(layout.block_section_offset));
+    layout.index = scan_block_index(in, layout.file_size, hdr.version,
+                                    hdr.block_count, layout.matrix);
+  }
+  // The layout's codec ids are authoritative for header-only use; run
+  // them through the same registry gate read_compressed applies.
+  layout.matrix.block_codecs.assign(layout.index.codec_ids.begin(),
+                                    layout.index.codec_ids.end());
+  for (std::size_t b = 0; b < layout.index.block_count(); ++b) {
+    block_codec_checked(layout.matrix, b);
+  }
+  return layout;
+}
+
+void write_compressed_file(const std::string& path, const CompressedMatrix& cm,
+                           bool with_index) {
   std::ofstream out(path, std::ios::binary);
   if (!out) fail("rcm: cannot open for write: " + path);
-  write_compressed(out, cm);
+  write_compressed(out, cm, with_index);
 }
 
 CompressedMatrix read_compressed_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) fail("rcm: cannot open: " + path);
-  return read_compressed(in);
+  try {
+    return read_compressed(in);
+  } catch (const Error& e) {
+    fail(std::string(e.what()) + " (file: " + path + ")");
+  }
+}
+
+ContainerLayout read_container_layout_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("rcm: cannot open: " + path);
+  try {
+    return read_container_layout(in);
+  } catch (const Error& e) {
+    fail(std::string(e.what()) + " (file: " + path + ")");
+  }
 }
 
 }  // namespace recode::codec

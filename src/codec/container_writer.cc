@@ -1,0 +1,158 @@
+#include "codec/container_writer.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/registry.h"
+#include "common/error.h"
+#include "common/prng.h"
+#include "common/varint.h"
+
+namespace recode::codec {
+
+namespace {
+
+void put_bytes(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+template <typename T>
+void put_pod(std::ostream& out, T v) {
+  put_bytes(out, &v, sizeof(v));
+}
+
+void put_varint(std::ostream& out, std::uint64_t v) {
+  Bytes buf;
+  varint_append(buf, v);
+  put_bytes(out, buf.data(), buf.size());
+}
+
+void put_blob(std::ostream& out, const Bytes& data) {
+  put_varint(out, data.size());
+  put_bytes(out, data.data(), data.size());
+}
+
+std::uint64_t tell_out(std::ostream& out) {
+  const std::ostream::pos_type p = out.tellp();
+  if (p == std::ostream::pos_type(-1)) {
+    fail("rcm: index requires a seekable stream");
+  }
+  return static_cast<std::uint64_t>(p);
+}
+
+Bytes to_bytes(const void* data, std::size_t size) {
+  Bytes out(size);
+  std::memcpy(out.data(), data, size);
+  return out;
+}
+
+}  // namespace
+
+StreamWriteResult write_compressed_stream(
+    const std::string& path, sparse::index_t rows, sparse::index_t cols,
+    std::span<const sparse::offset_t> row_ptr, const PipelineConfig& cfg,
+    const BlockFiller& fill) {
+  if (cfg.selection != CodecSelection::kSingle) {
+    fail("rcm: streamed write supports single-codec selection only");
+  }
+  RECODE_CHECK(cfg.nnz_per_block > 0);
+  RECODE_CHECK(cfg.huffman_sample_fraction > 0.0 &&
+               cfg.huffman_sample_fraction <= 1.0);
+  RECODE_CHECK(row_ptr.size() == static_cast<std::size_t>(rows) + 1);
+  RECODE_CHECK(row_ptr.empty() || row_ptr.front() == 0);
+
+  // Header-side view: everything write_container_header needs, plus the
+  // blocking plan that defines each block's nnz range.
+  CompressedMatrix cm;
+  cm.rows = rows;
+  cm.cols = cols;
+  cm.config = cfg;
+  cm.row_ptr.assign(row_ptr.begin(), row_ptr.end());
+  cm.blocking = sparse::make_blocking(row_ptr, cfg.nnz_per_block);
+  const std::size_t nblocks = cm.blocking.block_count();
+
+  std::vector<sparse::index_t> idx_buf;
+  std::vector<double> val_buf;
+  const auto fill_block = [&](std::size_t b) {
+    const auto& range = cm.blocking.blocks[b];
+    idx_buf.resize(range.count);
+    val_buf.resize(range.count);
+    fill(b, static_cast<std::uint64_t>(range.first_nnz),
+         std::span<sparse::index_t>(idx_buf),
+         std::span<double>(val_buf));
+  };
+
+  // Pass 1 (only when training Huffman tables): the same block-sampling
+  // Prng walk compress() performs, histogramming the post-Snappy mid
+  // streams of the sampled blocks. Unsampled blocks are skipped
+  // entirely — the sampler is still advanced once per block so the
+  // sampled set matches compress() bit-for-bit.
+  if (cfg.huffman) {
+    std::array<std::uint64_t, 256> index_hist{};
+    std::array<std::uint64_t, 256> value_hist{};
+    Prng sampler(cfg.sample_seed);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+      if (sampler.next_double() >= cfg.huffman_sample_fraction) continue;
+      fill_block(b);
+      const EncodedStages idx_st = encode_stages(
+          to_bytes(idx_buf.data(), idx_buf.size() * sizeof(sparse::index_t)),
+          cfg.index_transform, cfg.snappy, nullptr);
+      const EncodedStages val_st = encode_stages(
+          to_bytes(val_buf.data(), val_buf.size() * sizeof(double)),
+          cfg.value_transform, cfg.snappy, nullptr);
+      for (const std::uint8_t byte : idx_st.after_snappy) ++index_hist[byte];
+      for (const std::uint8_t byte : val_st.after_snappy) ++value_hist[byte];
+    }
+    cm.index_table =
+        std::make_shared<const HuffmanTable>(HuffmanTable::build(index_hist));
+    cm.value_table =
+        std::make_shared<const HuffmanTable>(HuffmanTable::build(value_hist));
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("rcm: cannot open for write: " + path);
+  write_container_header(out, cm);
+  put_varint(out, nblocks);
+
+  // Pass 2: regenerate, encode, and append each block record, tracking
+  // its offset for the index.
+  const CodecId id = codec_id_for(cfg);
+  const HuffmanTable* itab = cm.index_table.get();
+  const HuffmanTable* vtab = cm.value_table.get();
+  StreamWriteResult result;
+  result.block_count = nblocks;
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(nblocks + 1);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    fill_block(b);
+    const EncodedStages idx_st = encode_stages(
+        to_bytes(idx_buf.data(), idx_buf.size() * sizeof(sparse::index_t)),
+        cfg.index_transform, cfg.snappy, itab);
+    const EncodedStages val_st = encode_stages(
+        to_bytes(val_buf.data(), val_buf.size() * sizeof(double)),
+        cfg.value_transform, cfg.snappy, vtab);
+    offsets.push_back(tell_out(out));
+    put_pod<std::uint8_t>(out, id);
+    put_blob(out, idx_st.after_huffman);
+    put_blob(out, val_st.after_huffman);
+    result.payload_bytes +=
+        idx_st.after_huffman.size() + val_st.after_huffman.size();
+    if (!out) fail("rcm: write failed: " + path);
+  }
+
+  const std::uint64_t index_offset = tell_out(out);
+  offsets.push_back(index_offset);
+  for (const std::uint64_t off : offsets) put_pod<std::uint64_t>(out, off);
+  for (std::size_t b = 0; b < nblocks; ++b) put_pod<std::uint8_t>(out, id);
+  put_pod<std::uint64_t>(out, index_offset);
+  put_bytes(out, kIndexFooterMagic, sizeof(kIndexFooterMagic));
+  if (!out) fail("rcm: write failed: " + path);
+  result.file_bytes = tell_out(out);
+  return result;
+}
+
+}  // namespace recode::codec

@@ -1,0 +1,49 @@
+// Streaming container writer: compresses a matrix of arbitrary size to
+// an .rcm file with O(row_ptr + one block) resident memory — the
+// producer that makes ≥1e8-nnz out-of-core runs possible without ever
+// materializing the CSR (let alone the compressed matrix) in RAM.
+//
+// The caller describes the matrix by its row_ptr and a block-filler
+// callback that writes the raw col_idx/value streams of one block on
+// demand. The writer replays compress()'s two-pass kSingle pipeline —
+// pass 1 samples blocks (same Prng sequence) to train the Huffman
+// tables, pass 2 encodes and appends each record — so for identical
+// input the file is byte-identical to compress() + write_compressed()
+// with the index appended. The block-offset index is always written.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "codec/pipeline.h"
+
+namespace recode::codec {
+
+// Fills the raw (pre-transform) streams of block `b`, which covers the
+// nnz range [first_nnz, first_nnz + indices.size()). Called once per
+// block per pass (twice total when the config trains Huffman tables).
+// Must be deterministic: both passes must produce the same bytes.
+using BlockFiller =
+    std::function<void(std::size_t b, std::uint64_t first_nnz,
+                       std::span<sparse::index_t> indices,
+                       std::span<double> values)>;
+
+struct StreamWriteResult {
+  std::size_t block_count = 0;
+  std::uint64_t file_bytes = 0;     // total container size incl. index
+  std::uint64_t payload_bytes = 0;  // compressed block payloads only
+};
+
+// Writes the container for a matrix with the given shape. Only
+// CodecSelection::kSingle configs are supported (per-block trial
+// encoding needs all candidates in memory; the out-of-core producer
+// path doesn't). Throws recode::Error on I/O failure or a non-kSingle
+// config.
+StreamWriteResult write_compressed_stream(
+    const std::string& path, sparse::index_t rows, sparse::index_t cols,
+    std::span<const sparse::offset_t> row_ptr, const PipelineConfig& cfg,
+    const BlockFiller& fill);
+
+}  // namespace recode::codec

@@ -529,23 +529,32 @@ ArenaStream decode_stream_arena(bool huffman, bool snappy, ByteSpan data,
 DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
                                    DecodeArena& scratch, DecodeArena& out) {
   RECODE_CHECK(b < cm.blocks.size());
-  const BlockCodec bc = block_codec_checked(cm, b);
   const auto& block = cm.blocks[b];
+  return decompress_block_fast(cm, b, block.index_data, block.value_data,
+                               scratch, out);
+}
+
+DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
+                                   ByteSpan index_data, ByteSpan value_data,
+                                   DecodeArena& scratch, DecodeArena& out) {
+  RECODE_CHECK(b < cm.blocking.blocks.size());
+  const BlockCodec bc = block_codec_checked(cm, b);
+  const std::size_t payload = index_data.size() + value_data.size();
   CodecTelemetry& telem = CodecTelemetry::get();
   telem.decode_blocks.add(1);
   // Container hop: the compressed read includes the per-block codec-id
   // dispatch byte (container v2); the payload goes on to the codec chain.
   telemetry::MovementLedger::global().flow(telemetry::Hop::kContainer,
-                                           block.bytes() + 1, block.bytes());
+                                           payload + 1, payload);
   RECODE_TRACE_SPAN_ARG("codec", "decompress_block", "block", b);
 
   const std::size_t count = cm.blocking.blocks[b].count;
   const ArenaStream idx = decode_stream_arena(
-      bc.huffman, bc.snappy, block.index_data, bc.index_transform,
+      bc.huffman, bc.snappy, index_data, bc.index_transform,
       cm.index_table.get(), count * sizeof(sparse::index_t), scratch, out,
       DecodeArena::kIndexOut, telem);
   const ArenaStream val = decode_stream_arena(
-      bc.huffman, bc.snappy, block.value_data, bc.value_transform,
+      bc.huffman, bc.snappy, value_data, bc.value_transform,
       cm.value_table.get(), count * sizeof(double), scratch, out,
       DecodeArena::kValueOut, telem);
   if (idx.size != count * sizeof(sparse::index_t)) {

@@ -166,6 +166,16 @@ struct DecodedBlock {
 DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
                                    DecodeArena& scratch, DecodeArena& out);
 
+// Same decode, but with the block's compressed streams supplied by the
+// caller instead of read from cm.blocks — the out-of-core path, where
+// payload bytes live in an mmap'd view or a pooled read window and
+// cm carries only the header-side metadata (blocking plan, codec ids,
+// tables; cm.blocks may be empty). Bitwise-identical to the resident
+// overload for the same bytes.
+DecodedBlock decompress_block_fast(const CompressedMatrix& cm, std::size_t b,
+                                   ByteSpan index_data, ByteSpan value_data,
+                                   DecodeArena& scratch, DecodeArena& out);
+
 // Full round-trip back to CSR (tests / CPU-side decompression baseline).
 sparse::Csr decompress(const CompressedMatrix& cm);
 

@@ -283,6 +283,35 @@ class WorkStealingScheduler {
     }
   }
 
+  // One non-blocking sweep: own deque, then injector, then a single
+  // steal round. For callers that must not block while already holding
+  // an uncompleted task — acquire() spins until remaining_ hits zero,
+  // so re-entering it with a live task would deadlock the last worker.
+  // Returns false on a momentarily-empty sweep, after cancel(), or when
+  // every task is done; the caller falls back to finishing its held
+  // task and calling the blocking acquire() afterwards.
+  bool try_acquire(std::size_t worker, T& out) {
+    if (cancelled_.load(std::memory_order_acquire)) return false;
+    if (deques_[worker]->pop_bottom(out)) {
+      stats_.local_pops.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    if (try_pop_injector(out)) {
+      stats_.injector_pops.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    for (std::size_t i = 1; i < deques_.size(); ++i) {
+      const std::size_t victim = (worker + i) % deques_.size();
+      stats_.steal_attempts.fetch_add(1, std::memory_order_relaxed);
+      if (deques_[victim]->steal_top(out) ==
+          WorkStealingDeque<T>::Steal::kStolen) {
+        stats_.steals.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
   // Worker reports one acquired task finished. When the last outstanding
   // task completes, acquire() everywhere starts returning false.
   void complete() { remaining_.fetch_sub(1, std::memory_order_acq_rel); }

@@ -28,6 +28,11 @@ std::shared_ptr<const CachedBand> BandCache::lookup(std::size_t band) {
   return it->second.data;
 }
 
+bool BandCache::contains(std::size_t band) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.find(band) != entries_.end();
+}
+
 void BandCache::begin_run() {
   std::lock_guard<std::mutex> lock(mu_);
   ++epoch_;

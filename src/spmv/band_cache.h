@@ -87,6 +87,13 @@ class BandCache {
   // readers hold shared ownership.
   std::shared_ptr<const CachedBand> lookup(std::size_t band);
 
+  // Non-perturbing membership probe: no LRU touch, no epoch update, no
+  // hit/miss accounting. Used by out-of-core prefetchers to skip bands
+  // that will be served from the cache — a probe must not count as the
+  // run "consuming" the band, or scan protection would lapse before the
+  // real lookup arrives.
+  bool contains(std::size_t band) const;
+
   // Admission pre-check: would a band of `bytes` decoded size ever fit?
   // (Bands larger than the whole budget are never built, so the cold
   // path pays the copy only for cacheable bands.)

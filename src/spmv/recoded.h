@@ -13,6 +13,7 @@
 #include <span>
 
 #include "codec/arena.h"
+#include "codec/container_source.h"
 #include "codec/pipeline.h"
 #include "udpprog/block_decoder.h"
 
@@ -59,6 +60,17 @@ class RecodedSpmv {
   explicit RecodedSpmv(const codec::CompressedMatrix& cm,
                        DecodeEngine engine = DecodeEngine::kSoftware);
 
+  // Out-of-core variant: compressed streams come from `source` instead
+  // of cm.blocks (which may be empty — a header-only matrix from
+  // codec::open_container). The serial loop leases a fixed-size chunk of
+  // blocks at a time and prefetches the next chunk before decoding the
+  // current one, so storage reads overlap decode even without threads.
+  // The UDP simulator walks cm.blocks directly, so kUdpSimulated with an
+  // out-of-core source throws recode::Error.
+  RecodedSpmv(const codec::CompressedMatrix& cm,
+              std::shared_ptr<codec::ContainerSource> source,
+              DecodeEngine engine = DecodeEngine::kSoftware);
+
   // y = A*x, decompressing block by block. Overwrites y.
   void multiply(std::span<const double> x, std::span<double> y);
 
@@ -80,8 +92,14 @@ class RecodedSpmv {
   sparse::index_t cols() const { return cm_->cols; }
 
  private:
+  void multiply_batch_source(std::span<const double> x, std::span<double> y,
+                             int k);
+
   const codec::CompressedMatrix* cm_;
   DecodeEngine engine_;
+  // Non-null only on the out-of-core path (kResident sources decode
+  // through the historical cm_->blocks loop).
+  std::shared_ptr<codec::ContainerSource> source_;
   std::unique_ptr<udpprog::UdpPipelineDecoder> udp_decoder_;
   // Software-engine decode arenas: blocks decode straight into out_'s
   // slabs (codec::decompress_block_fast), so after the first block the

@@ -282,6 +282,11 @@ struct StreamingExecutor::Run {
   std::atomic<std::size_t> active_decoders{0};
   std::unique_ptr<BoundedQueue<ReadyItem>> ready;
   std::vector<std::unique_ptr<BoundedQueue<TaskSlab*>>> free_qs;
+  // Out-of-core prefetch cursor: next position in `order` to hint to
+  // the source. Shared across workers so prefetch depth tracks global
+  // decode progress regardless of who steals what.
+  const std::vector<std::uint32_t>* order = nullptr;
+  std::atomic<std::size_t> prefetch_cursor{0};
 };
 
 StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
@@ -333,7 +338,74 @@ StreamingExecutor::StreamingExecutor(const codec::CompressedMatrix& cm,
   // only ever take the inline path never spawn a thread.
 }
 
+StreamingExecutor::StreamingExecutor(
+    const codec::CompressedMatrix& cm,
+    std::shared_ptr<codec::ContainerSource> source, StreamingConfig config)
+    : StreamingExecutor(cm, config) {
+  RECODE_CHECK(source != nullptr);
+  if (source->out_of_core()) {
+    if (config_.engine == DecodeEngine::kUdpSimulated) {
+      fail("streaming executor: the UDP simulator needs resident blocks; "
+           "out-of-core sources support the software engine only");
+    }
+    source_ = std::move(source);
+    // Pre-provision the source's window pool for this executor's lease
+    // discipline — each worker holds at most two staged ranges (the
+    // band in hand plus its lookahead prefetch) — so the warmed steady
+    // state stays allocation-free even when a concurrency spike touches
+    // a window that demand-driven growth never warmed.
+    std::size_t max_extent = 0;
+    for (const RowBand& band : bands_) {
+      max_extent = std::max(max_extent, source_->range_extent_bytes(
+                                            band.first_block,
+                                            band.block_count));
+    }
+    if (max_extent > 0) source_->reserve(2 * workers_, max_extent);
+  }
+}
+
 StreamingExecutor::~StreamingExecutor() = default;
+
+// Inline-run prefetch: advance a cursor over the run order and stage
+// the next band that will actually decode. Only the single-threaded
+// inline path uses this — there, execution order IS the run order, so
+// cursor-ahead prefetching lands exactly one band early. Threaded
+// workers must not use it: work-stealing pop order diverges from run
+// order, stale windows pile up against the in-flight byte budget, and
+// once the budget is exhausted by windows only blocked workers would
+// consume, every acquire() deadlocks. They use prefetch_band() on the
+// task they just popped instead (see fused_worker/decode_worker).
+void StreamingExecutor::prefetch_next_band() {
+  if (!source_) return;
+  const auto& order = *run_->order;
+  for (;;) {
+    const std::size_t i =
+        run_->prefetch_cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= order.size()) return;
+    const std::uint32_t task = order[i];
+    // Cache-served bands never touch storage; skip to the next band
+    // that will actually decode. contains() is non-perturbing, so the
+    // probe doesn't spend the band's scan protection. A band evicted
+    // between this probe and its lookup just reads synchronously.
+    if (cache_ && cache_->contains(task)) continue;
+    const RowBand& band = bands_[task];
+    source_->prefetch(band.first_block, band.block_count);
+    return;
+  }
+}
+
+// Worker-lookahead prefetch: stage one specific band's compressed
+// extent. Never blocks — a full window budget or queue drops the hint
+// and the band's acquire() falls back to a synchronous read. Skips
+// cache-resident bands (contains() is non-perturbing, so the probe
+// doesn't spend scan protection; a band evicted between this probe and
+// its lookup just reads synchronously).
+void StreamingExecutor::prefetch_band(std::uint32_t task) {
+  if (!source_) return;
+  if (cache_ && cache_->contains(task)) return;
+  const RowBand& band = bands_[task];
+  source_->prefetch(band.first_block, band.block_count);
+}
 
 double StreamingExecutor::planning_decode_fraction() const {
   if (config_.decode_fraction_hint > 0.0) {
@@ -359,6 +431,8 @@ void StreamingExecutor::execute_task_fused(WorkerState& ws, std::size_t task,
     if (auto cached = cache_->lookup(task)) {
       // Warm task: accumulate straight from the pinned decoded copy; the
       // local shared_ptr keeps it alive past any concurrent eviction.
+      // A prefetch that raced the band into the cache is discarded.
+      if (source_) source_->release(band.first_block, band.block_count);
       ++ws.hit_bands;
       for (const CachedBlock& cb : cached->blocks) {
         const auto& range = cm_->blocking.blocks[cb.block];
@@ -394,52 +468,72 @@ void StreamingExecutor::execute_task_fused(WorkerState& ws, std::size_t task,
     }
   }
 
-  for (std::size_t i = 0; i < band.block_count; ++i) {
-    const std::size_t b = band.first_block + i;
-    std::span<const sparse::index_t> indices;
-    std::span<const double> values;
-    udpprog::BlockResult udp_result;
-    {
-      RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
-      timer.reset();
-      if (config_.engine == DecodeEngine::kSoftware) {
-        const codec::DecodedBlock decoded =
-            codec::decompress_block_fast(*cm_, b, ws.scratch, ws.out);
-        indices = decoded.indices;
-        values = decoded.values;
-      } else {
-        if (!ws.udp) {
-          ws.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+  // Out-of-core: lease the band's compressed extent for the duration of
+  // the decode loop (the spans block() returns alias the lease).
+  if (source_) source_->acquire(band.first_block, band.block_count);
+  try {
+    for (std::size_t i = 0; i < band.block_count; ++i) {
+      const std::size_t b = band.first_block + i;
+      std::span<const sparse::index_t> indices;
+      std::span<const double> values;
+      udpprog::BlockResult udp_result;
+      std::size_t stream_bytes = 0;
+      {
+        RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
+        timer.reset();
+        if (source_) {
+          const codec::SourceBlockBytes sb = source_->block(b);
+          const codec::DecodedBlock decoded = codec::decompress_block_fast(
+              *cm_, b, sb.index_data, sb.value_data, ws.scratch, ws.out);
+          indices = decoded.indices;
+          values = decoded.values;
+          stream_bytes = sb.index_data.size() + sb.value_data.size() + 1;
+        } else if (config_.engine == DecodeEngine::kSoftware) {
+          const codec::DecodedBlock decoded =
+              codec::decompress_block_fast(*cm_, b, ws.scratch, ws.out);
+          indices = decoded.indices;
+          values = decoded.values;
+          stream_bytes = cm_->blocks[b].bytes() + 1;  // +1: codec-id byte
+        } else {
+          if (!ws.udp) {
+            ws.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+          }
+          udp_result = ws.udp->decode_block(b);
+          indices = udp_result.indices;
+          values = udp_result.values;
+          ws.udp_cycles += udp_result.lane_cycles();
+          stream_bytes = cm_->blocks[b].bytes() + 1;
         }
-        udp_result = ws.udp->decode_block(b);
-        indices = udp_result.indices;
-        values = udp_result.values;
-        ws.udp_cycles += udp_result.lane_cycles();
+        check_block_indices(indices, cm_->cols);
+        ws.decode_busy += timer.seconds();
       }
-      check_block_indices(indices, cm_->cols);
-      ws.decode_busy += timer.seconds();
-    }
-    ++ws.blocks;
-    ws.bytes += cm_->blocks[b].bytes() + 1;  // +1: codec-id dispatch byte
-    if (pending) {
-      CachedBlock cb;
-      cb.block = b;
-      cb.indices.assign(indices.begin(), indices.end());
-      cb.values.assign(values.begin(), values.end());
-      pending->blocks.push_back(std::move(cb));
-    }
-    const auto& range = cm_->blocking.blocks[b];
-    {
-      RECODE_TRACE_SPAN_ARG("spmv", "accumulate_block", "block", b);
-      timer.reset();
-      if (k == 1) {
-        accumulate_block(range, cm_->row_ptr, indices, values, x, y);
-      } else {
-        accumulate_block_batch(range, cm_->row_ptr, indices, values, x, y, k);
+      ++ws.blocks;
+      ws.bytes += stream_bytes;
+      if (pending) {
+        CachedBlock cb;
+        cb.block = b;
+        cb.indices.assign(indices.begin(), indices.end());
+        cb.values.assign(values.begin(), values.end());
+        pending->blocks.push_back(std::move(cb));
       }
-      ws.compute_busy += timer.seconds();
+      const auto& range = cm_->blocking.blocks[b];
+      {
+        RECODE_TRACE_SPAN_ARG("spmv", "accumulate_block", "block", b);
+        timer.reset();
+        if (k == 1) {
+          accumulate_block(range, cm_->row_ptr, indices, values, x, y);
+        } else {
+          accumulate_block_batch(range, cm_->row_ptr, indices, values, x, y,
+                                 k);
+        }
+        ws.compute_busy += timer.seconds();
+      }
     }
+  } catch (...) {
+    if (source_) source_->release(band.first_block, band.block_count);
+    throw;
   }
+  if (source_) source_->release(band.first_block, band.block_count);
   if (pending) cache_->insert(task, std::move(pending));
 }
 
@@ -451,19 +545,51 @@ void StreamingExecutor::fused_worker(std::size_t worker) {
                                                 std::to_string(worker));
   }
   try {
+    // Out-of-core lookahead: pop the NEXT task (one non-blocking sweep)
+    // and prefetch its band before executing the task in hand, so every
+    // prefetched window is consumed next by the worker that staged it
+    // and in-flight compressed bytes stay bounded by ~one window per
+    // worker. The blocking acquire() is only ever entered with no task
+    // in hand — it spins until remaining_ hits zero, so re-entering it
+    // while holding an uncompleted task would deadlock the last worker.
     std::uint32_t task = 0;
+    bool have_task = false;
     for (;;) {
+      std::uint32_t next = 0;
       bool got;
+      if (have_task) {
+        got = scheduler_->try_acquire(worker, next);
+        if (got) {
+          telem.deque_occupancy.observe(
+              static_cast<double>(scheduler_->deque_size(worker)));
+          prefetch_band(next);
+        }
+        execute_task_fused(ws, task, run_->x, run_->y, run_->k);
+        trace_ledger_counters();
+        scheduler_->complete();
+        have_task = false;
+        if (got) {
+          task = next;
+          have_task = true;
+        }
+        continue;
+      }
       {
         telemetry::WaitTimer wait(telem.acquire_wait_us, &ws.decode_blocked);
-        got = scheduler_->acquire(worker, task);
+        got = scheduler_->acquire(worker, next);
       }
       if (!got) break;
       telem.deque_occupancy.observe(
           static_cast<double>(scheduler_->deque_size(worker)));
-      execute_task_fused(ws, task, run_->x, run_->y, run_->k);
-      trace_ledger_counters();
-      scheduler_->complete();
+      if (source_) {
+        prefetch_band(next);
+        task = next;
+        have_task = true;
+      } else {
+        execute_task_fused(ws, next, run_->x, run_->y, run_->k);
+        trace_ledger_counters();
+        scheduler_->complete();
+      }
     }
   } catch (...) {
     ws.error = std::current_exception();
@@ -488,113 +614,43 @@ void StreamingExecutor::decode_worker(std::size_t worker) {
                                                 std::to_string(worker));
   }
   try {
+    // Same out-of-core lookahead as fused_worker: prefetch the band of
+    // the task just popped, then decode the one already in hand. The
+    // blocking acquire() is only entered with no task in hand.
     std::uint32_t task = 0;
+    bool have_task = false;
     for (;;) {
+      std::uint32_t next = 0;
       bool got;
+      if (have_task) {
+        got = scheduler_->try_acquire(worker, next);
+        if (got) {
+          telem.deque_occupancy.observe(
+              static_cast<double>(scheduler_->deque_size(worker)));
+          prefetch_band(next);
+        }
+        if (!decode_one_task(worker, ws, task)) break;  // cancelled
+        have_task = false;
+        if (got) {
+          task = next;
+          have_task = true;
+        }
+        continue;
+      }
       {
         telemetry::WaitTimer wait(telem.acquire_wait_us, &ws.decode_blocked);
-        got = scheduler_->acquire(worker, task);
+        got = scheduler_->acquire(worker, next);
       }
       if (!got) break;
       telem.deque_occupancy.observe(
           static_cast<double>(scheduler_->deque_size(worker)));
-      const RowBand& band = bands_[task];
-      RECODE_TRACE_SPAN_ARG("spmv", "decode_task", "task", task);
-
-      ReadyItem item;
-      item.task = task;
-      bool served_from_cache = false;
-      if (cache_) {
-        if (auto cached = cache_->lookup(task)) {
-          ++ws.hit_bands;
-          ws.hit_blocks += cached->blocks.size();
-          item.cached = std::move(cached);
-          served_from_cache = true;
-        } else {
-          ++ws.miss_bands;
-        }
+      if (source_) {
+        prefetch_band(next);
+        task = next;
+        have_task = true;
+      } else if (!decode_one_task(worker, ws, next)) {
+        break;  // cancelled
       }
-
-      if (!served_from_cache) {
-        TaskSlab* slab = nullptr;
-        bool got_slab;
-        {
-          telemetry::WaitTimer wait(telem.free_pop_wait_us,
-                                    &ws.decode_blocked);
-          got_slab = run_->free_qs[worker]->pop(slab);
-        }
-        if (!got_slab) break;  // cancelled
-        slab->used = 0;
-        slab->task = task;
-        slab->udp_cycles = 0;
-        if (slab->bufs.size() < band.block_count) {
-          slab->bufs.resize(band.block_count);  // grows once, then reused
-        }
-
-        std::shared_ptr<CachedBand> pending;
-        if (cache_) {
-          std::size_t task_nnz = 0;
-          for (std::size_t i = 0; i < band.block_count; ++i) {
-            task_nnz += cm_->blocking.blocks[band.first_block + i].count;
-          }
-          const std::size_t decoded_bytes = decoded_band_bytes(task_nnz);
-          if (cache_->admissible(decoded_bytes)) {
-            pending = std::make_shared<CachedBand>();
-            pending->blocks.reserve(band.block_count);
-            pending->bytes = decoded_bytes;
-          }
-        }
-
-        for (std::size_t i = 0; i < band.block_count; ++i) {
-          const std::size_t b = band.first_block + i;
-          TaskSlab::Buf& buf = slab->bufs[i];
-          RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
-          Timer timer;
-          if (config_.engine == DecodeEngine::kSoftware) {
-            const codec::DecodedBlock decoded =
-                codec::decompress_block_fast(*cm_, b, ws.scratch, ws.out);
-            buf.indices.assign(decoded.indices.begin(),
-                               decoded.indices.end());
-            buf.values.assign(decoded.values.begin(), decoded.values.end());
-          } else {
-            if (!ws.udp) {
-              ws.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
-            }
-            udpprog::BlockResult result = ws.udp->decode_block(b);
-            buf.indices = std::move(result.indices);
-            buf.values = std::move(result.values);
-            slab->udp_cycles += result.lane_cycles();
-          }
-          buf.block = b;
-          check_block_indices(buf.indices, cm_->cols);
-          ws.decode_busy += timer.seconds();
-          ++ws.blocks;
-          ws.bytes += cm_->blocks[b].bytes() + 1;  // +1: codec-id byte
-          if (pending) {
-            CachedBlock cb;
-            cb.block = b;
-            cb.indices = buf.indices;
-            cb.values = buf.values;
-            pending->blocks.push_back(std::move(cb));
-          }
-          slab->used = i + 1;
-        }
-        ws.udp_cycles += slab->udp_cycles;
-        if (pending) cache_->insert(task, std::move(pending));
-        item.slab = slab;
-      }
-
-      std::size_t depth = 0;
-      bool pushed;
-      {
-        telemetry::WaitTimer wait(telem.ready_push_wait_us,
-                                  &ws.decode_blocked);
-        pushed = run_->ready->push(std::move(item), depth);
-      }
-      if (!pushed) break;  // cancelled
-      telem.ready_occupancy.observe(static_cast<double>(depth));
-      trace_ledger_counters();
-      scheduler_->complete();
     }
   } catch (...) {
     ws.error = std::current_exception();
@@ -619,6 +675,129 @@ void StreamingExecutor::decode_worker(std::size_t worker) {
   } else {
     gate_->arrive();
   }
+}
+
+// One decode task end-to-end: cache lookup or slab decode, then hand
+// the ReadyItem to the accumulators and complete() the task. Returns
+// false when a cancelled queue ended the run (the caller exits its
+// loop; the surrounding cancel handling drains the deque).
+bool StreamingExecutor::decode_one_task(std::size_t worker, WorkerState& ws,
+                                        std::uint32_t task) {
+  StreamTelemetry& telem = StreamTelemetry::get();
+  const RowBand& band = bands_[task];
+  RECODE_TRACE_SPAN_ARG("spmv", "decode_task", "task", task);
+
+  ReadyItem item;
+  item.task = task;
+  bool served_from_cache = false;
+  if (cache_) {
+    if (auto cached = cache_->lookup(task)) {
+      if (source_) source_->release(band.first_block, band.block_count);
+      ++ws.hit_bands;
+      ws.hit_blocks += cached->blocks.size();
+      item.cached = std::move(cached);
+      served_from_cache = true;
+    } else {
+      ++ws.miss_bands;
+    }
+  }
+
+  if (!served_from_cache) {
+    TaskSlab* slab = nullptr;
+    bool got_slab;
+    {
+      telemetry::WaitTimer wait(telem.free_pop_wait_us, &ws.decode_blocked);
+      got_slab = run_->free_qs[worker]->pop(slab);
+    }
+    if (!got_slab) return false;  // cancelled
+    slab->used = 0;
+    slab->task = task;
+    slab->udp_cycles = 0;
+    if (slab->bufs.size() < band.block_count) {
+      slab->bufs.resize(band.block_count);  // grows once, then reused
+    }
+
+    std::shared_ptr<CachedBand> pending;
+    if (cache_) {
+      std::size_t task_nnz = 0;
+      for (std::size_t i = 0; i < band.block_count; ++i) {
+        task_nnz += cm_->blocking.blocks[band.first_block + i].count;
+      }
+      const std::size_t decoded_bytes = decoded_band_bytes(task_nnz);
+      if (cache_->admissible(decoded_bytes)) {
+        pending = std::make_shared<CachedBand>();
+        pending->blocks.reserve(band.block_count);
+        pending->bytes = decoded_bytes;
+      }
+    }
+
+    if (source_) source_->acquire(band.first_block, band.block_count);
+    try {
+      for (std::size_t i = 0; i < band.block_count; ++i) {
+        const std::size_t b = band.first_block + i;
+        TaskSlab::Buf& buf = slab->bufs[i];
+        RECODE_TRACE_SPAN_ARG("spmv", "decode_block", "block", b);
+        Timer timer;
+        std::size_t stream_bytes = 0;
+        if (source_) {
+          const codec::SourceBlockBytes sb = source_->block(b);
+          const codec::DecodedBlock decoded =
+              codec::decompress_block_fast(*cm_, b, sb.index_data,
+                                           sb.value_data, ws.scratch, ws.out);
+          buf.indices.assign(decoded.indices.begin(), decoded.indices.end());
+          buf.values.assign(decoded.values.begin(), decoded.values.end());
+          stream_bytes = sb.index_data.size() + sb.value_data.size() + 1;
+        } else if (config_.engine == DecodeEngine::kSoftware) {
+          const codec::DecodedBlock decoded =
+              codec::decompress_block_fast(*cm_, b, ws.scratch, ws.out);
+          buf.indices.assign(decoded.indices.begin(), decoded.indices.end());
+          buf.values.assign(decoded.values.begin(), decoded.values.end());
+          stream_bytes = cm_->blocks[b].bytes() + 1;  // +1: codec-id byte
+        } else {
+          if (!ws.udp) {
+            ws.udp = std::make_unique<udpprog::UdpPipelineDecoder>(*cm_);
+          }
+          udpprog::BlockResult result = ws.udp->decode_block(b);
+          buf.indices = std::move(result.indices);
+          buf.values = std::move(result.values);
+          slab->udp_cycles += result.lane_cycles();
+          stream_bytes = cm_->blocks[b].bytes() + 1;
+        }
+        buf.block = b;
+        check_block_indices(buf.indices, cm_->cols);
+        ws.decode_busy += timer.seconds();
+        ++ws.blocks;
+        ws.bytes += stream_bytes;
+        if (pending) {
+          CachedBlock cb;
+          cb.block = b;
+          cb.indices = buf.indices;
+          cb.values = buf.values;
+          pending->blocks.push_back(std::move(cb));
+        }
+        slab->used = i + 1;
+      }
+    } catch (...) {
+      if (source_) source_->release(band.first_block, band.block_count);
+      throw;
+    }
+    if (source_) source_->release(band.first_block, band.block_count);
+    ws.udp_cycles += slab->udp_cycles;
+    if (pending) cache_->insert(task, std::move(pending));
+    item.slab = slab;
+  }
+
+  std::size_t depth = 0;
+  bool pushed;
+  {
+    telemetry::WaitTimer wait(telem.ready_push_wait_us, &ws.decode_blocked);
+    pushed = run_->ready->push(std::move(item), depth);
+  }
+  if (!pushed) return false;  // cancelled
+  telem.ready_occupancy.observe(static_cast<double>(depth));
+  trace_ledger_counters();
+  scheduler_->complete();
+  return true;
 }
 
 void StreamingExecutor::accumulate_worker(std::size_t worker) {
@@ -708,6 +887,9 @@ void StreamingExecutor::run_inline(std::span<const double> x,
   WorkerState& ws = *states_[0];
   const auto& order = reverse ? task_ids_rev_ : task_ids_fwd_;
   for (const std::uint32_t task : order) {
+    // Keep the out-of-core pipeline one band ahead of the decode (the
+    // cursor was primed two deep by multiply_batch); a no-op in-core.
+    prefetch_next_band();
     execute_task_fused(ws, task, x, y, k);
   }
 }
@@ -745,6 +927,17 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
   const bool inline_run =
       workers_ == 1 || bands_.size() == 1 ||
       cm_->blocking.blocks.size() <= config_.fused_inline_blocks;
+
+  // Prime the inline run's out-of-core prefetch pipeline two bands
+  // ahead; run_inline keeps it that deep by advancing the cursor per
+  // task. Threaded runs don't prime — each worker prefetches the band
+  // of the task it just popped (pop-order lookahead), which keeps
+  // in-flight compressed bytes bounded by ~one window per worker.
+  run_->order = reverse ? &task_ids_rev_ : &task_ids_fwd_;
+  run_->prefetch_cursor.store(0, std::memory_order_relaxed);
+  if (source_ && inline_run) {
+    for (std::size_t i = 0; i < 2; ++i) prefetch_next_band();
+  }
 
   RECODE_TRACE_SPAN_ARG("spmv", "multiply_batch", "rhs", k);
   Timer wall;
@@ -826,6 +1019,9 @@ void StreamingExecutor::multiply_batch(std::span<const double> x,
 // bumps the lifetime totals. Runs on the caller thread after every
 // multiply, including failed ones (partial progress still counts).
 void StreamingExecutor::finish_run(double wall_seconds) {
+  // Run boundary for the source: reclaims prefetched-but-unconsumed
+  // windows (a cancelled run leaves some behind; a clean run none).
+  if (source_) source_->end_run();
   StreamTelemetry& telem = StreamTelemetry::get();
   stats_.wall_seconds = wall_seconds;
   for (const auto& ws : states_) {
@@ -916,6 +1112,10 @@ void StreamingExecutor::finish_run(double wall_seconds) {
 
 void StreamingExecutor::set_engine(DecodeEngine engine) {
   if (engine == config_.engine) return;
+  if (source_ && engine == DecodeEngine::kUdpSimulated) {
+    fail("streaming executor: the UDP simulator needs resident blocks; "
+         "out-of-core sources support the software engine only");
+  }
   config_.engine = engine;
   clear_cache();
 }

@@ -184,6 +184,21 @@ class StreamingExecutor {
  public:
   explicit StreamingExecutor(const codec::CompressedMatrix& cm,
                              StreamingConfig config = {});
+
+  // Out-of-core variant: compressed streams come from `source` (cm may
+  // be header-only). The source reads at least one band ahead of
+  // decode: threaded workers pop the next task from the scheduler
+  // before decoding the one in hand and prefetch its band (pop-order
+  // lookahead, so in-flight compressed bytes stay bounded by ~one
+  // window per worker no matter how stealing reorders the run); the
+  // single-threaded inline path advances a cursor over the run order,
+  // primed two bands deep. Bands the BandCache serves are skipped
+  // (warm runs re-stream only what the cache couldn't pin).
+  // kUdpSimulated needs resident blocks and throws recode::Error here.
+  StreamingExecutor(const codec::CompressedMatrix& cm,
+                    std::shared_ptr<codec::ContainerSource> source,
+                    StreamingConfig config = {});
+
   ~StreamingExecutor();
 
   StreamingExecutor(const StreamingExecutor&) = delete;
@@ -236,8 +251,18 @@ class StreamingExecutor {
   struct ReadyItem;    // split mode: what travels to the accumulators
   struct Run;          // per-call state (persistent core + split queues)
 
+  // Inline-path prefetch: advances the run-order cursor one task
+  // (skipping cache-served bands) and hints its band to the source.
+  // Only run_inline uses it — there execution order is the run order.
+  void prefetch_next_band();
+  // Worker-path prefetch: hints one specific band (the task the worker
+  // just popped) to the source; skips cache-served bands.
+  void prefetch_band(std::uint32_t task);
+
   void fused_worker(std::size_t worker);
   void decode_worker(std::size_t worker);
+  bool decode_one_task(std::size_t worker, WorkerState& ws,
+                       std::uint32_t task);
   void accumulate_worker(std::size_t worker);
   void run_inline(std::span<const double> x, std::span<double> y, int k,
                   bool reverse);
@@ -248,6 +273,9 @@ class StreamingExecutor {
   static void worker_trampoline(void* self, std::size_t worker);
 
   const codec::CompressedMatrix* cm_;
+  // Non-null only on the out-of-core path; resident matrices keep the
+  // historical cm_->blocks decode (and its zero-allocation guarantee).
+  std::shared_ptr<codec::ContainerSource> source_;
   StreamingConfig config_;
   std::size_t workers_ = 0;
   std::vector<RowBand> bands_;

@@ -12,9 +12,10 @@ namespace recode::telemetry {
 
 namespace {
 
-constexpr Hop kAllHops[kHopCount] = {Hop::kContainer, Hop::kHuffman,
-                                     Hop::kSnappy,    Hop::kTransform,
-                                     Hop::kCache,     Hop::kKernel};
+constexpr Hop kAllHops[kHopCount] = {Hop::kStorage, Hop::kContainer,
+                                     Hop::kHuffman, Hop::kSnappy,
+                                     Hop::kTransform, Hop::kCache,
+                                     Hop::kKernel};
 
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 
@@ -42,6 +43,7 @@ std::string format_bytes(std::uint64_t b) {
 
 const char* hop_name(Hop hop) {
   switch (hop) {
+    case Hop::kStorage: return "storage";
     case Hop::kContainer: return "container";
     case Hop::kHuffman: return "huffman";
     case Hop::kSnappy: return "snappy";
@@ -68,6 +70,10 @@ LedgerSnapshot LedgerSnapshot::since(const LedgerSnapshot& earlier) const {
 
 MovementLedger::MovementLedger()
     : hops_{
+          {MetricsRegistry::global().counter("ledger.storage.bytes_in"),
+           MetricsRegistry::global().counter("ledger.storage.bytes_out"),
+           MetricsRegistry::global().counter("ledger.storage.ns"),
+           MetricsRegistry::global().counter("ledger.storage.ops")},
           {MetricsRegistry::global().counter("ledger.container.bytes_in"),
            MetricsRegistry::global().counter("ledger.container.bytes_out"),
            MetricsRegistry::global().counter("ledger.container.ns"),
@@ -191,6 +197,15 @@ bool RunReport::conservation_check(std::string* why) const {
     return false;
   };
   const LedgerSnapshot& f = flows;
+  // The storage edge only binds when the window saw any storage flow at
+  // all: fully-resident runs never touch the hop and legitimately start
+  // the chain at `container`.
+  const LedgerSnapshot::Flow& st = f.hop(Hop::kStorage);
+  if ((st.ops > 0 || st.bytes_in > 0 || st.bytes_out > 0) &&
+      !eq(st.bytes_out, f.hop(Hop::kContainer).bytes_in,
+          "storage.out vs container.in")) {
+    return false;
+  }
   if (!eq(f.hop(Hop::kContainer).bytes_out, f.hop(Hop::kHuffman).bytes_in,
           "container.out vs huffman.in")) {
     return false;

@@ -5,10 +5,14 @@
 // Every engine feeds the same process-wide MovementLedger with typed
 // byte-flow edges as data moves through the fixed hop chain
 //
-//   container -> huffman -> snappy -> transform -> kernel
-//                                       \-> cache -/
+//   storage -> container -> huffman -> snappy -> transform -> kernel
+//                                                  \-> cache -/
 //
-// where `container` is the compressed-stream read (bytes_in includes
+// where `storage` is the out-of-core read from the container file
+// (bytes_in = the on-disk extent fetched including varint framing,
+// bytes_out = the record bytes handed to the container hop; all-zero
+// for fully-resident runs), `container` is the compressed-stream read
+// (bytes_in includes
 // the per-block codec-id dispatch byte, bytes_out is the payload handed
 // to the codec chain), each codec stage records bytes in/out and
 // nanoseconds (inactive stages record an equal-bytes pass-through so
@@ -46,14 +50,15 @@ class JsonWriter;
 
 // Fixed hop set, in flow order.
 enum class Hop : int {
-  kContainer = 0,
-  kHuffman = 1,
-  kSnappy = 2,
-  kTransform = 3,
-  kCache = 4,
-  kKernel = 5,
+  kStorage = 0,
+  kContainer = 1,
+  kHuffman = 2,
+  kSnappy = 3,
+  kTransform = 4,
+  kCache = 5,
+  kKernel = 6,
 };
-inline constexpr int kHopCount = 6;
+inline constexpr int kHopCount = 7;
 
 const char* hop_name(Hop hop);
 
@@ -152,6 +157,9 @@ struct RunReport {
   double storage_bytes_per_kernel_byte() const;
 
   // Byte-conservation check over the flow graph:
+  //   storage.out == container.in   (only when the storage hop saw any
+  //   activity in the window — fully-resident runs record no storage
+  //   flow at all),
   //   container.out == huffman.in, huffman.out == snappy.in,
   //   snappy.out == transform.in,
   //   transform.out + cache.out == kernel.in   (skipped when no kernel
