@@ -11,6 +11,9 @@
 //   exact      — structure and correctness flags that must match bitwise:
 //                bitwise_ok, conservation_ok, nnz, blocks, rhs,
 //                cg_iterations_*, power_iterations, tasks_*, fused_*,
+//                the graph-kernel structure keys (c_nnz, spgemm_products,
+//                spgemm_rows_*, container_blocks, frontier_skip_ratio*,
+//                frontier_nnz*, bfs_reached, bfs_max_level),
 //                engine (string).
 //   model      — deterministic model outputs (udp_*, *bytes_per_nnz,
 //                decoded_mb, the run block's kernel-hop byte flows):
@@ -89,7 +92,13 @@ Class classify(const std::string& key) {
   if (key == "bitwise_ok" || key == "conservation_ok" || key == "nnz" ||
       key == "blocks" || key == "rhs" || key == "power_iterations" ||
       starts_with(key, "cg_iterations") || starts_with(key, "tasks_") ||
-      starts_with(key, "fused_")) {
+      starts_with(key, "fused_") ||
+      // Graph kernels: deterministic structure of the fixed-seed run.
+      key == "c_nnz" || key == "spgemm_products" ||
+      starts_with(key, "spgemm_rows_") || key == "container_blocks" ||
+      starts_with(key, "frontier_skip_ratio") ||
+      starts_with(key, "frontier_nnz") || key == "bfs_reached" ||
+      key == "bfs_max_level") {
     return Class::kExact;
   }
   if (starts_with(key, "udp_") || contains(key, "bytes_per_nnz") ||
@@ -184,8 +193,9 @@ void add_run_block(const mj::Value& run, Doc& doc) {
     for (const auto& [hop, flow] : run.at("hops").object()) {
       for (const char* f : {"bytes_in", "bytes_out", "ops"}) {
         if (flow.has(f)) {
+          const mj::Value& fv = flow.at(f);
           doc.nums.emplace_back("run.hops." + hop + "." + f,
-                                flow.at(f).num());
+                                fv.is_null() ? std::nan("") : fv.num());
         }
       }
     }
@@ -194,8 +204,12 @@ void add_run_block(const mj::Value& run, Doc& doc) {
     for (const auto& [k, v] : run.at("roofline").object()) {
       // Fractions depend on cache behavior (measured), byte ratios on
       // the codec (model); only the latter belong in the portable set.
-      if (v.is_number() && contains(k, "bytes_per")) {
-        doc.nums.emplace_back("run.roofline." + k, v.num());
+      // JSON null is the NaN empty-input convention (stats.h) — keep
+      // the key as NaN so it round-trips instead of reading as a
+      // silently dropped metric.
+      if ((v.is_number() || v.is_null()) && contains(k, "bytes_per")) {
+        doc.nums.emplace_back("run.roofline." + k,
+                              v.is_null() ? std::nan("") : v.num());
       }
     }
   }
@@ -216,6 +230,11 @@ Doc load_doc(const std::string& path) {
     for (const auto& [k, r] : v.at("results").object()) {
       if (r.is_number()) {
         doc.nums.emplace_back(k, r.num());
+      } else if (r.is_null()) {
+        // JsonWriter emits null for non-finite doubles (the stats.h
+        // NaN-when-empty convention); parse it back to NaN rather than
+        // dropping the key, so null baselines round-trip.
+        doc.nums.emplace_back(k, std::nan(""));
       } else if (r.is_string()) {
         doc.strs.emplace_back(k, r.str());
       }
@@ -348,6 +367,20 @@ int run(int argc, char** argv) {
       continue;
     }
     const double fresh_v = fresh.num(key);
+    // NaN metrics (JSON null, the stats.h empty-input convention) are
+    // compared by kind, not value: NaN vs NaN is a match ("still no
+    // samples"), NaN vs a number in either direction is a real change
+    // in what the bench measured and fails.
+    if (std::isnan(base_v) || std::isnan(fresh_v)) {
+      const bool ok = std::isnan(base_v) && std::isnan(fresh_v);
+      if (!ok) ++regressions;
+      ++compared;
+      t.add_row({key, class_name(cls),
+                 std::isnan(base_v) ? "null" : Table::num(base_v, 4),
+                 std::isnan(fresh_v) ? "null" : Table::num(fresh_v, 4), "-",
+                 ok ? "ok" : "FAIL"});
+      continue;
+    }
     const double tol = tolerance(cls, ratio_tol, timing_tol);
     const double denom = std::fabs(base_v) > 1e-12 ? std::fabs(base_v) : 1.0;
     const double rel = (fresh_v - base_v) / denom;

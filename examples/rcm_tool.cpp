@@ -7,6 +7,7 @@
 //   rcm_tool --mode=info       --rcm m.rcm [--report[=r.json]]
 //   rcm_tool --mode=verify     --rcm m.rcm [--udp]
 //   rcm_tool --mode=decompress --rcm m.rcm --out out.mtx
+//   rcm_tool --mode=spgemm     --rcm a.rcm [--rcm-b b.rcm] --out c.rcm [--threads N]
 //
 // With no --mtx, compress generates a demo FEM-like matrix first.
 // info --report runs one decode pass through the movement ledger and
@@ -27,6 +28,7 @@
 #include "sparse/generators.h"
 #include "sparse/matrix_market.h"
 #include "sparse/stats.h"
+#include "spmv/spgemm.h"
 #include "telemetry/telemetry.h"
 #include "udpprog/matrix_decoder.h"
 
@@ -166,6 +168,42 @@ int mode_verify(const std::string& rcm, bool udp) {
   return 0;
 }
 
+// C = A * B between containers, written straight back to a container
+// through the streaming writer (C's compressed form never sits in RAM).
+// With no --rcm-b the tool squares A (B = A), the Galerkin-style default.
+int mode_spgemm(const std::string& rcm, const std::string& rcm_b,
+                const std::string& out, const std::string& pipeline,
+                std::size_t threads) {
+  if (rcm.empty()) fail("spgemm needs --rcm=<A container>");
+  const auto a = codec::read_compressed_file(rcm);
+  // Gustavson needs random row access into B: decode it once up front.
+  const sparse::Csr b = rcm_b.empty()
+                            ? codec::decompress(a)
+                            : codec::decompress(codec::read_compressed_file(rcm_b));
+  // "auto" selects C's pipeline from B's structure — C's sparsity is the
+  // Gustavson expansion of B's rows, so B is the proxy available before
+  // the multiply runs.
+  const auto out_cfg = pipeline_by_name(pipeline, b);
+  spmv::SpgemmConfig cfg;
+  cfg.threads = threads;
+  spmv::SpgemmStats stats;
+  Timer timer;
+  const auto wr = spmv::spgemm_to_container(out, a, nullptr, b, out_cfg, cfg,
+                                            &stats);
+  const double ms = timer.seconds() * 1e3;
+  std::printf("%s x %s -> %s\n", rcm.c_str(),
+              rcm_b.empty() ? rcm.c_str() : rcm_b.c_str(), out.c_str());
+  std::printf("%llu products, %llu dense rows, %llu merge rows, "
+              "%zu tasks on %zu workers, %.1f ms\n",
+              static_cast<unsigned long long>(stats.products),
+              static_cast<unsigned long long>(stats.rows_dense),
+              static_cast<unsigned long long>(stats.rows_merge),
+              stats.tasks, stats.workers, ms);
+  std::printf("C: %zu blocks, %llu payload bytes\n", wr.block_count,
+              static_cast<unsigned long long>(wr.payload_bytes));
+  return 0;
+}
+
 int mode_decompress(const std::string& rcm, const std::string& out) {
   const auto cm = codec::read_compressed_file(rcm);
   const sparse::Csr csr = codec::decompress(cm);
@@ -179,11 +217,15 @@ int mode_decompress(const std::string& rcm, const std::string& out) {
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string mode = cli.get_string(
-      "mode", "compress", "compress | info | verify | decompress");
+      "mode", "compress", "compress | info | verify | decompress | spgemm");
   const std::string mtx =
       cli.get_string("mtx", "", "Matrix Market input (compress)");
-  const std::string rcm =
-      cli.get_string("rcm", "", "container input (info/verify/decompress)");
+  const std::string rcm = cli.get_string(
+      "rcm", "", "container input (info/verify/decompress/spgemm)");
+  const std::string rcm_b = cli.get_string(
+      "rcm-b", "", "spgemm: B container (default: square --rcm)");
+  const auto threads = static_cast<std::size_t>(
+      cli.get_int("threads", 1, "spgemm: worker threads"));
   const std::string out =
       cli.get_string("out", "matrix.rcm", "output path");
   const std::string pipeline = cli.get_string(
@@ -205,6 +247,9 @@ int main(int argc, char** argv) {
     if (mode == "info") return mode_info(rcm, report);
     if (mode == "verify") return mode_verify(rcm, udp);
     if (mode == "decompress") return mode_decompress(rcm, out);
+    if (mode == "spgemm") {
+      return mode_spgemm(rcm, rcm_b, out, pipeline, threads);
+    }
     fail("unknown --mode: " + mode);
   } catch (const Error& e) {
     // Malformed input (a corrupt or truncated container) must end in a

@@ -1,0 +1,139 @@
+#include "solver/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+
+namespace recode::solver {
+
+FrontierOperator make_frontier_operator(spmv::SpmspvEngine& engine) {
+  return [&engine](const spmv::SparseVector& frontier, std::span<double> y) {
+    engine.multiply(frontier, y);
+  };
+}
+
+Operator make_operator(spmv::SpmspvEngine& engine) {
+  // One frontier buffer reused across applies (captured by the closure).
+  auto frontier = std::make_shared<spmv::SparseVector>();
+  return [&engine, frontier](std::span<const double> x, std::span<double> y) {
+    frontier->indices.clear();
+    frontier->values.clear();
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] != 0.0) {
+        frontier->indices.push_back(static_cast<sparse::index_t>(i));
+        frontier->values.push_back(x[i]);
+      }
+    }
+    engine.multiply(*frontier, y);
+  };
+}
+
+BfsResult bfs(const FrontierOperator& push, sparse::index_t n,
+              sparse::index_t source) {
+  BfsResult result;
+  result.level.assign(static_cast<std::size_t>(std::max(n, 0)), -1);
+  if (n <= 0) return result;
+  RECODE_CHECK(source >= 0 && source < n);
+
+  result.level[static_cast<std::size_t>(source)] = 0;
+  result.reached = 1;
+  result.max_level = 0;
+  result.frontier_peak = 1;
+
+  spmv::SparseVector frontier;
+  frontier.indices.push_back(source);
+  frontier.values.push_back(1.0);
+  spmv::SparseVector next;
+  std::vector<double> y(static_cast<std::size_t>(n));
+
+  sparse::index_t depth = 0;
+  while (!frontier.indices.empty()) {
+    push(frontier, y);
+    ++depth;
+    next.indices.clear();
+    next.values.clear();
+    // Fixed ascending scan: the discovery order (and therefore the level
+    // assignment) is deterministic for any operator implementation.
+    for (sparse::index_t v = 0; v < n; ++v) {
+      if (y[static_cast<std::size_t>(v)] != 0.0 &&
+          result.level[static_cast<std::size_t>(v)] < 0) {
+        result.level[static_cast<std::size_t>(v)] = depth;
+        next.indices.push_back(v);
+        next.values.push_back(1.0);
+      }
+    }
+    if (next.indices.empty()) break;
+    result.reached += next.indices.size();
+    result.max_level = depth;
+    result.frontier_peak =
+        std::max<std::uint64_t>(result.frontier_peak, next.indices.size());
+    std::swap(frontier, next);
+  }
+  return result;
+}
+
+BfsResult bfs(spmv::SpmspvEngine& push_engine, sparse::index_t source) {
+  RECODE_CHECK(push_engine.rows() == push_engine.cols());
+  return bfs(make_frontier_operator(push_engine), push_engine.rows(), source);
+}
+
+PageRankResult pagerank(const Operator& apply,
+                        std::span<const std::uint8_t> dangling,
+                        const PageRankOptions& opts) {
+  PageRankResult result;
+  const std::size_t n = dangling.size();
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const double inv_n = 1.0 / static_cast<double>(n);
+  result.rank.assign(n, inv_n);
+  std::vector<double> next(n);
+
+  while (result.iterations < opts.max_iters) {
+    apply(result.rank, next);
+    double dangling_mass = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dangling[i] != 0) dangling_mass += result.rank[i];
+    }
+    const double base =
+        (1.0 - opts.damping) * inv_n + opts.damping * dangling_mass * inv_n;
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = base + opts.damping * next[i];
+      delta += std::abs(v - result.rank[i]);
+      result.rank[i] = v;
+    }
+    ++result.iterations;
+    result.delta = delta;
+    if (delta <= opts.tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+sparse::Csr make_pagerank_matrix(const sparse::Csr& adj,
+                                 std::vector<std::uint8_t>* dangling) {
+  RECODE_CHECK(adj.rows == adj.cols);
+  const auto n = static_cast<std::size_t>(adj.rows);
+  if (dangling) dangling->assign(n, 0);
+
+  sparse::Csr normalized = adj;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto begin = static_cast<std::size_t>(adj.row_ptr[r]);
+    const auto end = static_cast<std::size_t>(adj.row_ptr[r + 1]);
+    if (begin == end) {
+      if (dangling) (*dangling)[r] = 1;
+      continue;
+    }
+    const double w = 1.0 / static_cast<double>(end - begin);
+    for (std::size_t k = begin; k < end; ++k) normalized.val[k] = w;
+  }
+  return sparse::transpose(normalized);
+}
+
+}  // namespace recode::solver

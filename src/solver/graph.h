@@ -1,0 +1,91 @@
+// Graph-workload drivers over the sparse kernels: deterministic BFS and
+// PageRank, the scenario family SpMSpV opens (ROADMAP item 3 — graph
+// frontiers are exactly the sparse vectors the frontier-driven kernel
+// skips blocks against).
+//
+// Both drivers are deterministic host loops in the solver.h tradition:
+// fixed-order scans, no thread-count-dependent reductions. Given
+// operators whose applications are bitwise-reproducible (SpmspvEngine at
+// any thread count, serial RecodedSpmv, StreamingExecutor, or a dense
+// test closure), the returned levels/ranks are bitwise-identical across
+// all of them — the graph test suite asserts this with memcmp.
+//
+// Direction convention: the adjacency A stores edge u -> v as A[u][v].
+// BFS pushes along edges, so its operator answers "which vertices
+// receive an edge from the frontier" — that is y = A^T * frontier. Build
+// the SpMSpV engine over transpose(A) (or the PageRank matrix below,
+// which is already transposed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "solver/solver.h"
+#include "sparse/formats.h"
+#include "spmv/spmspv.h"
+
+namespace recode::solver {
+
+// Frontier push: y = M * frontier for the engine's matrix M (y dense,
+// overwritten). With M = A^T, y[v] != 0 marks v as reached from the
+// frontier this step (requires nonnegative edge weights — cancellation
+// could otherwise zero a reached vertex).
+using FrontierOperator =
+    std::function<void(const spmv::SparseVector&, std::span<double>)>;
+
+FrontierOperator make_frontier_operator(spmv::SpmspvEngine& engine);
+
+// Dense-operator adapter for SpmspvEngine: wraps the dense x in a
+// frontier of its nonzero entries. Because SpMSpV is bitwise-identical
+// to the dense kernel for any frontier covering the nonzeros, this
+// Operator is interchangeable with make_operator(RecodedSpmv&) down to
+// the last bit — what lets the PageRank driver run frontier-driven and
+// still match the dense-SpMV-driven reference exactly.
+Operator make_operator(spmv::SpmspvEngine& engine);
+
+struct BfsResult {
+  std::vector<sparse::index_t> level;  // -1 = unreachable
+  sparse::index_t max_level = -1;      // depth of the deepest reached vertex
+  std::uint64_t reached = 0;           // vertices with level >= 0
+  std::uint64_t frontier_peak = 0;     // largest frontier of the run
+};
+
+// Level-synchronous BFS from `source` over a graph with n vertices.
+// push must be the A^T frontier operator (see above).
+BfsResult bfs(const FrontierOperator& push, sparse::index_t n,
+              sparse::index_t source);
+
+// Convenience: BFS driven by an SpmspvEngine built over transpose(A).
+BfsResult bfs(spmv::SpmspvEngine& push_engine, sparse::index_t source);
+
+struct PageRankOptions {
+  double damping = 0.85;
+  double tol = 1e-10;  // L1 delta between successive rank vectors
+  int max_iters = 200;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  int iterations = 0;
+  double delta = 0.0;
+  bool converged = false;
+};
+
+// Deterministic PageRank: rank <- (1-d)/n + d*(P*rank + dangling mass/n)
+// where P = make_pagerank_matrix(adj) and dangling[u] != 0 marks
+// zero-out-degree vertices whose mass redistributes uniformly. `apply`
+// must compute y = P*x.
+PageRankResult pagerank(const Operator& apply,
+                        std::span<const std::uint8_t> dangling,
+                        const PageRankOptions& opts = {});
+
+// P = (D^-1 A)^T for out-degree D, treating adj structurally (each edge
+// weighs 1/out_degree regardless of stored value — the unweighted
+// PageRank convention). Fills `dangling` (resized to n) with the
+// zero-out-degree mask.
+sparse::Csr make_pagerank_matrix(const sparse::Csr& adj,
+                                 std::vector<std::uint8_t>* dangling);
+
+}  // namespace recode::solver

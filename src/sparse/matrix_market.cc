@@ -77,6 +77,11 @@ Coo read_matrix_market(std::istream& in) {
   } else {
     fail("mtx: unsupported symmetry: " + symmetry_s);
   }
+  // The MM spec defines skew-symmetry for numeric fields only: a pattern
+  // file has no values, so A = -A^T cannot be encoded.
+  if (sym == Symmetry::kSkewSymmetric && field == Field::kPattern) {
+    fail("mtx: skew-symmetric is invalid for pattern matrices");
+  }
 
   // Skip comments (leading whitespace allowed) and blank lines until the
   // size line. Reaching end-of-stream first is a distinct failure from a
@@ -119,6 +124,19 @@ Coo read_matrix_market(std::istream& in) {
     if (r < 1 || r > rows || c < 1 || c > cols) fail("mtx: entry out of range");
     const auto ri = static_cast<index_t>(r - 1);
     const auto ci = static_cast<index_t>(c - 1);
+    // Skew-symmetry (A = -A^T) forces a zero diagonal. Files in the wild
+    // still carry explicit diagonal entries; an explicit ZERO is dropped
+    // (redundant but harmless), while a nonzero diagonal contradicts the
+    // declared symmetry and is rejected (see the policy in
+    // matrix_market.h) — silently keeping it would un-mirror the entry
+    // and corrupt downstream A+A^T == 0 invariants.
+    if (sym == Symmetry::kSkewSymmetric && ri == ci) {
+      if (v != 0.0) {
+        fail("mtx: skew-symmetric matrix has nonzero diagonal entry at row " +
+             std::to_string(r));
+      }
+      continue;
+    }
     coo.add(ri, ci, v);
     if (ri != ci) {
       if (sym == Symmetry::kSymmetric) coo.add(ci, ri, v);

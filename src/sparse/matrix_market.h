@@ -17,6 +17,16 @@
 // (scipy.io.mmread, and this repo's coo_to_csr) and keeps every triplet,
 // so duplicates are SUMMED when the Coo is converted to canonical CSR.
 //
+// Skew-symmetric diagonal policy: A = -A^T forces a_ii = 0, and the MM
+// spec says diagonal entries of skew-symmetric files "should not" be
+// stored. Files in the wild carry them anyway, so the reader applies an
+// explicit policy: an explicit ZERO-valued diagonal entry is dropped
+// (redundant, harmless), and a NONZERO diagonal entry is rejected with
+// recode::Error — it contradicts the declared symmetry, and keeping it
+// would silently produce a matrix where A + A^T != 0. Skew-symmetric
+// pattern banners are rejected outright (no values, so the symmetry is
+// unencodable — numeric fields only, per the spec).
+//
 // Symmetry on write: write_matrix_market always emits the `general`
 // header with every stored triplet. A matrix read from a symmetric /
 // skew-symmetric / pattern file therefore round-trips to its EXPANDED

@@ -1,0 +1,90 @@
+#include "spmv/band_runner.h"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/work_stealing.h"
+
+namespace recode::spmv {
+
+namespace {
+
+struct RunCtx {
+  WorkStealingScheduler<std::uint32_t>* scheduler = nullptr;
+  WorkerGate* gate = nullptr;
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  const std::function<void(std::size_t)>* lookahead = nullptr;
+};
+
+void worker_body(void* opaque, std::size_t worker) {
+  RunCtx& ctx = *static_cast<RunCtx*>(opaque);
+  WorkStealingScheduler<std::uint32_t>& sched = *ctx.scheduler;
+  try {
+    std::uint32_t task = 0;
+    bool have = sched.acquire(worker, task);
+    while (have) {
+      // Pop the worker's next task before running the current one so the
+      // lookahead hook can hint its bytes behind this task's decode.
+      // try_acquire only — the blocking acquire would deadlock the last
+      // worker, which still holds an uncompleted task.
+      std::uint32_t next = 0;
+      const bool have_next = sched.try_acquire(worker, next);
+      if (have_next && ctx.lookahead) (*ctx.lookahead)(next);
+      (*ctx.body)(task, worker);
+      sched.complete();
+      if (have_next) {
+        task = next;
+      } else {
+        have = sched.acquire(worker, task);
+      }
+    }
+    ctx.gate->arrive();
+  } catch (...) {
+    sched.cancel();
+    ctx.gate->arrive_with_error(std::current_exception());
+  }
+}
+
+}  // namespace
+
+BandRunStats run_band_tasks(
+    std::size_t workers, std::size_t tasks,
+    const std::function<void(std::size_t task, std::size_t worker)>& body,
+    const std::function<void(std::size_t task)>& lookahead) {
+  BandRunStats stats;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  if (workers > tasks) workers = tasks == 0 ? 1 : tasks;
+  if (workers <= 1 || tasks <= 1) {
+    stats.workers = 1;
+    for (std::size_t t = 0; t < tasks; ++t) {
+      if (lookahead && t + 1 < tasks) lookahead(t + 1);
+      body(t, 0);
+    }
+    return stats;
+  }
+
+  WorkStealingScheduler<std::uint32_t> scheduler(workers,
+                                                 /*deque_capacity=*/tasks);
+  std::vector<std::uint32_t> ids(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) ids[t] = static_cast<std::uint32_t>(t);
+  scheduler.seed(ids);
+
+  WorkerGate gate(workers);
+  RunCtx ctx{&scheduler, &gate, &body, lookahead ? &lookahead : nullptr};
+  WorkerTeam team(workers);
+  team.run(&worker_body, &ctx);
+  team.wait();
+  gate.wait();  // rethrows the first worker error
+
+  stats.steals = scheduler.stats().steals.load(std::memory_order_relaxed);
+  stats.steal_attempts =
+      scheduler.stats().steal_attempts.load(std::memory_order_relaxed);
+  stats.workers = workers;
+  return stats;
+}
+
+}  // namespace recode::spmv

@@ -1,0 +1,44 @@
+// One-shot work-stealing fan-out over row-disjoint band tasks.
+//
+// The streaming executor owns a persistent scheduler/team pair because
+// its multiply is the steady-state hot loop; the SpGEMM and SpMSpV
+// engines run coarser, call-at-a-time jobs, so they share this small
+// harness instead: seed a WorkStealingScheduler with task ids, fan out a
+// WorkerTeam, and let idle workers steal — the same Chase-Lev machinery
+// (common/work_stealing.h), minus the per-run reuse plumbing.
+//
+// Determinism contract (identical to the executor's): callers hand in
+// tasks that own disjoint output row ranges and a body whose work for
+// task t does not depend on the executing worker beyond scratch arenas,
+// so output is bitwise-identical for any worker count and steal order.
+// With workers <= 1 (or a single task) the body runs inline on the
+// calling thread in task order — the serial reference is the same code.
+//
+// Error contract: the first exception a body throws cancels the
+// scheduler, every worker drains and exits, and the exception is
+// rethrown on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace recode::spmv {
+
+struct BandRunStats {
+  std::uint64_t steals = 0;
+  std::uint64_t steal_attempts = 0;
+  std::size_t workers = 0;  // threads that actually ran (1 = inline)
+};
+
+// Runs body(task, worker) for every task in [0, tasks) across `workers`
+// threads (0 = hardware_concurrency). When `lookahead` is non-null the
+// runner calls it with the task it will hand the same worker next, before
+// the current body runs — the hook out-of-core engines use to prefetch
+// the next band's compressed bytes behind the current decode.
+BandRunStats run_band_tasks(
+    std::size_t workers, std::size_t tasks,
+    const std::function<void(std::size_t task, std::size_t worker)>& body,
+    const std::function<void(std::size_t task)>& lookahead = nullptr);
+
+}  // namespace recode::spmv

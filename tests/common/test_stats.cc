@@ -5,6 +5,9 @@
 #include <cmath>
 #include <vector>
 
+#include "common/minijson.h"
+#include "telemetry/json_writer.h"
+
 namespace recode {
 namespace {
 
@@ -97,6 +100,31 @@ TEST(StreamingStats, FirstAddReplacesNaNExtremes) {
   ss.add(-3.0);
   EXPECT_DOUBLE_EQ(ss.min(), -3.0);
   EXPECT_DOUBLE_EQ(ss.max(), 0.0);
+}
+
+// The NaN extremes must survive the JSON layer: JsonWriter encodes any
+// non-finite double as null (JSON has no NaN literal), and minijson
+// parses null back as an explicit null value — not a dropped key, and
+// not a zero. bench_diff builds on exactly this round-trip to compare
+// "no samples" baselines (null == null passes, null vs number fails).
+TEST(StatsJson, NaNExtremesRoundTripThroughJsonAsNull) {
+  Summary empty = summarize({});
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("min", empty.min);
+  w.kv("max", empty.max);
+  w.kv("mean", empty.mean);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"min\":null,\"max\":null,\"mean\":0}");
+
+  bool ok = false;
+  const minijson::Value v = minijson::parse(w.str(), ok);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(v.at("min").is_null());
+  EXPECT_TRUE(v.at("max").is_null());
+  EXPECT_FALSE(v.at("min").is_number());  // null is not silently 0.0
+  EXPECT_TRUE(v.at("mean").is_number());
+  EXPECT_DOUBLE_EQ(v.at("mean").num(), 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,193 @@
+// Graph-workload drivers (ISSUE 10): deterministic BFS and PageRank over
+// power-law generator matrices. The SpMSpV-driven runs must match
+// dense-SpMV-driven references exactly — BFS levels are integer-equal
+// and PageRank ranks memcmp-bitwise, because SpmspvEngine is bitwise-
+// interchangeable with RecodedSpmv for any frontier and both drivers are
+// fixed-order host loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "codec/container.h"
+#include "codec/container_source.h"
+#include "codec/pipeline.h"
+#include "common/prng.h"
+#include "solver/graph.h"
+#include "sparse/generators.h"
+#include "spmv/recoded.h"
+#include "spmv/spmspv.h"
+
+namespace recode::solver {
+namespace {
+
+using codec::PipelineConfig;
+using sparse::Csr;
+using sparse::ValueModel;
+
+// Classic queue-based BFS over adjacency A (edge u -> v as A[u][v]),
+// neighbors visited in column order — the level reference.
+std::vector<sparse::index_t> bfs_reference(const Csr& adj,
+                                           sparse::index_t source) {
+  std::vector<sparse::index_t> level(static_cast<std::size_t>(adj.rows), -1);
+  std::queue<sparse::index_t> queue;
+  level[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const sparse::index_t u = queue.front();
+    queue.pop();
+    const auto d = level[static_cast<std::size_t>(u)];
+    for (auto k = adj.row_ptr[u]; k < adj.row_ptr[u + 1]; ++k) {
+      const sparse::index_t v = adj.col_idx[k];
+      if (level[static_cast<std::size_t>(v)] < 0) {
+        level[static_cast<std::size_t>(v)] = d + 1;
+        queue.push(v);
+      }
+    }
+  }
+  return level;
+}
+
+TEST(GraphBfs, LevelsMatchQueueReferenceOnPowerLaw) {
+  const std::uint64_t seed = test_seed(121);
+  for (int i = 0; i < 4; ++i) {
+    const Csr adj = sparse::gen_powerlaw(4000 + 500 * i, 5.0, 0.8 + 0.1 * i,
+                                         ValueModel::kUnit, seed + i);
+    const Csr adj_t = sparse::transpose(adj);
+    const auto cm = codec::compress(adj_t, PipelineConfig::udp_dsh());
+    spmv::SpmspvConfig cfg;
+    cfg.threads = (i % 2 == 0) ? 1 : 2;
+    spmv::SpmspvEngine engine(cm, cfg);
+
+    const sparse::index_t source = static_cast<sparse::index_t>(i * 17 % adj.rows);
+    const BfsResult got = bfs(engine, source);
+    const auto want = bfs_reference(adj, source);
+    ASSERT_EQ(got.level.size(), want.size());
+    EXPECT_EQ(got.level, want) << "powerlaw " << i;
+
+    std::uint64_t reached = 0;
+    sparse::index_t max_level = -1;
+    for (const sparse::index_t l : want) {
+      if (l >= 0) {
+        ++reached;
+        max_level = std::max(max_level, l);
+      }
+    }
+    EXPECT_EQ(got.reached, reached);
+    EXPECT_EQ(got.max_level, max_level);
+    EXPECT_GE(got.frontier_peak, 1u);
+  }
+}
+
+TEST(GraphBfs, FrontierOperatorSkipsBlocksDuringTraversal) {
+  const std::uint64_t seed = test_seed(122);
+  const Csr adj =
+      sparse::gen_powerlaw(20000, 4.0, 1.1, ValueModel::kUnit, seed);
+  const Csr adj_t = sparse::transpose(adj);
+  const auto cm = codec::compress(adj_t, PipelineConfig::udp_dsh());
+  spmv::SpmspvEngine engine(cm);
+  const BfsResult result = bfs(engine, 0);
+  EXPECT_GE(result.reached, 1u);
+  // Across the whole traversal some frontier missed some blocks.
+  EXPECT_GT(engine.blocks_skipped(), 0u);
+}
+
+TEST(GraphBfs, HandlesIsolatedSourceAndTinyGraphs) {
+  // Two-node graph with one edge 0 -> 1.
+  sparse::Coo coo;
+  coo.rows = 2;
+  coo.cols = 2;
+  coo.add(0, 1, 1.0);
+  const Csr adj = sparse::coo_to_csr(coo);
+  const auto cm = codec::compress(sparse::transpose(adj),
+                                  PipelineConfig::udp_dsh());
+  spmv::SpmspvEngine engine(cm);
+
+  const BfsResult from0 = bfs(engine, 0);
+  EXPECT_EQ(from0.level, (std::vector<sparse::index_t>{0, 1}));
+  EXPECT_EQ(from0.reached, 2u);
+  EXPECT_EQ(from0.max_level, 1);
+
+  const BfsResult from1 = bfs(engine, 1);  // vertex 1 has no out-edges
+  EXPECT_EQ(from1.level, (std::vector<sparse::index_t>{-1, 0}));
+  EXPECT_EQ(from1.reached, 1u);
+  EXPECT_EQ(from1.max_level, 0);
+}
+
+TEST(GraphPageRank, SpmspvDrivenMatchesDenseDrivenBitwise) {
+  const std::uint64_t seed = test_seed(123);
+  for (int i = 0; i < 3; ++i) {
+    const Csr adj = sparse::gen_powerlaw(3000 + 1000 * i, 6.0, 0.9,
+                                         ValueModel::kUnit, seed + i);
+    std::vector<std::uint8_t> dangling;
+    const Csr p = make_pagerank_matrix(adj, &dangling);
+    ASSERT_EQ(dangling.size(), static_cast<std::size_t>(adj.rows));
+
+    const auto cm = codec::compress(p, PipelineConfig::udp_dsh());
+    spmv::RecodedSpmv dense_engine(cm);
+    spmv::SpmspvConfig cfg;
+    cfg.threads = (i == 2) ? 2 : 1;
+    spmv::SpmspvEngine sparse_engine(cm, cfg);
+
+    PageRankOptions opts;
+    opts.max_iters = 60;
+    const PageRankResult want =
+        pagerank(make_operator(dense_engine), dangling, opts);
+    const PageRankResult got =
+        pagerank(make_operator(sparse_engine), dangling, opts);
+
+    EXPECT_EQ(got.iterations, want.iterations);
+    EXPECT_EQ(got.converged, want.converged);
+    ASSERT_EQ(got.rank.size(), want.rank.size());
+    EXPECT_EQ(std::memcmp(got.rank.data(), want.rank.data(),
+                          got.rank.size() * sizeof(double)),
+              0)
+        << "powerlaw " << i;
+    // Mass conservation to rounding: ranks sum to ~1.
+    double sum = 0.0;
+    for (const double r : got.rank) sum += r;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GraphPageRank, DanglingMassRedistributes) {
+  // Star with a dangling center: 1..4 each point at 0; 0 has no
+  // out-edges, so its mass redistributes uniformly each iteration.
+  sparse::Coo coo;
+  coo.rows = 5;
+  coo.cols = 5;
+  for (sparse::index_t u = 1; u < 5; ++u) coo.add(u, 0, 1.0);
+  const Csr adj = sparse::coo_to_csr(coo);
+  std::vector<std::uint8_t> dangling;
+  const Csr p = make_pagerank_matrix(adj, &dangling);
+  EXPECT_EQ(dangling, (std::vector<std::uint8_t>{1, 0, 0, 0, 0}));
+
+  const auto cm = codec::compress(p, PipelineConfig::udp_dsh());
+  spmv::SpmspvEngine engine(cm);
+  const PageRankResult result =
+      pagerank(make_operator(engine), dangling, {});
+  EXPECT_TRUE(result.converged);
+  // The center absorbs every leaf's full rank plus its uniform share.
+  for (std::size_t v = 1; v < 5; ++v) {
+    EXPECT_GT(result.rank[0], result.rank[v]);
+    EXPECT_NEAR(result.rank[v], result.rank[1], 1e-12);
+  }
+  double sum = 0.0;
+  for (const double r : result.rank) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(GraphPageRank, EmptyGraphConvergesTrivially) {
+  const PageRankResult result = pagerank(
+      [](std::span<const double>, std::span<double>) {}, {}, {});
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.rank.empty());
+  EXPECT_EQ(result.iterations, 0);
+}
+
+}  // namespace
+}  // namespace recode::solver

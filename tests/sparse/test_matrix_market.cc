@@ -49,6 +49,55 @@ TEST(MatrixMarket, ExpandsSkewSymmetricWithNegation) {
   EXPECT_DOUBLE_EQ(coo.val[1], -3.0);
 }
 
+TEST(MatrixMarket, SkewSymmetricRejectsNonzeroDiagonal) {
+  // A = -A^T forces a_ii = 0; a nonzero diagonal contradicts the banner
+  // and must be rejected, not silently kept un-mirrored (documented
+  // policy in matrix_market.h).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 2 1.0\n"
+      "2 1 3.0\n");
+  EXPECT_THROW(read_matrix_market(in), recode::Error);
+}
+
+TEST(MatrixMarket, SkewSymmetricDropsExplicitZeroDiagonal) {
+  // An explicit zero diagonal entry is redundant but harmless: dropped,
+  // with the off-diagonal entries still mirrored with negation.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 3\n"
+      "1 1 0.0\n"
+      "2 1 3.0\n"
+      "3 3 -0.0\n");
+  const Coo coo = read_matrix_market(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.row[0], 1);
+  EXPECT_EQ(coo.col[0], 0);
+  EXPECT_DOUBLE_EQ(coo.val[0], 3.0);
+  EXPECT_EQ(coo.row[1], 0);
+  EXPECT_EQ(coo.col[1], 1);
+  EXPECT_DOUBLE_EQ(coo.val[1], -3.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricIntegerDiagonalAlsoRejected) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer skew-symmetric\n"
+      "2 2 1\n"
+      "1 1 4\n");
+  EXPECT_THROW(read_matrix_market(in), recode::Error);
+}
+
+TEST(MatrixMarket, SkewSymmetricPatternBannerRejected) {
+  // Pattern files carry no values, so skew-symmetry is unencodable (the
+  // MM spec restricts it to numeric fields).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern skew-symmetric\n"
+      "2 2 1\n"
+      "2 1\n");
+  EXPECT_THROW(read_matrix_market(in), recode::Error);
+}
+
 TEST(MatrixMarket, PatternFieldDefaultsToOne) {
   std::istringstream in(
       "%%MatrixMarket matrix coordinate pattern general\n"
